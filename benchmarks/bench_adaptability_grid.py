@@ -1,0 +1,107 @@
+"""Section V-C's headline claim — "Out of these 150 cases, MPR gives
+the best query response time or throughput [...] in 145 cases."
+
+We regenerate the claim: a randomized grid of 150 scenarios spanning
+kNN solutions, networks, object counts, core counts, workload mixtures
+and both objectives; for each we measure all four schemes on the
+simulator and count how often MPR wins (ties in its favour, since MPR
+subsumes the other schemes' configurations).
+"""
+
+import math
+import random
+
+from common import RQ_BOUND, SEARCH_DURATION, publish
+
+from repro.harness import format_table
+from repro.knn import paper_profile
+from repro.mpr import (
+    MachineSpec,
+    Objective,
+    Scheme,
+    Workload,
+    configure_all_schemes,
+)
+from repro.sim import find_max_throughput, measure_response_time
+
+NUM_CASES = 150
+SCHEMES = (Scheme.F_REP, Scheme.F_PART, Scheme.ONE_MPR, Scheme.MPR)
+
+
+def run_grid(num_cases: int = NUM_CASES, seed: int = 2019):
+    rng = random.Random(seed)
+    wins = 0
+    losses = []
+    for case in range(num_cases):
+        solution = rng.choice(["Dijkstra", "V-tree", "TOAIN", "G-tree"])
+        network = rng.choice(["BJ", "NW", "NY", "USA(E)", "USA(W)"])
+        m = rng.choice([5_000, 10_000, 40_000, 80_000])
+        cores = rng.choice([8, 12, 16, 19, 24])
+        profile = paper_profile(solution, network, object_count=m)
+        machine = MachineSpec(total_cores=cores)
+        # Draw a workload that is demanding but not hopeless for the
+        # machine: scale rates to the solution's service times, capped
+        # so a single simulated run stays cheap (the cap only bites for
+        # the fastest solutions, where the mixture, not the absolute
+        # rate, is what differentiates the schemes).
+        query_capacity = (cores - 2) / profile.tq
+        update_capacity = (cores - 2) / profile.tu
+        lambda_q = min(rng.uniform(0.05, 0.6) * query_capacity, 30_000.0)
+        lambda_u = min(rng.uniform(0.05, 0.6) * update_capacity, 50_000.0)
+        objective = rng.choice(
+            [Objective.RESPONSE_TIME, Objective.THROUGHPUT]
+        )
+        workload = Workload(lambda_q, lambda_u)
+        choices = configure_all_schemes(
+            workload, profile, machine, objective=objective, rq_bound=RQ_BOUND
+        )
+        scores = {}
+        for scheme in SCHEMES:
+            config = choices[scheme].config
+            if objective is Objective.RESPONSE_TIME:
+                measurement = measure_response_time(
+                    config, profile, machine, lambda_q, lambda_u,
+                    duration=SEARCH_DURATION, seed=case,
+                )
+                scores[scheme] = (
+                    math.inf if measurement.overloaded
+                    else measurement.mean_response_time
+                )
+            else:
+                scores[scheme] = -find_max_throughput(
+                    config, profile, machine, lambda_u, rq_bound=RQ_BOUND,
+                    duration=0.1, initial_lambda_q=200.0,
+                    relative_tolerance=0.1,
+                )
+        best = min(scores.values())
+        # Win = within 2% of the best scheme (scores are response times
+        # or negated throughputs, so the tolerance must widen the
+        # threshold regardless of sign).
+        if math.isinf(best):
+            won = math.isinf(scores[Scheme.MPR])
+        else:
+            won = scores[Scheme.MPR] <= best + 0.02 * abs(best) + 1e-9
+        if won:
+            wins += 1
+        else:
+            losses.append((solution, network, cores, objective.value))
+    return wins, losses
+
+
+def test_adaptability_grid(benchmark) -> None:
+    wins, losses = benchmark.pedantic(
+        run_grid, kwargs={"num_cases": NUM_CASES}, rounds=1, iterations=1
+    )
+    rows = [[f"{wins}/{NUM_CASES}", "145/150"]]
+    table = format_table(
+        ["MPR best (ours)", "MPR best (paper)"],
+        rows,
+        title="Section V-C adaptability grid: scenarios where MPR wins",
+    )
+    if losses:
+        table += "\nlosses: " + "; ".join(str(loss) for loss in losses[:10])
+    publish("adaptability_grid", table)
+
+    # The paper's ratio is 145/150 ~ 0.97; require at least 0.90 to
+    # allow for simulation noise on a different scenario draw.
+    assert wins >= int(0.90 * NUM_CASES)

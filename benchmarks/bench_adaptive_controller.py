@@ -1,0 +1,138 @@
+"""Extension bench: closed-loop adaptation over a drifting day.
+
+The paper configures MPR once per workload; deployed services see the
+workload drift (Section I's peak hours).  This bench runs a six-phase
+"day" through the adaptive controller and compares three policies on
+the simulated 19-core machine:
+
+* **adaptive MPR** — the controller re-optimizes per phase (with
+  hysteresis);
+* **static morning config** — MPR configured once for the first phase
+  and never changed (what a one-shot deployment would do);
+* **F-Rep** — the fixed replication baseline.
+
+Expected shape: the static config is fine until the workload leaves
+its comfort zone, then overloads or degrades; adaptive MPR tracks the
+drift and stays finite everywhere.
+"""
+
+import math
+
+from common import PAPER_MACHINE, SIM_DURATION, publish
+
+from repro.harness import format_microseconds, format_table
+from repro.knn import paper_profile
+from repro.mpr import (
+    AdaptiveController,
+    RateEstimator,
+    Scheme,
+    Workload,
+    configure_scheme,
+    full_replication_config,
+)
+from repro.sim import measure_response_time
+
+PROFILE = paper_profile("TOAIN", "BJ")
+
+#: A day in six phases: (name, λq, λu).
+DAY = (
+    ("night", 1_000.0, 2_000.0),
+    ("morning commute", 12_000.0, 30_000.0),
+    ("midday", 6_000.0, 15_000.0),
+    ("evening peak", 15_000.0, 50_000.0),
+    ("late evening", 18_000.0, 8_000.0),
+    ("wind down", 3_000.0, 3_000.0),
+)
+
+
+def run_day():
+    controller = AdaptiveController(
+        profile=PROFILE, machine=PAPER_MACHINE,
+        estimator=RateEstimator(window=0.25, alpha=0.7),
+    )
+    static = configure_scheme(
+        Scheme.MPR, Workload(DAY[0][1], DAY[0][2]), PROFILE, PAPER_MACHINE
+    ).config
+    frep = full_replication_config(PAPER_MACHINE.total_cores)
+
+    results = []
+    clock = 0.0
+    import random
+
+    rng = random.Random(11)
+    for name, lambda_q, lambda_u in DAY:
+        # Stream one simulated second of arrivals into the estimator.
+        events = []
+        t = clock
+        while t < clock + 1.0:
+            t += rng.expovariate(lambda_q)
+            if t < clock + 1.0:
+                events.append((t, "q"))
+        t = clock
+        while t < clock + 1.0:
+            t += rng.expovariate(lambda_u)
+            if t < clock + 1.0:
+                events.append((t, "u"))
+        for time, kind in sorted(events):
+            if kind == "q":
+                controller.observe_query(time)
+            else:
+                controller.observe_update(time)
+        clock += 1.0
+        controller.maybe_reconfigure(clock)
+        adaptive_config = controller.config
+
+        row = {"phase": name}
+        for label, config in (
+            ("adaptive", adaptive_config),
+            ("static", static),
+            ("F-Rep", frep),
+        ):
+            measurement = measure_response_time(
+                config, PROFILE, PAPER_MACHINE, lambda_q, lambda_u,
+                duration=SIM_DURATION, seed=13,
+            )
+            row[label] = (
+                math.inf if measurement.overloaded
+                else measurement.mean_response_time
+            )
+        row["config"] = (
+            f"({adaptive_config.x},{adaptive_config.y},{adaptive_config.z})"
+        )
+        results.append(row)
+    return results, len(controller.history)
+
+
+def test_adaptive_controller_day(benchmark) -> None:
+    results, reconfigurations = benchmark.pedantic(
+        run_day, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            row["phase"], row["config"],
+            format_microseconds(row["adaptive"]),
+            format_microseconds(row["static"]),
+            format_microseconds(row["F-Rep"]),
+        ]
+        for row in results
+    ]
+    table = format_table(
+        ["phase", "adaptive (x,y,z)", "adaptive Rq", "static Rq", "F-Rep Rq"],
+        rows,
+        title="Adaptive reconfiguration over a drifting day (19 cores)",
+    )
+    table += f"\nreconfigurations: {reconfigurations}"
+    publish("adaptive_controller_day", table)
+
+    # Adaptive stays finite through the whole day.
+    assert all(math.isfinite(row["adaptive"]) for row in results)
+    # The fixed baseline breaks somewhere (evening peak at the latest).
+    assert any(math.isinf(row["F-Rep"]) for row in results)
+    # Adaptive never loses badly to static, and wins where static dies.
+    for row in results:
+        if math.isinf(row["static"]):
+            assert math.isfinite(row["adaptive"])
+        else:
+            assert row["adaptive"] <= row["static"] * 1.25
+    # Hysteresis keeps the reconfiguration count modest.
+    assert reconfigurations <= len(DAY)

@@ -1,0 +1,64 @@
+"""Figure 10 — scalability with respect to network size.
+
+RU mode, (m, λq, λu) = (10K, 10K, 10K), TOAIN, four networks from NY
+(0.7M edges) to USA(W) (15M edges).  Paper shape: response times grow
+with network size; MPR is the most scalable scheme (finite and lowest
+everywhere, growing the slowest).
+"""
+
+import math
+
+from common import PAPER_MACHINE, SIM_DURATION, publish
+
+from repro.harness import format_microseconds, format_table
+from repro.knn import paper_profile
+from repro.mpr import Scheme, Workload, configure_all_schemes
+from repro.sim import measure_response_time
+from repro.workload import FIGURE10_NETWORKS, FIGURE10_SCENARIO_TEMPLATE
+
+SCHEMES = (Scheme.F_REP, Scheme.F_PART, Scheme.ONE_MPR, Scheme.MPR)
+
+
+def run_scaling():
+    scenario = FIGURE10_SCENARIO_TEMPLATE
+    workload = Workload(scenario.lambda_q, scenario.lambda_u)
+    results = {}
+    for network in FIGURE10_NETWORKS:
+        profile = paper_profile(
+            "TOAIN", network, object_count=scenario.num_objects
+        )
+        choices = configure_all_schemes(workload, profile, PAPER_MACHINE)
+        results[network] = {}
+        for scheme in SCHEMES:
+            measurement = measure_response_time(
+                choices[scheme].config, profile, PAPER_MACHINE,
+                workload.lambda_q, workload.lambda_u,
+                duration=SIM_DURATION, seed=10,
+            )
+            results[network][scheme] = (
+                math.inf if measurement.overloaded
+                else measurement.mean_response_time
+            )
+    return results
+
+
+def test_fig10_network_size(benchmark) -> None:
+    results = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    rows = [
+        [network]
+        + [format_microseconds(results[network][s]) for s in SCHEMES]
+        for network in FIGURE10_NETWORKS
+    ]
+    table = format_table(
+        ["Network"] + [s.value for s in SCHEMES],
+        rows,
+        title="Figure 10: Rq (us) vs network size, RU (10K,10K,10K), TOAIN",
+    )
+    publish("fig10_network_size", table)
+
+    for network in FIGURE10_NETWORKS:
+        # MPR is finite and best on every network size.
+        assert math.isfinite(results[network][Scheme.MPR]), network
+        assert results[network][Scheme.MPR] == min(results[network].values())
+    # Response time grows with network size for MPR (NY < USA(W)).
+    assert results["USA(W)"][Scheme.MPR] > results["NY"][Scheme.MPR]

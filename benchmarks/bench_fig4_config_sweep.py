@@ -1,0 +1,92 @@
+"""Figure 4 — response time of every MPR configuration.
+
+The paper sweeps all 31 configurations on 19 cores (z capped at 5),
+finds 17 of them overloaded, and shows that the analytical formula
+locates the best one.  We regenerate the full sweep: simulated Rq per
+(x, z) with the model's prediction alongside.
+"""
+
+import math
+
+from common import PAPER_MACHINE, SIM_DURATION, publish
+
+from repro.harness import format_table
+from repro.knn import paper_profile
+from repro.mpr import (
+    Workload,
+    enumerate_configs,
+    optimize_response_time,
+    response_time,
+)
+from repro.sim import measure_response_time
+from repro.workload import CASE_STUDY
+
+PROFILE = paper_profile("TOAIN", "BJ")
+WORKLOAD = Workload(CASE_STUDY.lambda_q, CASE_STUDY.lambda_u)
+
+
+def sweep() -> dict:
+    results = {}
+    for config in enumerate_configs(PAPER_MACHINE.total_cores, max_layers=5):
+        measurement = measure_response_time(
+            config, PROFILE, PAPER_MACHINE,
+            WORKLOAD.lambda_q, WORKLOAD.lambda_u,
+            duration=SIM_DURATION, seed=4,
+        )
+        model = response_time(config, WORKLOAD, PROFILE, PAPER_MACHINE)
+        simulated = (
+            math.inf if measurement.overloaded else measurement.mean_response_time
+        )
+        results[config] = (simulated, model)
+    return results
+
+
+def test_fig4_config_sweep(benchmark) -> None:
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for config in sorted(results, key=lambda c: (c.z, c.x)):
+        simulated, model = results[config]
+        rows.append(
+            [
+                config.z, config.x, config.y,
+                "Overload" if math.isinf(simulated) else f"{simulated*1e6:,.0f}",
+                "Overload" if math.isinf(model) else f"{model*1e6:,.0f}",
+            ]
+        )
+    table = format_table(
+        ["z", "x", "y", "sim Rq (us)", "model Rq (us)"],
+        rows,
+        title=(
+            "Figure 4: Rq across all MPR configurations, 19 cores "
+            "(paper: 31 configs, 17 overloaded)"
+        ),
+    )
+
+    total = len(results)
+    overloaded = sum(1 for sim, _ in results.values() if math.isinf(sim))
+    best_config = min(results, key=lambda c: results[c][0])
+    model_pick = optimize_response_time(
+        WORKLOAD, PROFILE, PAPER_MACHINE, max_layers=5
+    ).config
+    summary = (
+        f"\nconfigurations: {total} (paper: 31)"
+        f"\noverloaded:     {overloaded} (paper: 17)"
+        f"\nsim best:       {best_config} at {results[best_config][0]*1e6:,.0f} us"
+        f"\nmodel pick:     {model_pick} at {results[model_pick][0]*1e6:,.0f} us"
+    )
+    publish("fig4_config_sweep", table + summary)
+
+    assert total == 31
+    # Overload count should be in the paper's ballpark.
+    assert 12 <= overloaded <= 22
+    # The analytical pick must be (near-)optimal in simulation.
+    assert results[model_pick][0] <= 1.5 * results[best_config][0]
+    # Multi-layer configs dominate: more non-overloaded configs with z >= 2.
+    z1_ok = sum(
+        1 for c, (sim, _) in results.items() if c.z == 1 and math.isfinite(sim)
+    )
+    zn_ok = sum(
+        1 for c, (sim, _) in results.items() if c.z >= 2 and math.isfinite(sim)
+    )
+    assert zn_ok >= z1_ok

@@ -1,0 +1,149 @@
+"""Figure 5 — adaptability to different single-threaded kNN solutions.
+
+Two scenarios: update-heavy NY-RU (m=80K, λq=1.25K, λu=20K) and
+query-heavy BJ-RU (m=10K, λq=20K, λu=10K); solutions Dijkstra, V-tree,
+TOAIN; schemes F-Rep, F-Part, 1MPR, MPR.  Panels (a,b): response time;
+panels (c,d): throughput.
+
+Paper shape: (a) Dijkstra-based rows are fastest (update-friendly
+wins), F-Part beats F-Rep; (b) the reverse — V-tree/TOAIN shine,
+F-Part overloads; (c,d) MPR significantly outperforms all baselines.
+"""
+
+import math
+
+from common import PAPER_MACHINE, RQ_BOUND, SEARCH_DURATION, SIM_DURATION, publish
+
+from repro.harness import format_microseconds, format_rate, format_table
+from repro.knn import paper_profile
+from repro.mpr import Objective, Scheme, Workload, configure_all_schemes
+from repro.sim import find_max_throughput, measure_response_time
+from repro.workload import BJ_RU_QUERY_HEAVY, NY_RU_UPDATE_HEAVY
+
+SOLUTIONS = ("Dijkstra", "V-tree", "TOAIN")
+SCHEMES = (Scheme.F_REP, Scheme.F_PART, Scheme.ONE_MPR, Scheme.MPR)
+
+
+def response_time_panel(scenario) -> dict[str, dict[Scheme, float]]:
+    workload = Workload(scenario.lambda_q, scenario.lambda_u)
+    panel: dict[str, dict[Scheme, float]] = {}
+    for solution in SOLUTIONS:
+        profile = paper_profile(
+            solution, scenario.network_symbol, object_count=scenario.num_objects
+        )
+        choices = configure_all_schemes(workload, profile, PAPER_MACHINE)
+        panel[solution] = {}
+        for scheme in SCHEMES:
+            measurement = measure_response_time(
+                choices[scheme].config, profile, PAPER_MACHINE,
+                workload.lambda_q, workload.lambda_u,
+                duration=SIM_DURATION, seed=5,
+            )
+            panel[solution][scheme] = (
+                math.inf if measurement.overloaded
+                else measurement.mean_response_time
+            )
+    return panel
+
+
+def throughput_panel(scenario) -> dict[str, dict[Scheme, float]]:
+    panel: dict[str, dict[Scheme, float]] = {}
+    for solution in SOLUTIONS:
+        profile = paper_profile(
+            solution, scenario.network_symbol, object_count=scenario.num_objects
+        )
+        choices = configure_all_schemes(
+            Workload(0.0, scenario.lambda_u), profile, PAPER_MACHINE,
+            objective=Objective.THROUGHPUT, rq_bound=RQ_BOUND,
+        )
+        panel[solution] = {}
+        for scheme in SCHEMES:
+            panel[solution][scheme] = find_max_throughput(
+                choices[scheme].config, profile, PAPER_MACHINE,
+                scenario.lambda_u, rq_bound=RQ_BOUND,
+                duration=SEARCH_DURATION, initial_lambda_q=50.0,
+            )
+    return panel
+
+
+def render(panel, formatter, title) -> str:
+    rows = []
+    for solution, by_scheme in panel.items():
+        rows.append(
+            [solution] + [formatter(by_scheme[scheme]) for scheme in SCHEMES]
+        )
+    return format_table(
+        ["Solution"] + [s.value for s in SCHEMES], rows, title=title
+    )
+
+
+def test_fig5_response_time(benchmark) -> None:
+    def run():
+        return (
+            response_time_panel(NY_RU_UPDATE_HEAVY),
+            response_time_panel(BJ_RU_QUERY_HEAVY),
+        )
+
+    update_heavy, query_heavy = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        render(update_heavy, format_microseconds,
+               "Figure 5(a): Rq (us), update-heavy NY-RU")
+        + "\n\n"
+        + render(query_heavy, format_microseconds,
+                 "Figure 5(b): Rq (us), query-heavy BJ-RU")
+    )
+    publish("fig5_response_time", text)
+
+    # (a) update-heavy: F-Part must beat F-Rep wherever both survive,
+    # and Dijkstra (update-friendly) must be the most forgiving solution.
+    assert (
+        update_heavy["Dijkstra"][Scheme.F_PART]
+        < update_heavy["Dijkstra"][Scheme.F_REP]
+    )
+    assert (
+        update_heavy["Dijkstra"][Scheme.MPR]
+        <= update_heavy["V-tree"][Scheme.MPR]
+    )
+    # (b) query-heavy: F-Part collapses, and V-tree beats Dijkstra.
+    assert math.isinf(query_heavy["Dijkstra"][Scheme.F_PART])
+    assert (
+        query_heavy["V-tree"][Scheme.MPR] <= query_heavy["Dijkstra"][Scheme.MPR]
+    )
+    # MPR never overloads and is (within simulation noise) the best
+    # scheme for every solution in both scenarios.
+    for panel in (update_heavy, query_heavy):
+        for solution in SOLUTIONS:
+            assert math.isfinite(panel[solution][Scheme.MPR])
+            best = min(panel[solution].values())
+            assert panel[solution][Scheme.MPR] <= best * 1.05
+
+
+def test_fig5_throughput(benchmark) -> None:
+    def run():
+        return (
+            throughput_panel(NY_RU_UPDATE_HEAVY),
+            throughput_panel(BJ_RU_QUERY_HEAVY),
+        )
+
+    update_heavy, query_heavy = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        render(update_heavy, format_rate,
+               "Figure 5(c): max throughput (q/s), update-heavy NY-RU")
+        + "\n\n"
+        + render(query_heavy, format_rate,
+                 "Figure 5(d): max throughput (q/s), query-heavy BJ-RU")
+    )
+    publish("fig5_throughput", text)
+
+    for panel in (update_heavy, query_heavy):
+        for solution in SOLUTIONS:
+            best_baseline = max(
+                panel[solution][Scheme.F_REP], panel[solution][Scheme.F_PART]
+            )
+            assert panel[solution][Scheme.MPR] >= best_baseline
+    # Paper: "for NY-RU(Dijkstra), MPR is the only scheme that can
+    # provide a significant throughput" among the non-MPR schemes.
+    assert update_heavy["Dijkstra"][Scheme.MPR] > 4 * max(
+        update_heavy["Dijkstra"][Scheme.F_REP],
+        update_heavy["Dijkstra"][Scheme.F_PART],
+    )

@@ -1,0 +1,66 @@
+"""Figure 6 — adaptability to different networks and update modes.
+
+Six scenarios (BJ/NY/NW crossed with RU/TH), TOAIN as the solution,
+response time per scheme.  Paper shape: F-Rep and F-Part trade wins
+depending on the scenario's query/update mixture; MPR is consistently
+and clearly the best.
+"""
+
+import math
+
+from common import PAPER_MACHINE, SIM_DURATION, publish
+
+from repro.harness import format_microseconds, format_table
+from repro.knn import paper_profile
+from repro.mpr import Scheme, Workload, configure_all_schemes
+from repro.sim import measure_response_time
+from repro.workload import FIGURE6_SCENARIOS
+
+SCHEMES = (Scheme.F_REP, Scheme.F_PART, Scheme.ONE_MPR, Scheme.MPR)
+
+
+def run_grid() -> dict[str, dict[Scheme, float]]:
+    results: dict[str, dict[Scheme, float]] = {}
+    for scenario in FIGURE6_SCENARIOS:
+        profile = paper_profile(
+            "TOAIN", scenario.network_symbol, object_count=scenario.num_objects
+        )
+        workload = Workload(scenario.lambda_q, scenario.lambda_u)
+        choices = configure_all_schemes(workload, profile, PAPER_MACHINE)
+        taxi = scenario.mode.value == "TH"
+        results[scenario.label] = {}
+        for scheme in SCHEMES:
+            measurement = measure_response_time(
+                choices[scheme].config, profile, PAPER_MACHINE,
+                workload.lambda_q, workload.lambda_u,
+                duration=SIM_DURATION, seed=6,
+                taxi_hailing=taxi, initial_objects=2000 if taxi else 0,
+            )
+            results[scenario.label][scheme] = (
+                math.inf if measurement.overloaded
+                else measurement.mean_response_time
+            )
+    return results
+
+
+def test_fig6_networks(benchmark) -> None:
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = [
+        [label] + [format_microseconds(by_scheme[s]) for s in SCHEMES]
+        for label, by_scheme in results.items()
+    ]
+    table = format_table(
+        ["Scenario"] + [s.value for s in SCHEMES],
+        rows,
+        title="Figure 6: Rq (us) across network/update-mode scenarios, TOAIN",
+    )
+    publish("fig6_networks", table)
+
+    for label, by_scheme in results.items():
+        # MPR is finite and the best scheme everywhere (the paper: "MPR
+        # consistently performs much better than the other 3 schemes").
+        assert math.isfinite(by_scheme[Scheme.MPR]), label
+        assert by_scheme[Scheme.MPR] == min(by_scheme.values()), label
+    # Update-heavy NY favours F-Part over F-Rep (2nd bar group remark).
+    ny_ru = results["NY-RU"]
+    assert ny_ru[Scheme.F_PART] < ny_ru[Scheme.F_REP]

@@ -1,0 +1,111 @@
+"""Figure 7 — adaptability to the number of CPU cores.
+
+BJ-RU (m=10K, λq=10K, λu=10K), Dijkstra and TOAIN, MPR self-configured
+per core count.  Top panel: response time broken into queuing delay +
+query time; bottom panel: maximum throughput.
+
+Paper shape: a single core overloads (notably with Dijkstra); MPR's
+response time falls and throughput climbs as cores are added; the
+queuing-delay component is what shrinks.
+"""
+
+import math
+
+import pytest
+from common import RQ_BOUND, SEARCH_DURATION, SIM_DURATION, publish
+
+from repro.harness import format_table
+from repro.knn import paper_profile
+from repro.mpr import MachineSpec, Objective, Scheme, Workload, configure_scheme
+from repro.sim import find_max_throughput, measure_response_time
+
+CORE_COUNTS = (2, 4, 8, 12, 16, 19, 24)
+LAMBDA_Q, LAMBDA_U = 10_000.0, 10_000.0
+SOLUTIONS = ("Dijkstra", "TOAIN")
+
+
+def run_scaling() -> dict[str, dict[int, tuple[float, float, float]]]:
+    """Per solution and core count: (queuing delay, query time, throughput)."""
+    results: dict[str, dict[int, tuple[float, float, float]]] = {}
+    workload = Workload(LAMBDA_Q, LAMBDA_U)
+    for solution in SOLUTIONS:
+        profile = paper_profile(solution, "BJ")
+        results[solution] = {}
+        for cores in CORE_COUNTS:
+            machine = MachineSpec(total_cores=cores)
+            choice = configure_scheme(
+                Scheme.MPR, workload, profile, machine
+            )
+            measurement = measure_response_time(
+                choice.config, profile, machine, LAMBDA_Q, LAMBDA_U,
+                duration=SIM_DURATION, seed=7,
+            )
+            throughput_choice = configure_scheme(
+                Scheme.MPR, workload, profile, machine,
+                objective=Objective.THROUGHPUT, rq_bound=RQ_BOUND,
+            )
+            throughput = find_max_throughput(
+                throughput_choice.config, profile, machine, LAMBDA_U,
+                rq_bound=RQ_BOUND, duration=SEARCH_DURATION,
+                initial_lambda_q=50.0,
+            )
+            if measurement.overloaded:
+                results[solution][cores] = (math.inf, math.inf, throughput)
+            else:
+                results[solution][cores] = (
+                    measurement.mean_queuing_delay + (
+                        measurement.mean_response_time
+                        - measurement.mean_queuing_delay
+                        - measurement.mean_worker_service
+                    ),
+                    measurement.mean_worker_service,
+                    throughput,
+                )
+    return results
+
+
+def test_fig7_core_scaling(benchmark) -> None:
+    results = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    rows = []
+    for solution in SOLUTIONS:
+        for cores in CORE_COUNTS:
+            delay, service, throughput = results[solution][cores]
+            total = delay + service
+            rows.append(
+                [
+                    solution, cores,
+                    "Overload" if math.isinf(total) else f"{total*1e6:,.0f}",
+                    "Overload" if math.isinf(delay) else f"{delay*1e6:,.0f}",
+                    "-" if math.isinf(service) else f"{service*1e6:,.0f}",
+                    f"{throughput:,.0f}",
+                ]
+            )
+    table = format_table(
+        ["Solution", "cores", "Rq (us)", "queuing+overhead (us)",
+         "query time (us)", "max throughput (q/s)"],
+        rows,
+        title="Figure 7: MPR vs number of CPU cores, BJ-RU (10K,10K,10K)",
+    )
+    publish("fig7_cores", table)
+
+    for solution in SOLUTIONS:
+        series = results[solution]
+        # Throughput grows with cores.
+        assert series[24][2] > series[4][2] > 0
+        # Response time at 24 cores is finite and better than at 4.
+        r24 = series[24][0] + series[24][1]
+        r4 = series[4][0] + series[4][1]
+        assert math.isfinite(r24)
+        assert r24 <= r4
+    # A 2-core machine cannot carry the load with Dijkstra (paper: a
+    # single-core machine overloads with Dijkstra).
+    assert math.isinf(results["Dijkstra"][2][0])
+    # Queuing delay shrinks with cores while pure query time does not
+    # (the breakdown insight of Figure 7(a)) — visible in the loaded
+    # Dijkstra series (the TOAIN system is barely loaded past 8 cores,
+    # where the delay component is noise-level either way).
+    dijkstra = results["Dijkstra"]
+    assert dijkstra[24][0] < dijkstra[12][0]          # delay shrinks
+    assert dijkstra[24][1] == pytest.approx(dijkstra[12][1], rel=0.25)
+    toain = results["TOAIN"]
+    assert toain[19][0] <= toain[4][0]

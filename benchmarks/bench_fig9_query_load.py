@@ -1,0 +1,81 @@
+"""Figure 9 — adaptability to the query load.
+
+NY-RU and BJ-RU with λq swept.  Paper shape: F-Part overloads in all
+cases; F-Rep's response time grows only mildly with λq (it is
+query-friendly); MPR gives the best response time everywhere, by wide
+margins.
+"""
+
+import math
+
+from common import PAPER_MACHINE, SIM_DURATION, publish
+
+from repro.harness import format_microseconds, format_table
+from repro.knn import paper_profile
+from repro.mpr import Scheme, Workload, configure_all_schemes
+from repro.sim import measure_response_time
+
+SCHEMES = (Scheme.F_REP, Scheme.F_PART, Scheme.ONE_MPR, Scheme.MPR)
+SCENARIOS = (
+    ("NY", (500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0), 20_000.0, 80_000),
+    ("BJ", (2_500.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0), 10_000.0, 10_000),
+)
+
+
+def run_sweep():
+    results = {}
+    for network, query_loads, lambda_u, m in SCENARIOS:
+        profile = paper_profile("TOAIN", network, object_count=m)
+        results[network] = {}
+        for lambda_q in query_loads:
+            workload = Workload(lambda_q, lambda_u)
+            choices = configure_all_schemes(workload, profile, PAPER_MACHINE)
+            results[network][lambda_q] = {}
+            for scheme in SCHEMES:
+                measurement = measure_response_time(
+                    choices[scheme].config, profile, PAPER_MACHINE,
+                    lambda_q, lambda_u, duration=SIM_DURATION, seed=9,
+                )
+                results[network][lambda_q][scheme] = (
+                    math.inf if measurement.overloaded
+                    else measurement.mean_response_time
+                )
+    return results
+
+
+def test_fig9_query_load(benchmark) -> None:
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    sections = []
+    for network, query_loads, lambda_u, _ in SCENARIOS:
+        rows = [
+            [f"{lambda_q:,.0f}"]
+            + [format_microseconds(results[network][lambda_q][s]) for s in SCHEMES]
+            for lambda_q in query_loads
+        ]
+        sections.append(
+            format_table(
+                ["λq"] + [s.value for s in SCHEMES],
+                rows,
+                title=(
+                    f"Figure 9 ({network}-RU): Rq (us) vs query load "
+                    f"(λu={lambda_u:,.0f})"
+                ),
+            )
+        )
+    publish("fig9_query_load", "\n\n".join(sections))
+
+    for network, query_loads, _, _ in SCENARIOS:
+        series = results[network]
+        for lambda_q in query_loads:
+            # MPR best everywhere (paper: "outperforming the baseline
+            # schemes by wide margins").
+            assert series[lambda_q][Scheme.MPR] == min(
+                series[lambda_q].values()
+            ), (network, lambda_q)
+        # F-Part cannot cope with the query loads (paper: "F-Part
+        # cannot handle the loads ... in all cases" for these settings).
+        heavy = query_loads[-1]
+        assert math.isinf(series[heavy][Scheme.F_PART])
+        # Response times of surviving schemes rise with λq.
+        light = query_loads[0]
+        assert series[heavy][Scheme.MPR] >= series[light][Scheme.MPR] * 0.9

@@ -1,0 +1,128 @@
+"""Micro-benchmarks of the actual Python kNN solutions.
+
+Not a paper artifact per se, but the empirical counterpart of the
+paper's Section V-A claim that solutions have distinct query/update
+cost profiles — here measured on our real implementations over a
+scaled NY replica.  This is also the measured-mode calibration table
+(the paper's "(tq, Vq, tu, Vu) obtained via a simple empirical study").
+"""
+
+import random
+
+import pytest
+from common import publish
+
+from repro.graph import scaled_replica
+from repro.harness import format_table
+from repro.knn import (
+    DijkstraKNN,
+    GTreeKNN,
+    IERKNN,
+    ToainKNN,
+    VTreeKNN,
+    measure_profile,
+)
+
+NETWORK = scaled_replica("NY", scale=1.0 / 200.0, seed=2)
+RNG = random.Random(13)
+OBJECTS = {i: RNG.randrange(NETWORK.num_nodes) for i in range(300)}
+QUERIES = [RNG.randrange(NETWORK.num_nodes) for _ in range(50)]
+
+SOLUTION_CLASSES = {
+    "Dijkstra": DijkstraKNN,
+    "G-tree": GTreeKNN,
+    "V-tree": VTreeKNN,
+    "TOAIN": ToainKNN,
+    "IER": IERKNN,
+}
+
+_built = {}
+
+
+def get_solution(name):
+    if name not in _built:
+        _built[name] = SOLUTION_CLASSES[name](NETWORK, dict(OBJECTS))
+    return _built[name]
+
+
+@pytest.mark.parametrize("name", list(SOLUTION_CLASSES))
+def test_query_latency(benchmark, name) -> None:
+    solution = get_solution(name)
+    counter = {"i": 0}
+
+    def one_query():
+        q = QUERIES[counter["i"] % len(QUERIES)]
+        counter["i"] += 1
+        return solution.query(q, 10)
+
+    result = benchmark(one_query)
+    assert len(result) == 10
+
+
+@pytest.mark.parametrize("name", list(SOLUTION_CLASSES))
+def test_update_latency(benchmark, name) -> None:
+    solution = get_solution(name)
+    victims = sorted(solution.object_locations())
+    counter = {"i": 0}
+
+    def one_move():
+        object_id = victims[counter["i"] % len(victims)]
+        counter["i"] += 1
+        node = solution.object_locations()[object_id]
+        solution.delete(object_id)
+        solution.insert(object_id, (node + 7) % NETWORK.num_nodes)
+
+    benchmark(one_move)
+
+
+def test_measured_calibration_table(benchmark) -> None:
+    """The measured-mode (tq, tu) table; checks the paper's cost
+    narrative holds for our real implementations, not just the
+    paper-parity presets."""
+    def run():
+        profiles = {}
+        for name in ("Dijkstra", "G-tree", "V-tree", "TOAIN"):
+            solution = SOLUTION_CLASSES[name](NETWORK, dict(OBJECTS))
+            if hasattr(solution, "warm_caches"):
+                solution.warm_caches()  # V-tree's construction-time lists
+            profiles[name] = measure_profile(
+                solution, k=10, num_queries=25, num_updates=25,
+                num_nodes=NETWORK.num_nodes, seed=3,
+            )
+        return profiles
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{p.tq*1e6:,.0f}",
+            f"{p.gamma_q:.2f}",
+            f"{p.tu*1e6:,.1f}",
+            f"{p.gamma_u:.2f}",
+        ]
+        for name, p in profiles.items()
+    ]
+    table = format_table(
+        ["Solution", "tq (us)", "γq", "tu (us)", "γu"],
+        rows,
+        title=(
+            f"Measured calibration on NY replica "
+            f"({NETWORK.num_nodes} nodes, m={len(OBJECTS)}, k=10)"
+        ),
+    )
+    publish("knn_calibration_measured", table)
+
+    # Section II's cost profile, on real code — the update-cost
+    # ordering is structural and reproduces at any scale: Dijkstra
+    # (bucket flip) < G-tree (occurrence path) < TOAIN (truncated
+    # upward registration) < V-tree (border-list maintenance).
+    assert profiles["Dijkstra"].tu < profiles["G-tree"].tu
+    assert profiles["G-tree"].tu < profiles["TOAIN"].tu
+    assert profiles["TOAIN"].tu < profiles["V-tree"].tu
+    # Query-time orderings are regime-dependent: the paper's V-tree
+    # advantage needs million-node networks with sparse objects, which
+    # pure-Python replicas cannot reach — at replica scale Dijkstra's
+    # expansion terminates after a few dozen settled nodes, so we only
+    # pin that every solution answers well under a millisecond here.
+    for name, profile in profiles.items():
+        assert profile.tq < 5e-3, name

@@ -1,0 +1,104 @@
+"""Model-vs-simulation validation (implicit throughout Section V).
+
+The paper's whole mechanism rests on Equations 5 and 7 predicting well
+enough to pick the right configuration.  This bench quantifies that:
+across feasible configurations and several workloads it reports the
+model/simulation agreement for response time, the throughput-bound
+accuracy, and the *regret* of trusting the model's pick (sim Rq of the
+model's choice / sim Rq of the simulated best).
+"""
+
+import math
+import statistics
+
+from common import PAPER_MACHINE, SIM_DURATION, publish
+
+from repro.harness import format_table
+from repro.knn import paper_profile
+from repro.mpr import (
+    Workload,
+    enumerate_configs,
+    max_throughput_closed_form,
+    optimize_response_time,
+    response_time,
+)
+from repro.sim import find_max_throughput, measure_response_time
+
+WORKLOADS = (
+    (15_000.0, 50_000.0),
+    (20_000.0, 10_000.0),
+    (1_250.0, 20_000.0),
+)
+
+
+def run_validation():
+    profile = paper_profile("TOAIN", "BJ")
+    rows = []
+    regrets = []
+    ratios = []
+    for lambda_q, lambda_u in WORKLOADS:
+        workload = Workload(lambda_q, lambda_u)
+        simulated: dict = {}
+        for config in enumerate_configs(19, max_layers=5):
+            measurement = measure_response_time(
+                config, profile, PAPER_MACHINE, lambda_q, lambda_u,
+                duration=SIM_DURATION, seed=11,
+            )
+            sim = (
+                math.inf if measurement.overloaded
+                else measurement.mean_response_time
+            )
+            model = response_time(config, workload, profile, PAPER_MACHINE)
+            simulated[config] = sim
+            if math.isfinite(sim) and math.isfinite(model):
+                ratios.append(model / sim)
+        pick = optimize_response_time(
+            workload, profile, PAPER_MACHINE, max_layers=5
+        ).config
+        sim_best_config = min(simulated, key=lambda c: simulated[c])
+        sim_best = simulated[sim_best_config]
+        regret = simulated[pick] / sim_best if math.isfinite(sim_best) else 1.0
+        regrets.append(regret)
+
+        throughput_model = max_throughput_closed_form(
+            pick, lambda_u, profile, PAPER_MACHINE, 0.1
+        )
+        throughput_sim = find_max_throughput(
+            pick, profile, PAPER_MACHINE, lambda_u, rq_bound=0.1,
+            duration=0.3, initial_lambda_q=100.0,
+        )
+        rows.append(
+            [
+                f"({lambda_q:,.0f}, {lambda_u:,.0f})",
+                str(pick), str(sim_best_config),
+                f"{regret:.2f}",
+                f"{throughput_model:,.0f}",
+                f"{throughput_sim:,.0f}",
+            ]
+        )
+    return rows, ratios, regrets
+
+
+def test_model_validation(benchmark) -> None:
+    rows, ratios, regrets = benchmark.pedantic(
+        run_validation, rounds=1, iterations=1
+    )
+    table = format_table(
+        [
+            "(λq, λu)", "model pick", "sim best", "regret",
+            "G(x) model", "G(x) sim",
+        ],
+        rows,
+        title="Model validation: Eq.5/Eq.7 vs discrete-event simulation",
+    )
+    summary = (
+        f"\nmedian model/sim Rq ratio: {statistics.median(ratios):.2f}"
+        f"\nmax regret of model pick:  {max(regrets):.2f}"
+    )
+    publish("model_validation", table + summary)
+
+    # The model is within 2x of the simulation for feasible configs...
+    assert 0.5 <= statistics.median(ratios) <= 2.0
+    # ...and trusting the model's pick costs at most 50% over the true
+    # optimum across these workloads (paper: the pick is the optimum).
+    assert max(regrets) <= 1.5

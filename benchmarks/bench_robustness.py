@@ -1,0 +1,83 @@
+"""Extension bench: robustness of the schemes to core-level faults.
+
+Not a paper artifact — an ablation DESIGN.md motivates: the
+replication/partitioning trade-off also governs *fault tolerance to
+slow cores*.  Under F-Part every query touches every column, so a
+single degraded core taxes 100% of queries; under F-Rep/row-based MPR
+only the queries routed to the afflicted row suffer.
+
+Two experiments on the case-study workload at reduced load:
+
+* a permanently slow core (heterogeneous machine);
+* a transient straggler (5x slowdown for a third of the run).
+"""
+
+import math
+
+from common import PAPER_MACHINE, publish
+
+from repro.harness import format_table
+from repro.knn import paper_profile
+from repro.mpr import MPRConfig
+from repro.sim import SimulatedMPRSystem, summarize, synthetic_stream
+
+PROFILE = paper_profile("TOAIN", "BJ")
+LAMBDA_Q, LAMBDA_U = 8_000.0, 10_000.0
+DURATION = 3.0
+
+LAYOUTS = {
+    "partition-heavy (5x3)": MPRConfig(5, 3, 1),
+    "balanced (3x5)": MPRConfig(3, 5, 1),
+    "replica-heavy (1x15)": MPRConfig(1, 15, 1),
+}
+
+
+def measure(config: MPRConfig, **kwargs) -> float:
+    tasks = synthetic_stream(LAMBDA_Q, LAMBDA_U, DURATION, seed=12)
+    system = SimulatedMPRSystem(config, PROFILE, PAPER_MACHINE, seed=3, **kwargs)
+    measurement = summarize(system.run(tasks, horizon=DURATION),
+                            warmup=DURATION * 0.2)
+    return (
+        math.inf if measurement.overloaded else measurement.mean_response_time
+    )
+
+
+def run_robustness():
+    results = {}
+    for label, config in LAYOUTS.items():
+        healthy = measure(config)
+        slow_core = measure(config, speed_factors={(0, 0, 0): 0.4})
+        straggle = measure(
+            config, straggler=((0, 0, 0), 0.9, 1.23, 5.0)
+        )
+        results[label] = (healthy, slow_core, straggle)
+    return results
+
+
+def test_robustness_to_degraded_cores(benchmark) -> None:
+    results = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
+
+    def fmt(value: float) -> str:
+        return "Overload" if math.isinf(value) else f"{value*1e6:,.0f}"
+
+    rows = [
+        [label, fmt(healthy), fmt(slow), fmt(straggle)]
+        for label, (healthy, slow, straggle) in results.items()
+    ]
+    table = format_table(
+        ["layout", "healthy Rq (us)", "1 slow core", "transient straggler"],
+        rows,
+        title="Robustness: degraded cores vs matrix layout (TOAIN, 19 cores)",
+    )
+    publish("robustness_degraded_cores", table)
+
+    # Replica-heavy layouts dilute the damage of one bad core relative
+    # to partition-heavy layouts (every query touches every column).
+    part_h, part_slow, _ = results["partition-heavy (5x3)"]
+    repl_h, repl_slow, _ = results["replica-heavy (1x15)"]
+    if all(map(math.isfinite, (part_h, part_slow, repl_h, repl_slow))):
+        assert repl_slow / repl_h < part_slow / part_h
+    # Transient stragglers hurt but never overload a healthy layout.
+    for label, (healthy, _, straggle) in results.items():
+        if math.isfinite(healthy):
+            assert math.isfinite(straggle), label

@@ -1,0 +1,47 @@
+"""Table I — road networks.
+
+Regenerates the paper's dataset table with our scaled synthetic
+replicas next to the paper's real network sizes, and benchmarks
+replica generation.
+"""
+
+from common import publish
+
+from repro.graph import DEFAULT_SCALE, TABLE1_NETWORKS, scaled_replica
+from repro.harness import format_table
+
+
+def build_table(scale: float = DEFAULT_SCALE) -> str:
+    rows = []
+    for symbol, spec in TABLE1_NETWORKS.items():
+        replica = scaled_replica(symbol, scale=scale)
+        rows.append(
+            [
+                symbol,
+                spec.description,
+                f"{spec.paper_edges:,}",
+                f"{spec.paper_nodes:,}",
+                f"{replica.num_edges:,}",
+                f"{replica.num_nodes:,}",
+                f"{replica.num_edges / replica.num_nodes:.2f}",
+                spec.extra or "-",
+            ]
+        )
+    return format_table(
+        [
+            "Symbol", "Network", "#Edges(paper)", "#Nodes(paper)",
+            "#Edges(replica)", "#Nodes(replica)", "E/N", "Additional data",
+        ],
+        rows,
+        title=f"Table I: road networks (replicas at scale {scale:g})",
+    )
+
+
+def test_table1_networks(benchmark) -> None:
+    table = benchmark(build_table, 1.0 / 400.0)
+    publish("table1_networks", table)
+    # The replica sizes must preserve the paper's ordering.
+    sizes = {}
+    for symbol in TABLE1_NETWORKS:
+        sizes[symbol] = scaled_replica(symbol, scale=1.0 / 400.0).num_nodes
+    assert sizes["NY"] < sizes["NW"] < sizes["BJ"] < sizes["USA(E)"] < sizes["USA(W)"]

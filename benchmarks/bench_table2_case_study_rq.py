@@ -1,0 +1,90 @@
+"""Table II — case-study query response time.
+
+BJ-RU, m = 10K, k = 10, λq = 15,000/s, λu = 50,000/s, TOAIN, 19 cores.
+Paper rows: single-core TOAIN Overload; F-Rep Overload; F-Part
+Overload; 1MPR 973 μs with (3,5,1); MPR 385 μs with (1,3,4).
+"""
+
+import math
+
+from common import PAPER_MACHINE, SIM_DURATION, publish
+
+from repro.harness import format_table
+from repro.knn import paper_profile
+from repro.mpr import (
+    MachineSpec,
+    MPRConfig,
+    Scheme,
+    Workload,
+    configure_all_schemes,
+)
+from repro.sim import measure_response_time
+from repro.workload import CASE_STUDY
+
+PROFILE = paper_profile("TOAIN", CASE_STUDY.network_symbol)
+WORKLOAD = Workload(CASE_STUDY.lambda_q, CASE_STUDY.lambda_u)
+
+
+def run_case_study() -> list[list[object]]:
+    rows: list[list[object]] = []
+
+    # Single-core TOAIN row: one worker, the stream hits it directly.
+    single = measure_response_time(
+        MPRConfig(1, 1, 1),
+        PROFILE,
+        MachineSpec(total_cores=2, queue_write_time=0.0, merge_time=0.0),
+        WORKLOAD.lambda_q, WORKLOAD.lambda_u,
+        duration=SIM_DURATION, seed=0,
+    )
+    rows.append(["TOAIN", single.display, "-", "-", "-", "-", "-", "-", 1])
+
+    choices = configure_all_schemes(WORKLOAD, PROFILE, PAPER_MACHINE)
+    for scheme in (Scheme.F_REP, Scheme.F_PART, Scheme.ONE_MPR, Scheme.MPR):
+        choice = choices[scheme]
+        config = choice.config
+        measurement = measure_response_time(
+            config, PROFILE, PAPER_MACHINE,
+            WORKLOAD.lambda_q, WORKLOAD.lambda_u,
+            duration=SIM_DURATION, seed=0,
+        )
+        rows.append(
+            [
+                f"{scheme.value}(TOAIN)",
+                "Overload" if measurement.overloaded else measurement.display,
+                config.x, config.y, config.z,
+                config.dispatcher_cores, config.scheduler_cores,
+                config.aggregator_cores, config.total_cores,
+            ]
+        )
+    return rows
+
+
+def test_table2_case_study_rq(benchmark) -> None:
+    rows = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "Scheme", "Rq", "x", "y", "z",
+            "#disp", "#sched", "#aggr", "#cores",
+        ],
+        rows,
+        title=(
+            "Table II: query response time, BJ-RU case study "
+            "(paper: Overload/Overload/Overload/973us/385us)"
+        ),
+    )
+    publish("table2_case_study_rq", table)
+
+    by_scheme = {row[0]: row[1] for row in rows}
+    assert by_scheme["TOAIN"] == "Overload"
+    assert by_scheme["F-Rep(TOAIN)"] == "Overload"
+    assert by_scheme["F-Part(TOAIN)"] == "Overload"
+    one_mpr = _parse_us(by_scheme["1MPR(TOAIN)"])
+    mpr = _parse_us(by_scheme["MPR(TOAIN)"])
+    assert math.isfinite(one_mpr) and math.isfinite(mpr)
+    assert mpr < one_mpr  # MPR beats 1MPR, as in the paper (385 < 973)
+
+
+def _parse_us(display: str) -> float:
+    if display == "Overload":
+        return math.inf
+    return float(display.replace(",", "").replace(" us", ""))

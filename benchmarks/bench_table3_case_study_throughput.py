@@ -1,0 +1,80 @@
+"""Table III — case-study maximum throughput.
+
+Same scenario as Table II with Rq* = 100 ms.  Paper rows: TOAIN
+single-core 8,791; F-Rep 0; F-Part 157; 1MPR 35,131 with (2,8,1);
+MPR 37,640 with (1,8,2).
+"""
+
+from common import PAPER_MACHINE, RQ_BOUND, SEARCH_DURATION, publish
+
+from repro.harness import format_table
+from repro.knn import paper_profile
+from repro.mpr import (
+    MachineSpec,
+    MPRConfig,
+    Objective,
+    Scheme,
+    Workload,
+    configure_all_schemes,
+)
+from repro.sim import find_max_throughput
+from repro.workload import CASE_STUDY
+
+PROFILE = paper_profile("TOAIN", CASE_STUDY.network_symbol)
+LAMBDA_U = float(CASE_STUDY.lambda_u)
+
+
+def run_case_study() -> list[list[object]]:
+    rows: list[list[object]] = []
+
+    single_machine = MachineSpec(
+        total_cores=2, queue_write_time=0.0, merge_time=0.0
+    )
+    single = find_max_throughput(
+        MPRConfig(1, 1, 1), PROFILE, single_machine, LAMBDA_U,
+        rq_bound=RQ_BOUND, duration=SEARCH_DURATION, initial_lambda_q=100.0,
+    )
+    rows.append(["TOAIN", round(single), "-", "-", "-", "-", "-", "-", 1])
+
+    choices = configure_all_schemes(
+        Workload(0.0, LAMBDA_U), PROFILE, PAPER_MACHINE,
+        objective=Objective.THROUGHPUT, rq_bound=RQ_BOUND,
+    )
+    for scheme in (Scheme.F_REP, Scheme.F_PART, Scheme.ONE_MPR, Scheme.MPR):
+        config = choices[scheme].config
+        throughput = find_max_throughput(
+            config, PROFILE, PAPER_MACHINE, LAMBDA_U,
+            rq_bound=RQ_BOUND, duration=SEARCH_DURATION,
+            initial_lambda_q=100.0,
+        )
+        rows.append(
+            [
+                f"{scheme.value}(TOAIN)", round(throughput),
+                config.x, config.y, config.z,
+                config.dispatcher_cores, config.scheduler_cores,
+                config.aggregator_cores, config.total_cores,
+            ]
+        )
+    return rows
+
+
+def test_table3_case_study_throughput(benchmark) -> None:
+    rows = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "Scheme", "max λq (q/s)", "x", "y", "z",
+            "#disp", "#sched", "#aggr", "#cores",
+        ],
+        rows,
+        title=(
+            "Table III: maximum throughput, BJ-RU case study, Rq*=100ms "
+            "(paper: 8,791 / 0 / 157 / 35,131 / 37,640)"
+        ),
+    )
+    publish("table3_case_study_throughput", table)
+
+    throughput = {row[0]: row[1] for row in rows}
+    assert throughput["F-Rep(TOAIN)"] < 200          # paper: 0
+    assert throughput["F-Part(TOAIN)"] < throughput["1MPR(TOAIN)"]
+    assert throughput["1MPR(TOAIN)"] > 3 * throughput["TOAIN"]
+    assert throughput["MPR(TOAIN)"] >= 0.95 * throughput["1MPR(TOAIN)"]

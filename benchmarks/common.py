@@ -1,0 +1,44 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench regenerates one of the paper's tables or figures.  Output
+goes both to stdout (visible with ``pytest -s`` or on failure) and to
+``benchmarks/results/<name>.txt`` so a plain ``pytest benchmarks/
+--benchmark-only`` run leaves the full set of reproduced artifacts on
+disk.  EXPERIMENTS.md indexes those files against the paper's numbers.
+
+All benches run in *paper-parity* mode by default: arrival rates are
+the paper's real numbers and service times come from
+:func:`repro.knn.calibration.paper_profile`, with the simulated
+19-core machine of :class:`repro.mpr.MachineSpec`.  The kNN-layer
+benches (bench_knn_microbench, bench_motivation) instead measure our
+actual Python implementations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.mpr import MachineSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper's machine: "two 10-core Intel Xeon E5-2600 v3 [...].
+#: We use 19 cores in our experiments."
+PAPER_MACHINE = MachineSpec(total_cores=19)
+
+#: Default simulated run length (the paper uses 200 s; shapes converge
+#: far sooner and pure-Python sweeps need to stay snappy).
+SIM_DURATION = 1.0
+#: Shorter runs for inner loops of throughput searches.
+SEARCH_DURATION = 0.3
+
+#: Response-time bound Rq* for throughput experiments (Section V-B).
+RQ_BOUND = 0.1
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,7 @@
+"""Pytest wiring for the bench tree (adds benchmarks/ to sys.path so
+bench modules can import the shared `common` helpers)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,114 @@
+"""Capacity planning with the MPR analytical models.
+
+The flip side of the paper's optimization: instead of asking "what is
+the best configuration for my machine?", an operator asks "how many
+cores do I need to meet my SLA?".  Equations 5 and 7 answer both.
+
+Given a target workload and a response-time SLA, this example sweeps
+machine sizes, reports the smallest machine that satisfies the SLA,
+the configuration MPR would use on it, and the headroom (max
+throughput at that size) — for each of the three kNN solutions, so the
+operator can also see how the choice of solution changes the hardware
+bill.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import math
+
+from repro.harness import format_table
+from repro.knn import paper_profile
+from repro.mpr import (
+    MachineSpec,
+    Workload,
+    optimize_response_time,
+    optimize_throughput,
+)
+
+#: The SLA: mean query response under 1 ms.
+SLA_SECONDS = 1e-3
+#: Target workload: a mid-size city service.
+LAMBDA_Q, LAMBDA_U = 8_000.0, 25_000.0
+CORE_CHOICES = tuple(range(4, 41, 2))
+
+
+def plan(solution: str) -> tuple[int | None, str, float, float]:
+    """Smallest machine meeting the SLA for a solution.
+
+    Returns (cores, config description, predicted Rq, max throughput).
+    """
+    profile = paper_profile(solution, "BJ")
+    workload = Workload(LAMBDA_Q, LAMBDA_U)
+    for cores in CORE_CHOICES:
+        machine = MachineSpec(total_cores=cores)
+        result = optimize_response_time(workload, profile, machine, max_layers=5)
+        if result.objective_value <= SLA_SECONDS:
+            throughput = optimize_throughput(
+                LAMBDA_U, profile, machine, rq_bound=SLA_SECONDS, max_layers=5
+            ).objective_value
+            config = result.config
+            return (
+                cores,
+                f"({config.x},{config.y},{config.z})",
+                result.objective_value,
+                throughput,
+            )
+    return None, "-", math.inf, 0.0
+
+
+def main() -> None:
+    print(
+        f"SLA: mean Rq <= {SLA_SECONDS*1e3:.0f} ms at "
+        f"λq={LAMBDA_Q:,.0f}/s, λu={LAMBDA_U:,.0f}/s\n"
+    )
+    rows = []
+    for solution in ("Dijkstra", "V-tree", "TOAIN"):
+        cores, config, rq, throughput = plan(solution)
+        rows.append(
+            [
+                solution,
+                cores if cores is not None else "not within 40",
+                config,
+                "-" if math.isinf(rq) else f"{rq*1e6:,.0f}",
+                f"{throughput:,.0f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "solution", "cores needed", "MPR config",
+                "predicted Rq (us)", "max λq at SLA (q/s)",
+            ],
+            rows,
+            title="Smallest machine satisfying the SLA, per kNN solution",
+        )
+    )
+
+    # Show the scaling curve for one solution: SLA Rq vs core count.
+    profile = paper_profile("TOAIN", "BJ")
+    workload = Workload(LAMBDA_Q, LAMBDA_U)
+    curve = []
+    for cores in (6, 8, 12, 16, 20, 28, 40):
+        result = optimize_response_time(
+            workload, profile, MachineSpec(total_cores=cores), max_layers=5
+        )
+        curve.append(
+            [
+                cores,
+                "Overload" if math.isinf(result.objective_value)
+                else f"{result.objective_value*1e6:,.0f}",
+                f"({result.config.x},{result.config.y},{result.config.z})",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["cores", "predicted Rq (us)", "MPR config"],
+            curve,
+            title="TOAIN: predicted response time vs machine size",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Gives the headline experiments and utilities a no-pytest entry point:
+
+* ``case-study``      — Tables II & III (paper-parity simulation)
+* ``configs``         — Figure 4's configuration sweep
+* ``networks``        — Table I replica sizes + realism metrics
+* ``profile``         — measure (tq, Vq, tu, Vu) of a solution on a replica
+* ``plan``            — pick an MPR configuration for a given workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from .graph import scaled_replica
+from .graph.metrics import compute_metrics
+from .harness import format_table
+from .knn import SOLUTIONS, measure_profile, paper_profile
+from .mpr import (
+    MachineSpec,
+    Objective,
+    Scheme,
+    Workload,
+    configure_scheme,
+    enumerate_configs,
+    response_time,
+)
+from .workload import CASE_STUDY
+
+
+def _case_study(args: argparse.Namespace) -> int:
+    from .mpr import compare_schemes_response_time, compare_schemes_throughput
+
+    profile = paper_profile("TOAIN", "BJ")
+    machine = MachineSpec(total_cores=args.cores)
+    workload = Workload(CASE_STUDY.lambda_q, CASE_STUDY.lambda_u)
+    rt_records = compare_schemes_response_time(
+        workload, profile, machine,
+        scenario=CASE_STUDY.label, experiment="cli-case-study",
+        duration=args.duration,
+    )
+    tp_records = compare_schemes_throughput(
+        workload.lambda_u, profile, machine,
+        scenario=CASE_STUDY.label, experiment="cli-case-study",
+        duration=args.duration / 2,
+    )
+    throughput_by_scheme = {r.scheme: r.value for r in tp_records}
+    rows = []
+    for record in rt_records:
+        config = record.config
+        rows.append(
+            [
+                record.scheme,
+                f"({config.x},{config.y},{config.z})",
+                "Overload" if record.overloaded
+                else f"{record.value * 1e6:,.0f} us",
+                f"{throughput_by_scheme[record.scheme]:,.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "(x,y,z)", "Rq", "max throughput (q/s)"],
+            rows,
+            title=(
+                f"Case study (BJ-RU, λq={CASE_STUDY.lambda_q:,.0f}, "
+                f"λu={CASE_STUDY.lambda_u:,.0f}, {args.cores} cores)"
+            ),
+        )
+    )
+    if args.json:
+        from .harness import save_records
+
+        save_records(rt_records + tp_records, args.json)
+        print(f"records written to {args.json}")
+    return 0
+
+
+def _frontier(args: argparse.Namespace) -> int:
+    from .mpr import Scheme, configure_scheme, feasible_frontier
+
+    profile = paper_profile(args.solution, args.network)
+    machine = MachineSpec(total_cores=args.cores)
+    choice = configure_scheme(
+        Scheme.MPR, Workload(args.lambda_q, args.lambda_u), profile, machine
+    )
+    points = feasible_frontier(
+        choice.config, profile, machine, rq_bound=args.rq_bound,
+        num_points=args.points,
+    )
+    rows = [
+        [f"{lq:,.0f}", f"{lu:,.0f}"] for lq, lu in points
+    ]
+    print(
+        format_table(
+            ["λq (q/s)", "max λu (u/s)"],
+            rows,
+            title=(
+                f"Feasibility frontier of {choice.config} under "
+                f"Rq* = {args.rq_bound*1e3:g} ms"
+            ),
+        )
+    )
+    return 0
+
+
+def _configs(args: argparse.Namespace) -> int:
+    profile = paper_profile("TOAIN", "BJ")
+    machine = MachineSpec(total_cores=args.cores)
+    workload = Workload(args.lambda_q, args.lambda_u)
+    rows = []
+    for config in enumerate_configs(args.cores, max_layers=5):
+        predicted = response_time(config, workload, profile, machine)
+        rows.append(
+            [
+                config.z, config.x, config.y, config.total_cores,
+                "Overload" if math.isinf(predicted) else f"{predicted*1e6:,.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["z", "x", "y", "cores", "model Rq (us)"],
+            rows,
+            title=f"MPR configuration space on {args.cores} cores",
+        )
+    )
+    return 0
+
+
+def _networks(args: argparse.Namespace) -> int:
+    rows = []
+    for symbol in ("NY", "NW", "BJ", "USA(E)", "USA(W)"):
+        network = scaled_replica(symbol, scale=1.0 / args.inverse_scale)
+        metrics = compute_metrics(network)
+        rows.append(
+            [
+                symbol, metrics.num_nodes, metrics.num_edges,
+                f"{metrics.average_degree:.2f}",
+                f"{metrics.cut_fraction_4way:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["network", "nodes", "edges", "avg degree", "4-way cut fraction"],
+            rows,
+            title=f"Table I replicas at 1/{args.inverse_scale} scale",
+        )
+    )
+    return 0
+
+
+def _profile(args: argparse.Namespace) -> int:
+    import random
+
+    try:
+        solution_cls = SOLUTIONS[args.solution]
+    except KeyError:
+        known = ", ".join(sorted(SOLUTIONS))
+        print(f"unknown solution {args.solution!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    network = scaled_replica(args.network, scale=1.0 / args.inverse_scale)
+    rng = random.Random(args.seed)
+    objects = {
+        i: rng.randrange(network.num_nodes) for i in range(args.objects)
+    }
+    solution = solution_cls(network, objects)
+    if hasattr(solution, "warm_caches"):
+        solution.warm_caches()
+    profile = measure_profile(
+        solution, k=args.k, num_queries=args.samples,
+        num_updates=args.samples, num_nodes=network.num_nodes,
+    )
+    print(
+        format_table(
+            ["solution", "network", "tq (us)", "γq", "tu (us)", "γu"],
+            [[
+                profile.name, network.name,
+                f"{profile.tq*1e6:,.1f}", f"{profile.gamma_q:.2f}",
+                f"{profile.tu*1e6:,.2f}", f"{profile.gamma_u:.2f}",
+            ]],
+            title="Measured algorithm profile",
+        )
+    )
+    return 0
+
+
+def _plan(args: argparse.Namespace) -> int:
+    profile = paper_profile(args.solution, args.network)
+    machine = MachineSpec(total_cores=args.cores)
+    objective = (
+        Objective.THROUGHPUT if args.objective == "throughput"
+        else Objective.RESPONSE_TIME
+    )
+    choice = configure_scheme(
+        Scheme.MPR, Workload(args.lambda_q, args.lambda_u), profile, machine,
+        objective=objective,
+    )
+    config = choice.config
+    unit = "q/s" if objective is Objective.THROUGHPUT else "s"
+    value = (
+        f"{choice.predicted_value:,.0f}" if objective is Objective.THROUGHPUT
+        else (
+            "Overload" if math.isinf(choice.predicted_value)
+            else f"{choice.predicted_value*1e6:,.0f} us"
+        )
+    )
+    print(
+        f"MPR configuration: x={config.x} partitions, y={config.y} "
+        f"replicas, z={config.z} layers "
+        f"(workers={config.worker_cores}, total={config.total_cores} cores)"
+    )
+    print(f"predicted {choice.objective.value}: {value} {unit if objective is Objective.THROUGHPUT else ''}".rstrip())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MPR reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    case = sub.add_parser("case-study", help="Tables II & III")
+    case.add_argument("--cores", type=int, default=19)
+    case.add_argument("--duration", type=float, default=1.0)
+    case.add_argument("--json", help="also write records to this JSON file")
+    case.set_defaults(func=_case_study)
+
+    frontier = sub.add_parser(
+        "frontier", help="(λq, λu) feasibility frontier of the MPR pick"
+    )
+    frontier.add_argument("--solution", default="TOAIN")
+    frontier.add_argument("--network", default="BJ")
+    frontier.add_argument("--cores", type=int, default=19)
+    frontier.add_argument("--lambda-q", type=float, default=10_000.0)
+    frontier.add_argument("--lambda-u", type=float, default=10_000.0)
+    frontier.add_argument("--rq-bound", type=float, default=0.001)
+    frontier.add_argument("--points", type=int, default=7)
+    frontier.set_defaults(func=_frontier)
+
+    configs = sub.add_parser("configs", help="Figure 4 configuration space")
+    configs.add_argument("--cores", type=int, default=19)
+    configs.add_argument("--lambda-q", type=float, default=15_000.0)
+    configs.add_argument("--lambda-u", type=float, default=50_000.0)
+    configs.set_defaults(func=_configs)
+
+    networks = sub.add_parser("networks", help="Table I replicas + metrics")
+    networks.add_argument("--inverse-scale", type=int, default=400)
+    networks.set_defaults(func=_networks)
+
+    profile = sub.add_parser("profile", help="measure a solution's profile")
+    profile.add_argument("solution", choices=sorted(SOLUTIONS))
+    profile.add_argument("--network", default="NY")
+    profile.add_argument("--inverse-scale", type=int, default=400)
+    profile.add_argument("--objects", type=int, default=100)
+    profile.add_argument("--samples", type=int, default=20)
+    profile.add_argument("--k", type=int, default=10)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(func=_profile)
+
+    plan = sub.add_parser("plan", help="pick an MPR configuration")
+    plan.add_argument("--solution", default="TOAIN")
+    plan.add_argument("--network", default="BJ")
+    plan.add_argument("--cores", type=int, default=19)
+    plan.add_argument("--lambda-q", type=float, required=True)
+    plan.add_argument("--lambda-u", type=float, required=True)
+    plan.add_argument(
+        "--objective", choices=("response-time", "throughput"),
+        default="response-time",
+    )
+    plan.set_defaults(func=_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Road-network substrate: graph store, generators, I/O, search, partitioning."""
+
+from .road_network import Edge, RoadNetwork
+from .generators import (
+    DEFAULT_SCALE,
+    TABLE1_NETWORKS,
+    NetworkSpec,
+    generate_pois,
+    grid_network,
+    random_geometric_network,
+    ring_radial_network,
+    scaled_replica,
+)
+from .io import FormatError, load_dimacs, load_edge_list, save_dimacs
+from .metrics import (
+    NetworkMetrics,
+    compute_metrics,
+    cut_fraction,
+    degree_histogram,
+    estimate_diameter,
+)
+from .partition import border_nodes, cut_edges, part_sizes, partition_graph
+from .routing import Route, detour_factor, route_length, routes_to_neighbors, shortest_route
+from .spatial import NodeLocator
+from .shortest_path import (
+    INFINITY,
+    astar_distance,
+    dijkstra,
+    dijkstra_expansion,
+    dijkstra_with_paths,
+    multi_source_dijkstra,
+    pairwise_distances,
+    reconstruct_path,
+    shortest_path_distance,
+)
+
+__all__ = [
+    "Edge",
+    "RoadNetwork",
+    "DEFAULT_SCALE",
+    "TABLE1_NETWORKS",
+    "NetworkSpec",
+    "generate_pois",
+    "grid_network",
+    "random_geometric_network",
+    "ring_radial_network",
+    "scaled_replica",
+    "FormatError",
+    "load_dimacs",
+    "load_edge_list",
+    "save_dimacs",
+    "NetworkMetrics",
+    "compute_metrics",
+    "cut_fraction",
+    "degree_histogram",
+    "estimate_diameter",
+    "Route",
+    "detour_factor",
+    "route_length",
+    "routes_to_neighbors",
+    "shortest_route",
+    "NodeLocator",
+    "border_nodes",
+    "cut_edges",
+    "part_sizes",
+    "partition_graph",
+    "INFINITY",
+    "astar_distance",
+    "dijkstra",
+    "dijkstra_expansion",
+    "dijkstra_with_paths",
+    "multi_source_dijkstra",
+    "pairwise_distances",
+    "reconstruct_path",
+    "shortest_path_distance",
+]

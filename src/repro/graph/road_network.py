@@ -1,0 +1,267 @@
+"""Road-network graph store.
+
+A road network is modelled, exactly as in the paper, as an undirected
+weighted graph whose nodes are road junctions and whose edges are road
+segments.  The class below is the substrate shared by every kNN solution
+in :mod:`repro.knn` — the paper notes (end of Section III) that the road
+network index is *shared* by all cores while only the object set is
+partitioned, so a single immutable :class:`RoadNetwork` instance backs
+every worker in the MPR machinery.
+
+The adjacency is stored in CSR (compressed sparse row) form using plain
+Python lists of primitives, which keeps Dijkstra inner loops cheap and
+the memory footprint predictable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single undirected road segment."""
+
+    u: int
+    v: int
+    weight: float
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.u, self.v)
+
+
+class RoadNetwork:
+    """An immutable undirected weighted graph in CSR form.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of junctions; nodes are the integers ``0 .. num_nodes-1``.
+    edges:
+        Iterable of ``(u, v, weight)`` triples.  Parallel edges are
+        collapsed to the minimum weight; self loops are rejected.
+    coordinates:
+        Optional ``(x, y)`` pair per node (used by IER's Euclidean lower
+        bounds and by the generators).  When omitted, all coordinates
+        default to ``(0.0, 0.0)``.
+    name:
+        Human-readable label (e.g. ``"BJ"``), carried into reports.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int, float]],
+        coordinates: Sequence[tuple[float, float]] | None = None,
+        name: str = "road-network",
+    ) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._num_nodes = num_nodes
+        self._name = name
+
+        best: dict[tuple[int, int], float] = {}
+        for u, v, w in edges:
+            self._check_endpoint(u)
+            self._check_endpoint(v)
+            if u == v:
+                raise ValueError(f"self loop on node {u} is not allowed")
+            if w <= 0:
+                raise ValueError(f"edge ({u}, {v}) has non-positive weight {w}")
+            key = (u, v) if u < v else (v, u)
+            prior = best.get(key)
+            if prior is None or w < prior:
+                best[key] = float(w)
+
+        degree = [0] * num_nodes
+        for (u, v) in best:
+            degree[u] += 1
+            degree[v] += 1
+
+        offsets = [0] * (num_nodes + 1)
+        for node in range(num_nodes):
+            offsets[node + 1] = offsets[node] + degree[node]
+        targets = [0] * (2 * len(best))
+        weights = [0.0] * (2 * len(best))
+        cursor = offsets[:-1].copy()
+        for (u, v), w in best.items():
+            targets[cursor[u]] = v
+            weights[cursor[u]] = w
+            cursor[u] += 1
+            targets[cursor[v]] = u
+            weights[cursor[v]] = w
+            cursor[v] += 1
+
+        self._offsets = offsets
+        self._targets = targets
+        self._weights = weights
+        self._edge_set = best
+
+        if coordinates is None:
+            self._coordinates: list[tuple[float, float]] = [(0.0, 0.0)] * num_nodes
+        else:
+            coords = [(float(x), float(y)) for x, y in coordinates]
+            if len(coords) != num_nodes:
+                raise ValueError(
+                    f"expected {num_nodes} coordinate pairs, got {len(coords)}"
+                )
+            self._coordinates = coords
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each counted once)."""
+        return len(self._edge_set)
+
+    def nodes(self) -> range:
+        return range(self._num_nodes)
+
+    def degree(self, node: int) -> int:
+        self._check_endpoint(node)
+        return self._offsets[node + 1] - self._offsets[node]
+
+    def neighbors(self, node: int) -> Iterator[tuple[int, float]]:
+        """Yield ``(neighbor, weight)`` pairs for ``node``."""
+        self._check_endpoint(node)
+        start, end = self._offsets[node], self._offsets[node + 1]
+        targets, weights = self._targets, self._weights
+        for idx in range(start, end):
+            yield targets[idx], weights[idx]
+
+    def neighbor_slices(self, node: int) -> tuple[list[int], list[float]]:
+        """Return the raw CSR slices for ``node`` (hot-loop friendly)."""
+        start, end = self._offsets[node], self._offsets[node + 1]
+        return self._targets[start:end], self._weights[start:end]
+
+    @property
+    def csr(self) -> tuple[list[int], list[int], list[float]]:
+        """The raw ``(offsets, targets, weights)`` arrays, shared not copied.
+
+        Exposed for the shortest-path engines, whose inner loops index the
+        arrays directly rather than paying generator overhead.
+        """
+        return self._offsets, self._targets, self._weights
+
+    def edges(self) -> Iterator[Edge]:
+        for (u, v), w in self._edge_set.items():
+            yield Edge(u, v, w)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_set
+
+    def edge_weight(self, u: int, v: int) -> float:
+        key = (u, v) if u < v else (v, u)
+        try:
+            return self._edge_set[key]
+        except KeyError:
+            raise KeyError(f"no edge between {u} and {v}") from None
+
+    def coordinate(self, node: int) -> tuple[float, float]:
+        self._check_endpoint(node)
+        return self._coordinates[node]
+
+    @property
+    def coordinates(self) -> list[tuple[float, float]]:
+        return list(self._coordinates)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as lists of nodes (BFS, iterative)."""
+        seen = [False] * self._num_nodes
+        components: list[list[int]] = []
+        offsets, targets = self._offsets, self._targets
+        for root in range(self._num_nodes):
+            if seen[root]:
+                continue
+            seen[root] = True
+            component = [root]
+            frontier = [root]
+            while frontier:
+                node = frontier.pop()
+                for idx in range(offsets[node], offsets[node + 1]):
+                    nxt = targets[idx]
+                    if not seen[nxt]:
+                        seen[nxt] = True
+                        component.append(nxt)
+                        frontier.append(nxt)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        if self._num_nodes <= 1:
+            return True
+        return len(self.connected_components()) == 1
+
+    def largest_component_subgraph(self) -> "RoadNetwork":
+        """Return the subgraph induced by the largest connected component.
+
+        Node ids are compacted to ``0 .. len(component)-1``; the mapping is
+        deterministic (sorted by original id).
+        """
+        components = self.connected_components()
+        if not components:
+            return RoadNetwork(0, [], name=self._name)
+        largest = sorted(max(components, key=len))
+        return self.induced_subgraph(largest)
+
+    def induced_subgraph(self, nodes: Sequence[int]) -> "RoadNetwork":
+        """Subgraph induced by ``nodes`` with ids compacted in given order."""
+        remap = {node: idx for idx, node in enumerate(nodes)}
+        if len(remap) != len(nodes):
+            raise ValueError("duplicate nodes in induced_subgraph")
+        sub_edges = []
+        for (u, v), w in self._edge_set.items():
+            iu, iv = remap.get(u), remap.get(v)
+            if iu is not None and iv is not None:
+                sub_edges.append((iu, iv, w))
+        coords = [self._coordinates[node] for node in nodes]
+        return RoadNetwork(len(nodes), sub_edges, coordinates=coords, name=self._name)
+
+    def average_degree(self) -> float:
+        if self._num_nodes == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self._num_nodes
+
+    def total_weight(self) -> float:
+        return sum(self._edge_set.values())
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoadNetwork(name={self._name!r}, nodes={self._num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoadNetwork):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and self._edge_set == other._edge_set
+            and self._coordinates == other._coordinates
+        )
+
+    def __hash__(self) -> int:  # frozen enough for dict keys by identity
+        return id(self)
+
+    def _check_endpoint(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise IndexError(
+                f"node {node} out of range for graph with {self._num_nodes} nodes"
+            )

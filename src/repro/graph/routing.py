@@ -1,0 +1,89 @@
+"""Route extraction: full paths, not just distances.
+
+After an MPR query finds the nearest taxi, the dispatcher needs the
+actual route to the rider.  These helpers wrap the shortest-path
+engines into a route-centric API with validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .road_network import RoadNetwork
+from .shortest_path import dijkstra_with_paths, reconstruct_path
+
+
+@dataclass(frozen=True)
+class Route:
+    """A concrete route: node sequence plus total network distance."""
+
+    nodes: tuple[int, ...]
+    distance: float
+
+    @property
+    def num_segments(self) -> int:
+        return max(len(self.nodes) - 1, 0)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+def shortest_route(network: RoadNetwork, source: int, target: int) -> Route | None:
+    """The shortest route from ``source`` to ``target``.
+
+    Returns ``None`` when unreachable.  For one-off point-to-point
+    distances without the path, prefer
+    :func:`repro.graph.shortest_path.shortest_path_distance` (cheaper).
+    """
+    distances, parents = dijkstra_with_paths(network, source)
+    if target not in distances:
+        return None
+    nodes = tuple(reconstruct_path(parents, source, target))
+    return Route(nodes=nodes, distance=distances[target])
+
+
+def route_length(network: RoadNetwork, nodes: tuple[int, ...] | list[int]) -> float:
+    """Total weight along a node sequence.
+
+    Raises ``KeyError`` if consecutive nodes are not adjacent — used to
+    validate externally supplied routes.
+    """
+    total = 0.0
+    for a, b in zip(nodes, list(nodes)[1:]):
+        total += network.edge_weight(a, b)
+    return total
+
+
+def routes_to_neighbors(
+    network: RoadNetwork, source: int, targets: list[int]
+) -> dict[int, Route]:
+    """Routes from ``source`` to several targets with one search.
+
+    The dispatch pattern: one rider, k candidate taxis — a single
+    Dijkstra serves all k routes.  Unreachable targets are omitted.
+    """
+    distances, parents = dijkstra_with_paths(network, source)
+    routes: dict[int, Route] = {}
+    for target in targets:
+        if target not in distances:
+            continue
+        nodes = tuple(reconstruct_path(parents, source, target))
+        routes[target] = Route(nodes=nodes, distance=distances[target])
+    return routes
+
+
+def detour_factor(network: RoadNetwork, route: Route) -> float:
+    """Route length over straight-line distance (route quality metric).
+
+    Returns ``inf`` for zero straight-line distance with positive route
+    length, 1.0 for empty/degenerate routes.
+    """
+    if route.num_segments == 0:
+        return 1.0
+    ax, ay = network.coordinate(route.nodes[0])
+    bx, by = network.coordinate(route.nodes[-1])
+    straight = math.hypot(ax - bx, ay - by)
+    if straight == 0:
+        return math.inf if route.distance > 0 else 1.0
+    return route.distance / straight

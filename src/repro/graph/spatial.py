@@ -1,0 +1,146 @@
+"""Spatial node lookup: snapping coordinates onto the road network.
+
+The paper places queries and objects *at* network nodes; a deployed
+service receives GPS fixes that must first be snapped to the nearest
+junction (map matching's simplest form).  :class:`NodeLocator` provides
+that with a numpy-backed uniform grid: build once per network, then
+``nearest_node`` / ``nodes_within`` in microseconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .road_network import RoadNetwork
+
+
+class NodeLocator:
+    """Uniform-grid nearest-node index over network coordinates.
+
+    Parameters
+    ----------
+    network:
+        The road network (must have meaningful coordinates).
+    target_per_cell:
+        Average number of nodes per grid cell (sizing heuristic).
+    """
+
+    def __init__(self, network: RoadNetwork, target_per_cell: float = 4.0) -> None:
+        if network.num_nodes == 0:
+            raise ValueError("cannot index an empty network")
+        if target_per_cell <= 0:
+            raise ValueError("target_per_cell must be positive")
+        self._network = network
+        coords = np.asarray(network.coordinates, dtype=np.float64)
+        self._xs = coords[:, 0]
+        self._ys = coords[:, 1]
+        self._min_x = float(self._xs.min())
+        self._min_y = float(self._ys.min())
+        span_x = float(self._xs.max()) - self._min_x
+        span_y = float(self._ys.max()) - self._min_y
+        span = max(span_x, span_y, 1e-9)
+        cells_per_axis = max(
+            int(math.sqrt(network.num_nodes / target_per_cell)), 1
+        )
+        self._cell_size = span / cells_per_axis
+        self._grid: dict[tuple[int, int], np.ndarray] = {}
+        cx = ((self._xs - self._min_x) / self._cell_size).astype(np.int64)
+        cy = ((self._ys - self._min_y) / self._cell_size).astype(np.int64)
+        order = np.lexsort((cy, cx))
+        keys = np.stack([cx[order], cy[order]], axis=1)
+        boundaries = np.nonzero(np.any(np.diff(keys, axis=0) != 0, axis=1))[0] + 1
+        for bucket in np.split(order, boundaries):
+            key = (int(cx[bucket[0]]), int(cy[bucket[0]]))
+            self._grid[key] = bucket
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest_node(self, x: float, y: float) -> tuple[int, float]:
+        """The node closest to ``(x, y)`` and its Euclidean distance.
+
+        Grid-ring search: expand rings of cells until a candidate is
+        found, then one extra ring to guarantee no closer node hides in
+        a diagonal cell.
+        """
+        cx = int((x - self._min_x) / self._cell_size)
+        cy = int((y - self._min_y) / self._cell_size)
+        best_node = -1
+        best_distance = math.inf
+        ring = 0
+        max_ring = self._max_ring(cx, cy)
+        must_stop_after = None
+        while ring <= max_ring:
+            for key in self._ring_keys(cx, cy, ring):
+                bucket = self._grid.get(key)
+                if bucket is None:
+                    continue
+                dx = self._xs[bucket] - x
+                dy = self._ys[bucket] - y
+                distances = np.hypot(dx, dy)
+                index = int(np.argmin(distances))
+                if float(distances[index]) < best_distance:
+                    best_distance = float(distances[index])
+                    best_node = int(bucket[index])
+            if best_node >= 0 and must_stop_after is None:
+                # One more ring covers diagonal neighbours that may hold
+                # a closer node than the ring where the first hit landed.
+                must_stop_after = ring + 1 + int(
+                    best_distance / self._cell_size
+                )
+            if must_stop_after is not None and ring >= must_stop_after:
+                break
+            ring += 1
+        return best_node, best_distance
+
+    def nodes_within(self, x: float, y: float, radius: float) -> list[int]:
+        """All nodes within Euclidean ``radius`` of ``(x, y)``, sorted
+        by distance (ties by node id)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        lo_cx = int((x - radius - self._min_x) / self._cell_size)
+        hi_cx = int((x + radius - self._min_x) / self._cell_size)
+        lo_cy = int((y - radius - self._min_y) / self._cell_size)
+        hi_cy = int((y + radius - self._min_y) / self._cell_size)
+        found: list[tuple[float, int]] = []
+        for key_x in range(lo_cx, hi_cx + 1):
+            for key_y in range(lo_cy, hi_cy + 1):
+                bucket = self._grid.get((key_x, key_y))
+                if bucket is None:
+                    continue
+                dx = self._xs[bucket] - x
+                dy = self._ys[bucket] - y
+                distances = np.hypot(dx, dy)
+                inside = distances <= radius
+                for node, distance in zip(bucket[inside], distances[inside]):
+                    found.append((float(distance), int(node)))
+        found.sort()
+        return [node for _, node in found]
+
+    def snap_many(self, points: list[tuple[float, float]]) -> list[int]:
+        """Vector convenience: nearest node per point."""
+        return [self.nearest_node(x, y)[0] for x, y in points]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _max_ring(self, cx: int, cy: int) -> int:
+        if not self._grid:
+            return 0
+        return max(
+            max(abs(kx - cx), abs(ky - cy)) for kx, ky in self._grid
+        )
+
+    @staticmethod
+    def _ring_keys(cx: int, cy: int, ring: int):
+        if ring == 0:
+            yield (cx, cy)
+            return
+        for dx in range(-ring, ring + 1):
+            yield (cx + dx, cy - ring)
+            yield (cx + dx, cy + ring)
+        for dy in range(-ring + 1, ring):
+            yield (cx - ring, cy + dy)
+            yield (cx + ring, cy + dy)

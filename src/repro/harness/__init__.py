@@ -1,0 +1,27 @@
+"""Reporting helpers shared by benches and examples."""
+
+from .records import (
+    ExperimentRecord,
+    filter_records,
+    load_records,
+    save_records,
+)
+from .report import (
+    ascii_bar_chart,
+    format_microseconds,
+    format_rate,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "filter_records",
+    "load_records",
+    "save_records",
+    "ascii_bar_chart",
+    "format_microseconds",
+    "format_rate",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,92 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benches print the same rows and series the paper's tables and
+figures report; these helpers keep that output consistent and legible
+in a terminal (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_microseconds(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (μs, 'Overload')."""
+    if math.isinf(seconds) or math.isnan(seconds):
+        return "Overload"
+    return f"{seconds * 1e6:,.0f}"
+
+
+def format_rate(rate: float) -> str:
+    """Render a throughput in queries/second."""
+    if math.isinf(rate):
+        return "unbounded"
+    return f"{rate:,.0f}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A boxless ASCII table with right-aligned numeric columns."""
+    cells = [[_stringify(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """A figure rendered as a table: one x column, one column per line."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            row.append(series[name][index])
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40, title: str = ""
+) -> str:
+    """A horizontal bar chart (log-safe: inf renders as 'Overload')."""
+    finite = [v for v in values if math.isfinite(v) and v > 0]
+    peak = max(finite, default=1.0)
+    lines = [title] if title else []
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        if not math.isfinite(value):
+            bar = "#" * width
+            rendered = "Overload"
+        else:
+            bar = "#" * max(int(width * value / peak), 1 if value > 0 else 0)
+            rendered = f"{value:,.6g}"
+        lines.append(f"{label.ljust(label_width)} |{bar} {rendered}")
+    return "\n".join(lines)
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if math.isinf(value) or math.isnan(value):
+            return "Overload"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)

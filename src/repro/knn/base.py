@@ -1,0 +1,110 @@
+"""The single-threaded kNN solution interface of the paper.
+
+Section IV-A: "We assume that a kNN solution A provides three
+interfaces, namely, A.Q(l, k) (query the k closest objects from location
+l), A.I(o, l) (insert object o at location l), and A.D(o) (delete object
+o)."  Every solution in this package implements exactly that interface
+(:class:`KNNSolution`), which is all the MPR machinery ever calls — the
+"extremely lightweight wrapper" the paper advertises.
+
+Additionally, MPR partitions the *object set* across worker cores while
+sharing the road-network index (end of Section III).  :meth:`spawn`
+realizes this: it creates a sibling instance over the same immutable
+network-side index but holding only a given subset of objects.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """One kNN answer entry.
+
+    Ordering is ``(distance, object_id)`` so result lists are canonical
+    and ties are broken deterministically, which lets tests compare
+    answers across solutions and schemes bit-for-bit.
+    """
+
+    distance: float
+    object_id: int
+
+
+def canonical_knn(candidates: Mapping[int, float] | Sequence[Neighbor], k: int) -> list[Neighbor]:
+    """Best ``k`` of a candidate pool in canonical order."""
+    if isinstance(candidates, Mapping):
+        pool = [Neighbor(distance, object_id) for object_id, distance in candidates.items()]
+    else:
+        pool = list(candidates)
+    pool.sort()
+    return pool[:k]
+
+
+def merge_partial_results(partials: Sequence[Sequence[Neighbor]], k: int) -> list[Neighbor]:
+    """Aggregate per-partition kNN answers into the global top-k.
+
+    This is the a-core's merge (Algorithm 3): each worker of a row
+    returns at most ``k`` neighbors over its partition; their union
+    contains the true top-k because partitions cover ``M`` disjointly.
+    """
+    best: dict[int, float] = {}
+    for partial in partials:
+        for neighbor in partial:
+            prior = best.get(neighbor.object_id)
+            if prior is None or neighbor.distance < prior:
+                best[neighbor.object_id] = neighbor.distance
+    return canonical_knn(best, k)
+
+
+class KNNSolution(ABC):
+    """Abstract single-threaded kNN solution over a fixed road network."""
+
+    #: Short display name ("Dijkstra", "V-tree", "TOAIN", ...)
+    name: str = "abstract"
+
+    # -- the paper's three interfaces ----------------------------------
+    @abstractmethod
+    def query(self, location: int, k: int) -> list[Neighbor]:
+        """Return the ``k`` nearest objects to ``location`` canonically."""
+
+    @abstractmethod
+    def insert(self, object_id: int, location: int) -> None:
+        """Insert ``object_id`` at node ``location``."""
+
+    @abstractmethod
+    def delete(self, object_id: int) -> None:
+        """Delete ``object_id``."""
+
+    # -- MPR integration ------------------------------------------------
+    @abstractmethod
+    def spawn(self, objects: Mapping[int, int]) -> "KNNSolution":
+        """A sibling instance holding ``objects``, sharing the network index.
+
+        Workers of an MPR core matrix each call this once with their
+        partition ``M[i][j]``; the expensive network-side structures
+        (partition tree, contraction hierarchy) are shared, mirroring the
+        paper's shared road-network index.
+        """
+
+    @abstractmethod
+    def object_locations(self) -> dict[int, int]:
+        """Current ``object -> node`` contents (diagnostics and tests)."""
+
+    # -- paper-style aliases --------------------------------------------
+    def Q(self, l: int, k: int) -> list[Neighbor]:  # noqa: N802 - paper naming
+        return self.query(l, k)
+
+    def I(self, o: int, l: int) -> None:  # noqa: N802, E743 - paper naming
+        self.insert(o, l)
+
+    def D(self, o: int) -> None:  # noqa: N802 - paper naming
+        self.delete(o)
+
+    def __len__(self) -> int:
+        return len(self.object_locations())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(objects={len(self)})"

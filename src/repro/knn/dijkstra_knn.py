@@ -1,0 +1,70 @@
+"""Index-free Dijkstra kNN — the paper's update-friendly baseline.
+
+"To answer a kNN query from a query point q, we run Dijkstra from q and
+explore the graph just enough to locate the k closest objects to q.
+Dijkstra does not use an elaborate index and therefore has very low
+object update costs." (Section II)
+
+The only bookkeeping is the per-node object bucket, so inserts and
+deletes are O(1); queries pay an incremental Dijkstra expansion.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..graph.road_network import RoadNetwork
+from ..graph.shortest_path import dijkstra_expansion
+from ..objects.object_set import ObjectSet
+from .base import KNNSolution, Neighbor
+
+
+class DijkstraKNN(KNNSolution):
+    """Plain Dijkstra-expansion kNN over per-node object buckets."""
+
+    name = "Dijkstra"
+
+    def __init__(
+        self, network: RoadNetwork, objects: Mapping[int, int] | None = None
+    ) -> None:
+        self._network = network
+        self._objects = ObjectSet(dict(objects) if objects else None)
+
+    # ------------------------------------------------------------------
+    # KNNSolution interface
+    # ------------------------------------------------------------------
+    def query(self, location: int, k: int) -> list[Neighbor]:
+        if k <= 0:
+            return []
+        found: list[Neighbor] = []
+        kth_distance = float("inf")
+        for node, distance in dijkstra_expansion(self._network, location):
+            if len(found) >= k and distance > kth_distance:
+                break
+            bucket = self._objects.objects_at(node)
+            for object_id in bucket:
+                found.append(Neighbor(distance, object_id))
+            if len(found) >= k:
+                found.sort()
+                kth_distance = found[k - 1].distance
+        found.sort()
+        return found[:k]
+
+    def insert(self, object_id: int, location: int) -> None:
+        self._objects.insert(object_id, location)
+
+    def delete(self, object_id: int) -> None:
+        self._objects.delete(object_id)
+
+    def spawn(self, objects: Mapping[int, int]) -> "DijkstraKNN":
+        return DijkstraKNN(self._network, objects)
+
+    def object_locations(self) -> dict[int, int]:
+        return self._objects.snapshot()
+
+    # ------------------------------------------------------------------
+    # Extras
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network

@@ -1,0 +1,172 @@
+"""IER: Incremental Euclidean Restriction (Papadias et al., VLDB 2003).
+
+IER retrieves objects in increasing *Euclidean* distance from the query
+and refines each candidate with its exact network distance, stopping
+when the next Euclidean lower bound exceeds the kth best network
+distance found so far.  The paper cites IER as related work that V-tree
+outperforms; we include it as an extra baseline (it is not part of the
+MPR evaluation itself).
+
+Correctness requires the Euclidean distance between node coordinates to
+lower-bound network distance, which holds for all networks produced by
+:mod:`repro.graph.generators` (edge weights are Euclidean lengths times
+a detour factor >= 1).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Mapping
+
+from ..graph.road_network import RoadNetwork
+from ..graph.shortest_path import astar_distance
+from .base import KNNSolution, Neighbor, canonical_knn
+
+
+class _GridIndex:
+    """A uniform spatial grid over object locations (cheap kNN-by-Euclid)."""
+
+    def __init__(self, network: RoadNetwork, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._network = network
+        self._cell_size = cell_size
+        self._cells: dict[tuple[int, int], set[int]] = {}
+        self._node_of: dict[int, int] = {}
+
+    def _cell_of(self, node: int) -> tuple[int, int]:
+        x, y = self._network.coordinate(node)
+        size = self._cell_size
+        return (int(math.floor(x / size)), int(math.floor(y / size)))
+
+    def add(self, object_id: int, node: int) -> None:
+        self._node_of[object_id] = node
+        self._cells.setdefault(self._cell_of(node), set()).add(object_id)
+
+    def remove(self, object_id: int) -> None:
+        node = self._node_of.pop(object_id)
+        cell = self._cell_of(node)
+        bucket = self._cells[cell]
+        bucket.discard(object_id)
+        if not bucket:
+            del self._cells[cell]
+
+    def iter_by_euclidean(self, origin: int):
+        """Yield ``(euclidean_distance, object_id)`` in increasing order.
+
+        Expands grid rings around the origin cell; objects inside a ring
+        are exact-sorted before being yielded, and a ring is only yielded
+        once the next ring cannot contain anything closer.
+        """
+        ox, oy = self._network.coordinate(origin)
+        size = self._cell_size
+        origin_cell = (int(math.floor(ox / size)), int(math.floor(oy / size)))
+        pending: list[tuple[float, int]] = []
+        ring = 0
+        max_ring = self._max_ring(origin_cell)
+        while True:
+            if ring <= max_ring:
+                for cell in self._ring_cells(origin_cell, ring):
+                    for object_id in self._cells.get(cell, ()):
+                        x, y = self._network.coordinate(self._node_of[object_id])
+                        heappush(pending, (math.hypot(x - ox, y - oy), object_id))
+            # Anything within (ring) * cell_size is now guaranteed present.
+            safe_radius = ring * size
+            while pending and pending[0][0] <= safe_radius:
+                yield heappop(pending)
+            if ring > max_ring:
+                while pending:
+                    yield heappop(pending)
+                return
+            ring += 1
+
+    def _max_ring(self, origin_cell: tuple[int, int]) -> int:
+        if not self._cells:
+            return 0
+        return max(
+            max(abs(cx - origin_cell[0]), abs(cy - origin_cell[1]))
+            for cx, cy in self._cells
+        )
+
+    @staticmethod
+    def _ring_cells(center: tuple[int, int], ring: int):
+        cx, cy = center
+        if ring == 0:
+            yield center
+            return
+        for dx in range(-ring, ring + 1):
+            yield (cx + dx, cy - ring)
+            yield (cx + dx, cy + ring)
+        for dy in range(-ring + 1, ring):
+            yield (cx - ring, cy + dy)
+            yield (cx + ring, cy + dy)
+
+
+class IERKNN(KNNSolution):
+    """IER kNN: Euclidean candidates refined by A* network distances."""
+
+    name = "IER"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        objects: Mapping[int, int] | None = None,
+        cell_size: float | None = None,
+    ) -> None:
+        self._network = network
+        if cell_size is None:
+            cell_size = self._default_cell_size(network)
+        self._grid = _GridIndex(network, cell_size)
+        self._location: dict[int, int] = {}
+        if objects:
+            for object_id, node in objects.items():
+                self.insert(object_id, node)
+
+    @staticmethod
+    def _default_cell_size(network: RoadNetwork) -> float:
+        if network.num_nodes == 0:
+            return 1.0
+        xs = [c[0] for c in network.coordinates]
+        ys = [c[1] for c in network.coordinates]
+        span = max(max(xs) - min(xs), max(ys) - min(ys), 1.0)
+        cells = max(math.sqrt(network.num_nodes) / 2.0, 1.0)
+        return span / cells
+
+    # ------------------------------------------------------------------
+    # KNNSolution interface
+    # ------------------------------------------------------------------
+    def query(self, location: int, k: int) -> list[Neighbor]:
+        if k <= 0:
+            return []
+        exact: dict[int, float] = {}
+        kth = math.inf
+        for lower_bound, object_id in self._grid.iter_by_euclidean(location):
+            if len(exact) >= k and lower_bound > kth:
+                break
+            node = self._location[object_id]
+            distance = astar_distance(self._network, location, node)
+            if math.isinf(distance):
+                continue  # unreachable (disconnected component)
+            exact[object_id] = distance
+            if len(exact) >= k:
+                kth = sorted(exact.values())[k - 1]
+        return canonical_knn(exact, k)
+
+    def insert(self, object_id: int, location: int) -> None:
+        if object_id in self._location:
+            raise KeyError(f"object {object_id} already present")
+        self._location[object_id] = location
+        self._grid.add(object_id, location)
+
+    def delete(self, object_id: int) -> None:
+        if object_id not in self._location:
+            raise KeyError(f"object {object_id} not present")
+        self._grid.remove(object_id)
+        del self._location[object_id]
+
+    def spawn(self, objects: Mapping[int, int]) -> "IERKNN":
+        return IERKNN(self._network, objects, cell_size=self._grid._cell_size)
+
+    def object_locations(self) -> dict[int, int]:
+        return dict(self._location)

@@ -1,0 +1,249 @@
+"""V-tree: border-cached kNN on the partition hierarchy (Shen et al., ICDE 2016).
+
+V-tree extends the G-tree structure by maintaining, at the border nodes
+of the hierarchy, lists of the nearest objects ("active vertex lists").
+Queries become extremely fast — the cached lists give a tight answer
+bound immediately — while updates become expensive, because inserting or
+deleting an object must maintain every border list it affects.  That
+query-friendly / update-unfriendly cost profile is exactly the role
+V-tree plays in the MPR evaluation (Figures 5, 6).
+
+Our implementation keeps the same profile with a correctness-first
+twist documented in DESIGN.md (substitution #4):
+
+* each leaf border lazily carries a cached list of the ``cache_size``
+  nearest objects (exact distances, computed with the overlay search);
+* **insert** propagates the new object into every cached list it beats,
+  via a radius-bounded overlay sweep from the inserted location;
+* **delete** removes the object from every list referencing it (a
+  reverse-reference map makes this exact), eagerly rebuilding lists
+  that become too short;
+* **query** uses the home borders' cached lists to compute a kth-distance
+  upper bound, then runs the overlay search with that bound, which makes
+  it terminate almost immediately.  Because cached entries are always
+  true distances of *live* objects, the bound is always sound and the
+  final answer is exact even if a cache is stale (staleness only loosens
+  the bound).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..graph.road_network import RoadNetwork
+from ..graph.shortest_path import INFINITY
+from .base import KNNSolution, Neighbor
+from .gtree import DEFAULT_FANOUT, DEFAULT_LEAF_SIZE, GTreeIndex
+
+#: Default cached-list length; must be >= the largest k queried.
+DEFAULT_CACHE_SIZE = 16
+#: Rebuild a cached list eagerly once deletions shrink it below this
+#: fraction of cache_size.
+REBUILD_FRACTION = 0.5
+#: Cap on borders swept during insert propagation (best effort; caches
+#: not reached stay valid, merely less tight).
+INSERT_SWEEP_LIMIT = 2048
+
+
+class VTreeKNN(KNNSolution):
+    """V-tree kNN solution: cached border lists, expensive updates."""
+
+    name = "V-tree"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        objects: Mapping[int, int] | None = None,
+        index: GTreeIndex | None = None,
+        leaf_size: int = DEFAULT_LEAF_SIZE,
+        fanout: int = DEFAULT_FANOUT,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be positive")
+        self._index = index or GTreeIndex(network, leaf_size=leaf_size, fanout=fanout)
+        if self._index.network is not network:
+            raise ValueError("index was built over a different network")
+        self._cache_size = cache_size
+        self._location: dict[int, int] = {}
+        self._leaf_occupancy: dict[int, dict[int, set[int]]] = {}
+        # border -> sorted list of Neighbor (the active vertex list).
+        self._cache: dict[int, list[Neighbor]] = {}
+        # object -> set of borders whose cache references it.
+        self._cache_refs: dict[int, set[int]] = {}
+        if objects:
+            for object_id, node in objects.items():
+                self._insert_bucket(object_id, node)
+            # Bulk load: caches stay lazy; first queries build them.
+
+    # ------------------------------------------------------------------
+    # KNNSolution interface
+    # ------------------------------------------------------------------
+    def query(self, location: int, k: int) -> list[Neighbor]:
+        if k <= 0:
+            return []
+        bound = self._upper_bound_from_caches(location, k)
+        return self._index.knn_search(
+            location, k, self._leaf_occupancy, distance_bound=bound
+        )
+
+    def insert(self, object_id: int, location: int) -> None:
+        self._insert_bucket(object_id, location)
+        self._propagate_insert(object_id, location)
+
+    def delete(self, object_id: int) -> None:
+        try:
+            location = self._location.pop(object_id)
+        except KeyError:
+            raise KeyError(f"object {object_id} not present") from None
+        leaf_id = self._index.leaf_of[location]
+        bucket = self._leaf_occupancy[leaf_id]
+        bucket[location].discard(object_id)
+        if not bucket[location]:
+            del bucket[location]
+        if not bucket:
+            del self._leaf_occupancy[leaf_id]
+        self._scrub_caches(object_id)
+
+    def spawn(self, objects: Mapping[int, int]) -> "VTreeKNN":
+        return VTreeKNN(
+            self._index.network,
+            objects,
+            index=self._index,
+            cache_size=self._cache_size,
+        )
+
+    def object_locations(self) -> dict[int, int]:
+        return dict(self._location)
+
+    # ------------------------------------------------------------------
+    # Cache machinery
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> GTreeIndex:
+        return self._index
+
+    @property
+    def cache_size(self) -> int:
+        return self._cache_size
+
+    def cached_list(self, border: int) -> list[Neighbor]:
+        """The border's active vertex list, building it on first use."""
+        cached = self._cache.get(border)
+        if cached is None:
+            cached = self._rebuild_cache(border)
+        return cached
+
+    def warm_caches(self) -> int:
+        """Eagerly build the active vertex list of every border.
+
+        The original V-tree computes its nearest-object lists during
+        index construction; our lists are lazy by default (cheap bulk
+        loads), and this method performs that construction pass
+        explicitly.  Returns the number of lists built.
+        """
+        built = 0
+        for borders in self._index.leaf_borders.values():
+            for border in borders:
+                if border not in self._cache:
+                    self._rebuild_cache(border)
+                    built += 1
+        return built
+
+    def _rebuild_cache(self, border: int) -> list[Neighbor]:
+        fresh = self._index.knn_search(
+            border, self._cache_size, self._leaf_occupancy
+        )
+        stale = self._cache.get(border)
+        if stale:
+            for neighbor in stale:
+                refs = self._cache_refs.get(neighbor.object_id)
+                if refs is not None:
+                    refs.discard(border)
+        self._cache[border] = fresh
+        for neighbor in fresh:
+            self._cache_refs.setdefault(neighbor.object_id, set()).add(border)
+        return fresh
+
+    def _upper_bound_from_caches(self, location: int, k: int) -> float:
+        """kth-distance upper bound from the home borders' cached lists."""
+        home_leaf = self._index.leaf_of[location]
+        borders = self._index.leaf_borders[home_leaf]
+        if not borders:
+            return INFINITY
+        vbd = self._index.vertex_border_dist[location]
+        best: dict[int, float] = {}
+        for column, border in enumerate(borders):
+            access = vbd[column]
+            if access == INFINITY:
+                continue
+            for neighbor in self.cached_list(border):
+                estimate = access + neighbor.distance
+                prior = best.get(neighbor.object_id)
+                if prior is None or estimate < prior:
+                    best[neighbor.object_id] = estimate
+        if len(best) < k:
+            return INFINITY
+        return sorted(best.values())[k - 1]
+
+    def _insert_bucket(self, object_id: int, location: int) -> None:
+        if object_id in self._location:
+            raise KeyError(f"object {object_id} already present")
+        self._location[object_id] = location
+        leaf_id = self._index.leaf_of[location]
+        bucket = self._leaf_occupancy.setdefault(leaf_id, {})
+        bucket.setdefault(location, set()).add(object_id)
+
+    def _propagate_insert(self, object_id: int, location: int) -> None:
+        """Push the new object into every cached list it should appear in.
+
+        The sweep radius is the largest kth distance over current caches
+        (infinite while some cache is under-full); reachable caches whose
+        tail the new object beats get it inserted with its exact distance.
+        """
+        if not self._cache:
+            return
+        radius = 0.0
+        for cached in self._cache.values():
+            if len(cached) < self._cache_size:
+                radius = INFINITY
+                break
+            radius = max(radius, cached[-1].distance)
+        swept = self._index.border_sweep(
+            location, radius, settle_limit=INSERT_SWEEP_LIMIT
+        )
+        for border, distance in swept.items():
+            cached = self._cache.get(border)
+            if cached is None:
+                continue
+            if len(cached) >= self._cache_size and distance >= cached[-1].distance:
+                continue
+            entry = Neighbor(distance, object_id)
+            lo, hi = 0, len(cached)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cached[mid] < entry:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            cached.insert(lo, entry)
+            self._cache_refs.setdefault(object_id, set()).add(border)
+            if len(cached) > self._cache_size:
+                evicted = cached.pop()
+                refs = self._cache_refs.get(evicted.object_id)
+                if refs is not None:
+                    refs.discard(border)
+
+    def _scrub_caches(self, object_id: int) -> None:
+        """Remove a deleted object from every cache referencing it."""
+        borders = self._cache_refs.pop(object_id, None)
+        if not borders:
+            return
+        threshold = max(int(self._cache_size * REBUILD_FRACTION), 1)
+        for border in borders:
+            cached = self._cache.get(border)
+            if cached is None:
+                continue
+            cached[:] = [n for n in cached if n.object_id != object_id]
+            if len(cached) < threshold and len(self._location) >= threshold:
+                self._rebuild_cache(border)

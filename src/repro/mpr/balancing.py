@@ -1,0 +1,107 @@
+"""Update-load balancing across partition columns (Section III).
+
+"The partitioning can be done in a number of ways.  For example,
+objects in M can be distributed to the cores in a round robin fashion.
+This balances the update loads across the cores if objects generate
+updates at a similar rate [...].  If objects are updated at different
+rates, we can distribute the 'updates' instead of the 'objects' over
+the w-cores to balance the update loads."
+
+Three placement strategies for the *initial* object partition:
+
+* :func:`round_robin_columns` — the paper's default (uniform rates);
+* :func:`hashed_columns` — stateless deterministic placement (what a
+  sharded deployment would do);
+* :func:`balance_by_update_rate` — LPT greedy on per-object update
+  rates (the "distribute the updates" variant for heterogeneous
+  fleets, e.g. taxis that report at different cadences).
+
+Steady-state balancing of *arriving* inserts is already round-robin in
+the scheduler (Algorithm 1); these strategies govern the preloaded set.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping
+
+
+def round_robin_columns(objects: Iterable[int], num_columns: int) -> dict[int, int]:
+    """Deterministic round-robin placement over sorted object ids."""
+    _check_columns(num_columns)
+    return {
+        object_id: position % num_columns
+        for position, object_id in enumerate(sorted(objects))
+    }
+
+
+def hashed_columns(objects: Iterable[int], num_columns: int) -> dict[int, int]:
+    """Stateless placement by a deterministic integer mix.
+
+    Uses a Knuth multiplicative hash rather than ``hash()`` (which is
+    salted per process) so placements are reproducible across runs.
+    """
+    _check_columns(num_columns)
+    return {
+        object_id: ((object_id * 2654435761) >> 7) % num_columns
+        for object_id in objects
+    }
+
+
+def balance_by_update_rate(
+    update_rates: Mapping[int, float], num_columns: int
+) -> dict[int, int]:
+    """LPT greedy: heaviest updaters first, each to the lightest column.
+
+    Guarantees the classic LPT bound — the heaviest column carries at
+    most ``4/3 - 1/(3·num_columns)`` of the optimal makespan — which is
+    ample for queueing balance.
+    """
+    _check_columns(num_columns)
+    for object_id, rate in update_rates.items():
+        if rate < 0:
+            raise ValueError(f"object {object_id} has negative rate {rate}")
+    # Heap of (column load, column id); ties to the lowest column id.
+    columns = [(0.0, column) for column in range(num_columns)]
+    heapq.heapify(columns)
+    assignment: dict[int, int] = {}
+    ordered = sorted(
+        update_rates.items(), key=lambda item: (-item[1], item[0])
+    )
+    for object_id, rate in ordered:
+        load, column = heapq.heappop(columns)
+        assignment[object_id] = column
+        heapq.heappush(columns, (load + rate, column))
+    return assignment
+
+
+def column_loads(
+    assignment: Mapping[int, int],
+    num_columns: int,
+    update_rates: Mapping[int, float] | None = None,
+) -> list[float]:
+    """Per-column update load (object count when rates are uniform)."""
+    _check_columns(num_columns)
+    loads = [0.0] * num_columns
+    for object_id, column in assignment.items():
+        if not 0 <= column < num_columns:
+            raise ValueError(f"column {column} out of range")
+        loads[column] += (
+            update_rates[object_id] if update_rates is not None else 1.0
+        )
+    return loads
+
+
+def imbalance(loads: list[float]) -> float:
+    """Max/mean load ratio (1.0 = perfectly balanced)."""
+    if not loads:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 1.0
+    return max(loads) / mean
+
+
+def _check_columns(num_columns: int) -> None:
+    if num_columns < 1:
+        raise ValueError("num_columns must be positive")

@@ -1,0 +1,126 @@
+"""One-call scheme comparisons — the paper's evaluation as an API.
+
+Benches and operators keep asking the same question: *for this
+workload, on this machine, with this solution, how do the four schemes
+compare?*  These helpers answer it in one call, returning
+machine-readable :class:`~repro.harness.records.ExperimentRecord`
+lists that pair each scheme's self-configured arrangement with its
+simulated measurement.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..harness.records import ExperimentRecord
+from ..knn.calibration import AlgorithmProfile
+from ..sim.measurement import find_max_throughput, measure_response_time
+from .analysis import MachineSpec, Workload
+from .schemes import Objective, Scheme, configure_all_schemes
+
+
+def compare_schemes_response_time(
+    workload: Workload,
+    profile: AlgorithmProfile,
+    machine: MachineSpec,
+    scenario: str = "custom",
+    experiment: str = "comparison",
+    duration: float = 1.0,
+    seed: int = 0,
+    taxi_hailing: bool = False,
+) -> list[ExperimentRecord]:
+    """Simulated mean response time of all four schemes.
+
+    Overloaded schemes record ``value = inf`` (serialized as
+    ``"overload"``).
+    """
+    choices = configure_all_schemes(workload, profile, machine)
+    records = []
+    for scheme, choice in choices.items():
+        measurement = measure_response_time(
+            choice.config, profile, machine,
+            workload.lambda_q, workload.lambda_u,
+            duration=duration, seed=seed, taxi_hailing=taxi_hailing,
+            initial_objects=2000 if taxi_hailing else 0,
+        )
+        value = (
+            math.inf if measurement.overloaded
+            else measurement.mean_response_time
+        )
+        records.append(
+            ExperimentRecord(
+                experiment=experiment,
+                scenario=scenario,
+                scheme=scheme.value,
+                solution=profile.name,
+                config=choice.config,
+                lambda_q=workload.lambda_q,
+                lambda_u=workload.lambda_u,
+                total_cores=machine.total_cores,
+                metric="response_time_s",
+                value=value,
+                profile=profile,
+            )
+        )
+    return records
+
+
+def compare_schemes_throughput(
+    lambda_u: float,
+    profile: AlgorithmProfile,
+    machine: MachineSpec,
+    rq_bound: float = 0.1,
+    scenario: str = "custom",
+    experiment: str = "comparison",
+    duration: float = 0.3,
+    seed: int = 0,
+) -> list[ExperimentRecord]:
+    """Simulated maximum throughput of all four schemes."""
+    choices = configure_all_schemes(
+        Workload(0.0, lambda_u), profile, machine,
+        objective=Objective.THROUGHPUT, rq_bound=rq_bound,
+    )
+    records = []
+    for scheme, choice in choices.items():
+        throughput = find_max_throughput(
+            choice.config, profile, machine, lambda_u,
+            rq_bound=rq_bound, duration=duration, seed=seed,
+            initial_lambda_q=100.0,
+        )
+        records.append(
+            ExperimentRecord(
+                experiment=experiment,
+                scenario=scenario,
+                scheme=scheme.value,
+                solution=profile.name,
+                config=choice.config,
+                lambda_q=0.0,
+                lambda_u=lambda_u,
+                total_cores=machine.total_cores,
+                metric="throughput_qps",
+                value=throughput,
+                profile=profile,
+            )
+        )
+    return records
+
+
+def best_scheme(records: list[ExperimentRecord]) -> ExperimentRecord:
+    """The winning record of a comparison (metric-aware ordering)."""
+    if not records:
+        raise ValueError("no records to compare")
+    metrics = {record.metric for record in records}
+    if len(metrics) != 1:
+        raise ValueError(f"mixed metrics in comparison: {sorted(metrics)}")
+    metric = metrics.pop()
+    if metric == "throughput_qps":
+        return max(records, key=lambda r: r.value)
+    return min(records, key=lambda r: r.value)
+
+
+def _scheme_order(record: ExperimentRecord) -> int:
+    order = [s.value for s in Scheme]
+    try:
+        return order.index(record.scheme)
+    except ValueError:  # pragma: no cover - foreign records
+        return len(order)

@@ -1,0 +1,215 @@
+"""Online workload estimation and adaptive reconfiguration.
+
+The paper presents MPR's self-configuration as a one-shot optimization
+for a given ``(λq, λu)``.  A deployed system (the taxi-peak /
+game-evening scenarios of Section I) sees those rates *drift*, so an
+operator needs the loop closed: estimate the current rates, re-solve
+the optimization, and switch configurations when — and only when — the
+switch pays for itself.
+
+:class:`RateEstimator` tracks arrival rates with exponentially-weighted
+windows; :class:`AdaptiveController` re-runs the Section IV-B
+optimization on the estimated workload and applies **hysteresis**: it
+reconfigures only when the predicted improvement exceeds a threshold,
+because a reconfiguration forces data repartitioning (each w-core's
+object partition changes, costing roughly one index rebuild).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..knn.calibration import AlgorithmProfile
+from .analysis import (
+    MachineSpec,
+    Workload,
+    max_throughput_closed_form,
+    optimize_response_time,
+    optimize_throughput,
+    response_time,
+)
+from .config import MPRConfig
+from .schemes import DEFAULT_MAX_LAYERS, Objective
+
+
+class RateEstimator:
+    """EWMA arrival-rate estimator over fixed-width windows.
+
+    Counts arrivals per ``window`` seconds and folds each completed
+    window into an exponentially weighted average with smoothing
+    ``alpha`` (higher = more reactive).  Queries and updates are
+    tracked independently.
+    """
+
+    def __init__(self, window: float = 1.0, alpha: float = 0.3) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._window = window
+        self._alpha = alpha
+        self._window_start = 0.0
+        self._counts = {"query": 0, "update": 0}
+        self._rates = {"query": 0.0, "update": 0.0}
+        self._windows_seen = 0
+
+    def observe_query(self, time: float) -> None:
+        self._advance(time)
+        self._counts["query"] += 1
+
+    def observe_update(self, time: float) -> None:
+        self._advance(time)
+        self._counts["update"] += 1
+
+    def _advance(self, time: float) -> None:
+        if time < self._window_start:
+            raise ValueError("time moved backwards")
+        while time >= self._window_start + self._window:
+            for kind in ("query", "update"):
+                sample = self._counts[kind] / self._window
+                if self._windows_seen == 0:
+                    self._rates[kind] = sample
+                else:
+                    self._rates[kind] = (
+                        self._alpha * sample
+                        + (1.0 - self._alpha) * self._rates[kind]
+                    )
+                self._counts[kind] = 0
+            self._windows_seen += 1
+            self._window_start += self._window
+
+    @property
+    def lambda_q(self) -> float:
+        return self._rates["query"]
+
+    @property
+    def lambda_u(self) -> float:
+        return self._rates["update"]
+
+    @property
+    def ready(self) -> bool:
+        """True once at least one full window has elapsed."""
+        return self._windows_seen > 0
+
+    def workload(self) -> Workload:
+        return Workload(self.lambda_q, self.lambda_u)
+
+
+@dataclass(frozen=True)
+class Reconfiguration:
+    """A decision to switch configurations."""
+
+    time: float
+    old_config: MPRConfig
+    new_config: MPRConfig
+    old_predicted: float
+    new_predicted: float
+
+
+@dataclass
+class AdaptiveController:
+    """Closes the loop: estimated workload -> (x, y, z), with hysteresis.
+
+    Parameters
+    ----------
+    profile, machine, objective, rq_bound:
+        As in :func:`repro.mpr.schemes.configure_scheme`.
+    improvement_threshold:
+        Reconfigure only when the new configuration's predicted measure
+        beats the current configuration's by this relative margin
+        (0.15 = must be 15% better).  Switching out of an overloaded
+        configuration bypasses the threshold.
+    """
+
+    profile: AlgorithmProfile
+    machine: MachineSpec
+    objective: Objective = Objective.RESPONSE_TIME
+    rq_bound: float = 0.1
+    improvement_threshold: float = 0.15
+    max_layers: int = DEFAULT_MAX_LAYERS
+    estimator: RateEstimator = field(default_factory=RateEstimator)
+
+    def __post_init__(self) -> None:
+        if self.improvement_threshold < 0:
+            raise ValueError("improvement_threshold must be non-negative")
+        self._config: MPRConfig | None = None
+        self.history: list[Reconfiguration] = []
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe_query(self, time: float) -> None:
+        self.estimator.observe_query(time)
+
+    def observe_update(self, time: float) -> None:
+        self.estimator.observe_update(time)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> MPRConfig | None:
+        return self._config
+
+    def evaluate(self, config: MPRConfig, workload: Workload) -> float:
+        """Predicted measure of a configuration (lower is better)."""
+        if self.objective is Objective.RESPONSE_TIME:
+            return response_time(config, workload, self.profile, self.machine)
+        throughput = max_throughput_closed_form(
+            config, workload.lambda_u, self.profile, self.machine,
+            self.rq_bound,
+        )
+        return -throughput  # minimize the negation
+
+    def maybe_reconfigure(self, time: float) -> Reconfiguration | None:
+        """Re-solve the optimization; switch if it clearly pays.
+
+        Returns the reconfiguration applied, or ``None`` (kept current
+        config, or not enough observation yet).
+        """
+        if not self.estimator.ready:
+            return None
+        workload = self.estimator.workload()
+        if self.objective is Objective.RESPONSE_TIME:
+            best = optimize_response_time(
+                workload, self.profile, self.machine, max_layers=self.max_layers
+            ).config
+        else:
+            best = optimize_throughput(
+                workload.lambda_u, self.profile, self.machine,
+                rq_bound=self.rq_bound, max_layers=self.max_layers,
+            ).config
+
+        if self._config is None:
+            self._config = best
+            return None
+        if best == self._config:
+            return None
+
+        current_value = self.evaluate(self._config, workload)
+        best_value = self.evaluate(best, workload)
+        if math.isinf(current_value) and math.isfinite(best_value):
+            improvement = math.inf  # escape overload unconditionally
+        elif math.isinf(best_value):
+            return None
+        elif current_value <= 0 and self.objective is Objective.THROUGHPUT:
+            # Throughput values are negated; compute relative gain.
+            improvement = (current_value - best_value) / max(-current_value, 1e-12)
+        else:
+            improvement = (current_value - best_value) / max(
+                abs(current_value), 1e-12
+            )
+        if improvement < self.improvement_threshold:
+            return None
+
+        event = Reconfiguration(
+            time=time,
+            old_config=self._config,
+            new_config=best,
+            old_predicted=current_value,
+            new_predicted=best_value,
+        )
+        self._config = best
+        self.history.append(event)
+        return event

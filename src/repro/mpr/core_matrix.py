@@ -1,0 +1,212 @@
+"""Core-matrix routing: the pure scheduling logic of Algorithms 1–3.
+
+This module contains no threads and no timing — only the deterministic
+decisions the s-cores and d-core make: which row serves a query, which
+column holds an object, which w-queues receive which task.  Both the
+real threaded executor (:mod:`repro.mpr.executor`) and the discrete-
+event simulator (:mod:`repro.sim.system`) drive this logic, so their
+behaviours coincide by construction.
+
+Coordinates: a worker is addressed ``(layer, row, column)`` with
+``0 <= layer < z``, ``0 <= row < y``, ``0 <= column < x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..objects.tasks import DeleteTask, InsertTask, QueryTask, Task, TaskKind
+from .config import MPRConfig
+
+WorkerId = tuple[int, int, int]  # (layer, row, column)
+
+
+@dataclass(frozen=True)
+class QueryRoute:
+    """Outcome of scheduling a query: one row of one layer."""
+
+    layer: int
+    row: int
+    workers: tuple[WorkerId, ...]
+
+
+@dataclass(frozen=True)
+class UpdateRoute:
+    """Outcome of scheduling an update: one column of every layer."""
+
+    columns: tuple[int, ...]  # column per layer
+    workers: tuple[WorkerId, ...]
+
+
+class LayerScheduler:
+    """One s-core's state (Algorithm 1): round-robin counters + object hash."""
+
+    def __init__(self, config: MPRConfig, layer: int) -> None:
+        self._config = config
+        self._layer = layer
+        self._next_row = 0
+        self._next_column = 0
+        self._column_of: dict[int, int] = {}
+
+    def route_query(self, task: QueryTask) -> QueryRoute:
+        row = self._next_row
+        self._next_row = (self._next_row + 1) % self._config.y
+        workers = tuple(
+            (self._layer, row, column) for column in range(self._config.x)
+        )
+        return QueryRoute(self._layer, row, workers)
+
+    def route_insert(self, task: InsertTask) -> int:
+        if task.object_id in self._column_of:
+            raise KeyError(
+                f"insert of live object {task.object_id} at layer {self._layer}"
+            )
+        column = self._next_column
+        self._next_column = (self._next_column + 1) % self._config.x
+        self._column_of[task.object_id] = column
+        return column
+
+    def route_delete(self, task: DeleteTask) -> int:
+        try:
+            return self._column_of.pop(task.object_id)
+        except KeyError:
+            raise KeyError(
+                f"delete of unknown object {task.object_id} at layer {self._layer}"
+            ) from None
+
+    def preload(self, column_of: Mapping[int, int]) -> None:
+        """Install the hash-table entries for pre-placed objects."""
+        for object_id, column in column_of.items():
+            if not 0 <= column < self._config.x:
+                raise ValueError(f"column {column} out of range")
+            self._column_of[object_id] = column
+
+    def column_workers(self, column: int) -> tuple[WorkerId, ...]:
+        return tuple(
+            (self._layer, row, column) for row in range(self._config.y)
+        )
+
+
+class MPRRouter:
+    """The d-core plus all layer s-cores as one deterministic router.
+
+    ``route(task)`` returns either a :class:`QueryRoute` (queries go to
+    one layer, chosen round-robin by the d-core, then to one row) or an
+    :class:`UpdateRoute` (updates go to every layer; each layer's s-core
+    picks/looks up the column independently).
+    """
+
+    def __init__(self, config: MPRConfig) -> None:
+        self._config = config
+        self._schedulers = [LayerScheduler(config, layer) for layer in range(config.z)]
+        self._next_layer = 0
+
+    @property
+    def config(self) -> MPRConfig:
+        return self._config
+
+    def preload_objects(
+        self,
+        objects: Mapping[int, int],
+        column_of: Mapping[int, int] | None = None,
+    ) -> dict[WorkerId, dict[int, int]]:
+        """Partition pre-placed objects over columns.
+
+        Returns the initial contents per worker: ``worker -> {object:
+        node}``.  All layers use the same initial column assignment (a
+        fresh system would reach the same state by replaying the inserts
+        through each layer's scheduler).
+
+        ``column_of`` overrides the default round-robin placement with
+        a custom strategy (see :mod:`repro.mpr.balancing`); it must
+        cover every object.
+        """
+        if column_of is None:
+            column_of = {
+                object_id: position % self._config.x
+                for position, object_id in enumerate(sorted(objects))
+            }
+        else:
+            missing = set(objects) - set(column_of)
+            if missing:
+                raise ValueError(
+                    f"column_of misses objects {sorted(missing)[:5]}"
+                )
+            column_of = dict(column_of)
+        for scheduler in self._schedulers:
+            scheduler.preload(column_of)
+        contents: dict[WorkerId, dict[int, int]] = {
+            worker: {} for worker in self.all_workers()
+        }
+        for object_id, node in objects.items():
+            column = column_of[object_id]
+            for layer in range(self._config.z):
+                for row in range(self._config.y):
+                    contents[(layer, row, column)][object_id] = node
+        return contents
+
+    def route(self, task: Task) -> QueryRoute | UpdateRoute:
+        if task.kind is TaskKind.QUERY:
+            layer = self._next_layer
+            self._next_layer = (self._next_layer + 1) % self._config.z
+            return self._schedulers[layer].route_query(task)
+        columns = []
+        workers: list[WorkerId] = []
+        for layer, scheduler in enumerate(self._schedulers):
+            if task.kind is TaskKind.INSERT:
+                column = scheduler.route_insert(task)
+            else:
+                column = scheduler.route_delete(task)
+            columns.append(column)
+            workers.extend(scheduler.column_workers(column))
+        return UpdateRoute(tuple(columns), tuple(workers))
+
+    def all_workers(self) -> list[WorkerId]:
+        return [
+            (layer, row, column)
+            for layer in range(self._config.z)
+            for row in range(self._config.y)
+            for column in range(self._config.x)
+        ]
+
+
+def check_matrix_invariants(
+    contents: Mapping[WorkerId, Mapping[int, int]], config: MPRConfig
+) -> None:
+    """Verify the partition/replication invariants of Section IV-A.
+
+    * within a (layer, row): the cells partition the union (disjoint);
+    * within a (layer, column): every cell holds the same object set;
+    * every (layer, row) union equals every other's (full replication
+      across rows and layers).
+
+    Raises ``AssertionError`` with a diagnostic on violation.  Used by
+    tests and by the executor's debug mode.
+    """
+    reference: set[int] | None = None
+    for layer in range(config.z):
+        for row in range(config.y):
+            union: set[int] = set()
+            for column in range(config.x):
+                cell = set(contents[(layer, row, column)])
+                overlap = union & cell
+                assert not overlap, (
+                    f"row ({layer},{row}) cells overlap on objects {sorted(overlap)[:5]}"
+                )
+                union |= cell
+            if reference is None:
+                reference = union
+            else:
+                assert union == reference, (
+                    f"row ({layer},{row}) union differs from reference: "
+                    f"missing {sorted(reference - union)[:5]}, "
+                    f"extra {sorted(union - reference)[:5]}"
+                )
+        for column in range(config.x):
+            first = dict(contents[(layer, 0, column)])
+            for row in range(1, config.y):
+                cell = dict(contents[(layer, row, column)])
+                assert cell == first, (
+                    f"column ({layer},{column}) differs between rows 0 and {row}"
+                )

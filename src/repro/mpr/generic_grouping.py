@@ -1,0 +1,178 @@
+"""Generic (irregular) worker groupings — Section IV-C's optimality claim.
+
+"A more generic grouping of the η w-cores would allow groups (rows)
+with different numbers of workers.  Moreover, the query loads assigned
+to the groups could also be different. [...] We can show that the
+optimal configuration of our rectangular core matrix structure is
+optimal in query response time under any generic grouping schemes."
+
+This module models those irregular arrangements analytically so the
+claim can be exercised: a :class:`GenericGrouping` assigns each group
+``g`` a worker count ``n_g`` (its partition width) and a query share
+``p_g``; each group holds a full replica partitioned ``n_g`` ways and
+updates are split within each group.  The expected query response time
+follows the same M/G/1 mapping as Equation 2, applied per group and
+averaged by query share.
+
+:func:`random_grouping` and :func:`proportional_shares` provide the
+adversaries; tests and the ablation bench check that no sampled
+generic grouping beats the optimal rectangular configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..knn.calibration import AlgorithmProfile
+from .analysis import MachineSpec, Workload, single_queue_response_time
+from .config import MPRConfig
+
+
+@dataclass(frozen=True)
+class GenericGrouping:
+    """An irregular one-layer arrangement of worker cores.
+
+    ``group_sizes[g]`` is the number of partition columns in group g;
+    ``query_shares[g]`` is the fraction of the query stream routed to
+    it.  A rectangular core matrix (x, y) is the special case of y
+    groups of size x with equal shares.
+    """
+
+    group_sizes: tuple[int, ...]
+    query_shares: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.group_sizes:
+            raise ValueError("need at least one group")
+        if len(self.group_sizes) != len(self.query_shares):
+            raise ValueError("group_sizes and query_shares must align")
+        if any(size < 1 for size in self.group_sizes):
+            raise ValueError("group sizes must be positive")
+        if any(share < 0 for share in self.query_shares):
+            raise ValueError("query shares must be non-negative")
+        total = sum(self.query_shares)
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+            raise ValueError(f"query shares must sum to 1, got {total}")
+
+    @property
+    def worker_cores(self) -> int:
+        return sum(self.group_sizes)
+
+    @classmethod
+    def rectangular(cls, config: MPRConfig) -> "GenericGrouping":
+        """The grouping equivalent of a single-layer core matrix."""
+        if config.z != 1:
+            raise ValueError("generic groupings model single-layer schemes")
+        share = 1.0 / config.y
+        return cls((config.x,) * config.y, (share,) * config.y)
+
+
+def grouping_response_time(
+    grouping: GenericGrouping,
+    workload: Workload,
+    profile: AlgorithmProfile,
+    machine: MachineSpec,
+) -> float:
+    """Expected query response time of a generic grouping.
+
+    Per group g: query rate ``p_g λq`` hits all ``n_g`` workers of the
+    group; updates are split within the group (rate ``λu / n_g`` per
+    worker).  The group's sojourn follows Equation 3 per worker; the
+    scheme-level mean weights groups by their query share.  Scheduling
+    and aggregation overhead mirrors Equation 1: ``τ · n_g``.
+    Returns ``inf`` when any worker or the scheduler overloads.
+    """
+    lambda_q, lambda_u = workload.lambda_q, workload.lambda_u
+    # Scheduler: one write per worker of the chosen group per query,
+    # one write per group-column... updates are written once per group
+    # (then one queue per group member row — single layer: one row per
+    # group), i.e. one write per group per update.
+    write_rate = (
+        sum(
+            share * lambda_q * size
+            for share, size in zip(grouping.query_shares, grouping.group_sizes)
+        )
+        + lambda_u * len(grouping.group_sizes)
+    )
+    if write_rate * machine.queue_write_time >= 1.0:
+        return math.inf
+
+    mean = 0.0
+    for size, share in zip(grouping.group_sizes, grouping.query_shares):
+        group_query_rate = share * lambda_q
+        per_worker_update_rate = lambda_u / size
+        sojourn = single_queue_response_time(
+            group_query_rate, per_worker_update_rate, profile
+        )
+        if math.isinf(sojourn):
+            return math.inf
+        overhead = machine.queue_write_time * size
+        if size > 1:
+            overhead += machine.merge_time * size
+        mean += share * (sojourn + overhead)
+    return mean
+
+
+def proportional_shares(group_sizes: Sequence[int]) -> tuple[float, ...]:
+    """Query shares proportional to group size (a natural policy)."""
+    total = sum(group_sizes)
+    if total <= 0:
+        raise ValueError("group sizes must be positive")
+    return tuple(size / total for size in group_sizes)
+
+
+def equal_shares(num_groups: int) -> tuple[float, ...]:
+    if num_groups < 1:
+        raise ValueError("need at least one group")
+    return (1.0 / num_groups,) * num_groups
+
+
+def random_grouping(
+    worker_budget: int, rng: random.Random, max_group: int = 6
+) -> GenericGrouping:
+    """A random irregular grouping of exactly ``worker_budget`` workers.
+
+    Group sizes are random in ``1..max_group``; query shares are drawn
+    from a Dirichlet-like renormalized uniform sample, so both the
+    structure and the load split are adversarial.
+    """
+    if worker_budget < 1:
+        raise ValueError("worker budget must be positive")
+    sizes: list[int] = []
+    remaining = worker_budget
+    while remaining > 0:
+        size = rng.randint(1, min(remaining, max_group))
+        sizes.append(size)
+        remaining -= size
+    raw = [rng.uniform(0.2, 1.0) for _ in sizes]
+    total = sum(raw)
+    shares = tuple(value / total for value in raw)
+    # Renormalize exactly (guard against float drift).
+    correction = 1.0 - sum(shares)
+    shares = shares[:-1] + (shares[-1] + correction,)
+    return GenericGrouping(tuple(sizes), shares)
+
+
+def best_rectangular(
+    worker_budget: int,
+    workload: Workload,
+    profile: AlgorithmProfile,
+    machine: MachineSpec,
+) -> tuple[GenericGrouping, float]:
+    """The best rectangular grouping of at most ``worker_budget`` workers."""
+    best: GenericGrouping | None = None
+    best_value = math.inf
+    for x in range(1, worker_budget + 1):
+        y = worker_budget // x
+        if y < 1:
+            break
+        grouping = GenericGrouping.rectangular(MPRConfig(x, y, 1))
+        value = grouping_response_time(grouping, workload, profile, machine)
+        if value < best_value:
+            best, best_value = grouping, value
+    if best is None:  # pragma: no cover - worker_budget >= 1 guarantees one
+        raise ValueError("no rectangular grouping fits the budget")
+    return best, best_value

@@ -1,0 +1,31 @@
+"""Moving objects and the query/update task stream."""
+
+from .object_set import ObjectSet
+from .tasks import (
+    DeleteTask,
+    InsertTask,
+    QueryTask,
+    Task,
+    TaskKind,
+    UpdateTask,
+    count_kinds,
+    is_query,
+    is_update,
+    seed_stream_with_objects,
+    validate_stream,
+)
+
+__all__ = [
+    "ObjectSet",
+    "DeleteTask",
+    "InsertTask",
+    "QueryTask",
+    "Task",
+    "TaskKind",
+    "UpdateTask",
+    "count_kinds",
+    "is_query",
+    "is_update",
+    "seed_stream_with_objects",
+    "validate_stream",
+]

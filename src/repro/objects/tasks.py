@@ -1,0 +1,135 @@
+"""Task types: the single stream of kNN queries and object updates.
+
+Section III models the system input as "a single stream of kNN queries
+and object updates with stochastic arrivals".  A task is either a
+query, an object insert, or an object delete; an object *movement*
+(taxi-hailing mode) is encoded — as the paper prescribes — as a delete
+immediately followed by an insert that share a ``movement_id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Union
+
+
+class TaskKind(Enum):
+    QUERY = "query"
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True, order=True)
+class QueryTask:
+    """A kNN query issued from ``location`` asking for ``k`` objects."""
+
+    arrival_time: float
+    query_id: int
+    location: int
+    k: int
+
+    kind: TaskKind = field(default=TaskKind.QUERY, compare=False)
+
+
+@dataclass(frozen=True, order=True)
+class InsertTask:
+    """Insert ``object_id`` at ``location``.
+
+    ``movement_id`` links the delete/insert pair of a TH-mode movement;
+    standalone RU-mode inserts leave it ``None``.
+    """
+
+    arrival_time: float
+    object_id: int
+    location: int
+    movement_id: int | None = None
+
+    kind: TaskKind = field(default=TaskKind.INSERT, compare=False)
+
+
+@dataclass(frozen=True, order=True)
+class DeleteTask:
+    """Delete ``object_id`` from wherever it currently is."""
+
+    arrival_time: float
+    object_id: int
+    movement_id: int | None = None
+
+    kind: TaskKind = field(default=TaskKind.DELETE, compare=False)
+
+
+Task = Union[QueryTask, InsertTask, DeleteTask]
+UpdateTask = Union[InsertTask, DeleteTask]
+
+
+def is_query(task: Task) -> bool:
+    return task.kind is TaskKind.QUERY
+
+
+def is_update(task: Task) -> bool:
+    return task.kind is not TaskKind.QUERY
+
+
+def count_kinds(tasks: list[Task]) -> dict[TaskKind, int]:
+    """Tally of task kinds in a stream (workload diagnostics)."""
+    counts = {kind: 0 for kind in TaskKind}
+    for task in tasks:
+        counts[task.kind] += 1
+    return counts
+
+
+def validate_stream(tasks: list[Task]) -> None:
+    """Sanity-check a task stream.
+
+    Raises ``ValueError`` when arrival times are not non-decreasing, when
+    a delete targets an object that does not exist at that point, or when
+    an insert reuses a live object id.  Used by workload tests and by the
+    executors' debug mode.
+    """
+    last_time = float("-inf")
+    live: set[int] = set()
+    for position, task in enumerate(tasks):
+        if task.arrival_time < last_time:
+            raise ValueError(
+                f"task #{position} arrives at {task.arrival_time} before "
+                f"predecessor at {last_time}"
+            )
+        last_time = task.arrival_time
+        if task.kind is TaskKind.INSERT:
+            if task.object_id in live:
+                raise ValueError(
+                    f"task #{position} inserts live object {task.object_id}"
+                )
+            live.add(task.object_id)
+        elif task.kind is TaskKind.DELETE:
+            if task.object_id not in live:
+                raise ValueError(
+                    f"task #{position} deletes unknown object {task.object_id}"
+                )
+            live.discard(task.object_id)
+
+
+def seed_stream_with_objects(tasks: list[Task], initial_objects: set[int]) -> None:
+    """Variant of :func:`validate_stream` aware of pre-placed objects."""
+    last_time = float("-inf")
+    live = set(initial_objects)
+    for position, task in enumerate(tasks):
+        if task.arrival_time < last_time:
+            raise ValueError(
+                f"task #{position} arrives at {task.arrival_time} before "
+                f"predecessor at {last_time}"
+            )
+        last_time = task.arrival_time
+        if task.kind is TaskKind.INSERT:
+            if task.object_id in live:
+                raise ValueError(
+                    f"task #{position} inserts live object {task.object_id}"
+                )
+            live.add(task.object_id)
+        elif task.kind is TaskKind.DELETE:
+            if task.object_id not in live:
+                raise ValueError(
+                    f"task #{position} deletes unknown object {task.object_id}"
+                )
+            live.discard(task.object_id)

@@ -1,0 +1,39 @@
+"""Discrete-event simulation of the multicore machine."""
+
+from .des import FCFSServer, ServiceSampler
+from .inloop import InLoopResult, simulate_with_execution
+from .measurement import (
+    Measurement,
+    find_max_throughput,
+    measure_response_time,
+    summarize,
+    synthetic_stream,
+)
+from .system import QueryOutcome, SimulatedMPRSystem, SystemStats
+from .trace import (
+    LatencyDigest,
+    bottleneck,
+    digest_latencies,
+    latency_histogram,
+    utilization_report,
+)
+
+__all__ = [
+    "InLoopResult",
+    "simulate_with_execution",
+    "LatencyDigest",
+    "bottleneck",
+    "digest_latencies",
+    "latency_histogram",
+    "utilization_report",
+    "FCFSServer",
+    "ServiceSampler",
+    "Measurement",
+    "find_max_throughput",
+    "measure_response_time",
+    "summarize",
+    "synthetic_stream",
+    "QueryOutcome",
+    "SimulatedMPRSystem",
+    "SystemStats",
+]

@@ -1,0 +1,158 @@
+"""Measured-in-the-loop simulation: real execution, simulated cores.
+
+The profile-driven simulator (:mod:`repro.sim.system`) samples service
+times from a fitted distribution.  This module closes the remaining
+gap for *measured mode*: it actually executes every query and update
+on real per-worker solution instances — so answers are real and each
+operation's **measured wall time** becomes its service time in the
+queueing model.  The Lindley recurrence then yields the response times
+the same stream would see on a machine whose cores run exactly our
+Python implementations.
+
+This is the closest meaningful approximation to "run the paper's
+experiment on this hardware" that a GIL-bound runtime permits
+(DESIGN.md substitution #1): work is executed serially, but the
+queueing arithmetic accounts for it as if each w-core were a real
+core.  Correctness is inherited from the router (identical to the
+threaded executor); tests pin both the answers and the accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..knn.base import KNNSolution, Neighbor, merge_partial_results
+from ..mpr.analysis import MachineSpec
+from ..mpr.config import MPRConfig
+from ..mpr.core_matrix import MPRRouter, QueryRoute, WorkerId
+from ..objects.tasks import Task, TaskKind
+from .des import FCFSServer
+
+
+@dataclass
+class InLoopResult:
+    """Outcome of a measured-in-the-loop run."""
+
+    answers: dict[int, list[Neighbor]]
+    response_times: dict[int, float]
+    horizon: float
+    worker_busy: dict[WorkerId, float] = field(default_factory=dict)
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return float("inf")
+        return sum(self.response_times.values()) / len(self.response_times)
+
+    def utilization(self, worker_id: WorkerId) -> float:
+        if self.horizon <= 0:
+            return 0.0
+        return self.worker_busy.get(worker_id, 0.0) / self.horizon
+
+
+def simulate_with_execution(
+    solution: KNNSolution,
+    config: MPRConfig,
+    machine: MachineSpec,
+    objects: Mapping[int, int],
+    tasks: Sequence[Task],
+    horizon: float,
+) -> InLoopResult:
+    """Execute a stream on real solution instances with simulated cores.
+
+    Every worker holds ``solution.spawn(partition)``.  Tasks route
+    through the real :class:`MPRRouter`; each operation is executed and
+    wall-timed, and the measured duration is fed into that worker's
+    Lindley server at the task's (simulated) arrival time.  Query
+    completion follows the same dataflow as the profile-driven
+    simulator (scheduler writes, worker max, aggregator merges).
+    """
+    router = MPRRouter(config)
+    contents = router.preload_objects(objects)
+    workers: dict[WorkerId, KNNSolution] = {
+        worker_id: solution.spawn(cell) for worker_id, cell in contents.items()
+    }
+    servers: dict[WorkerId, FCFSServer] = {
+        worker_id: FCFSServer(f"w{worker_id}") for worker_id in workers
+    }
+    schedulers = [FCFSServer(f"s[{layer}]") for layer in range(config.z)]
+    aggregators = [FCFSServer(f"a[{layer}]") for layer in range(config.z)]
+    dispatcher = FCFSServer("d")
+
+    answers: dict[int, list[Neighbor]] = {}
+    response_times: dict[int, float] = {}
+    pending: list[list[tuple[float, int, int]]] = [[] for _ in range(config.z)]
+    query_meta: list[tuple[int, float, float]] = []  # (id, arrival, worker max)
+    seq = 0
+
+    for task in tasks:
+        t = task.arrival_time
+        route = router.route(task)
+        if config.z > 1:
+            t = dispatcher.serve(t, machine.dispatch_time)
+        if task.kind is TaskKind.QUERY:
+            assert isinstance(route, QueryRoute)
+            t_sched = schedulers[route.layer].serve(
+                t, machine.queue_write_time * config.x
+            )
+            partials: list[list[Neighbor]] = []
+            worker_done_max = 0.0
+            query_index = len(query_meta)
+            for worker_id in route.workers:
+                start = time.perf_counter()
+                partial = workers[worker_id].query(task.location, task.k)
+                service = time.perf_counter() - start
+                done = servers[worker_id].serve(t_sched, service)
+                partials.append(partial)
+                if config.x > 1:
+                    pending[route.layer].append((done, seq, query_index))
+                    seq += 1
+                if done > worker_done_max:
+                    worker_done_max = done
+            answers[task.query_id] = merge_partial_results(partials, task.k)
+            query_meta.append((task.query_id, task.arrival_time, worker_done_max))
+        else:
+            for layer in range(config.z):
+                t_sched = schedulers[layer].serve(
+                    t, machine.queue_write_time * config.y
+                )
+                column = route.columns[layer]
+                for row in range(config.y):
+                    worker_id = (layer, row, column)
+                    start = time.perf_counter()
+                    if task.kind is TaskKind.INSERT:
+                        workers[worker_id].insert(task.object_id, task.location)
+                    else:
+                        workers[worker_id].delete(task.object_id)
+                    service = time.perf_counter() - start
+                    servers[worker_id].serve(t_sched, service)
+
+    # Aggregator post-pass (FCFS in partial-arrival order per layer).
+    completion = {
+        query_id: worker_done
+        for query_id, _, worker_done in query_meta
+    }
+    if config.x > 1:
+        remaining = {query_id: config.x for query_id, _, _ in query_meta}
+        for layer in range(config.z):
+            server = aggregators[layer]
+            for arrival, _seq, query_index in sorted(pending[layer]):
+                done = server.serve(arrival, machine.merge_time)
+                query_id = query_meta[query_index][0]
+                remaining[query_id] -= 1
+                if remaining[query_id] == 0:
+                    completion[query_id] = done
+    for query_id, arrival, _ in query_meta:
+        response_times[query_id] = completion[query_id] - arrival
+
+    return InLoopResult(
+        answers=answers,
+        response_times=response_times,
+        horizon=horizon,
+        worker_busy={
+            worker_id: server.busy_time
+            for worker_id, server in servers.items()
+        },
+    )

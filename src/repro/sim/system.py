@@ -1,0 +1,265 @@
+"""The simulated multicore MPR system.
+
+Wires :class:`~repro.sim.des.FCFSServer` instances into the core-matrix
+topology and pushes a task stream through them, using the *same*
+:class:`~repro.mpr.core_matrix.MPRRouter` logic as the real threaded
+executor — the simulation and the implementation cannot diverge on
+scheduling decisions.
+
+Pipeline per query (z > 1 adds the d-core hop):
+
+    arrival → [d-core: τ_d] → [s-core λ: x·τ_w] → x × [w-core: ~Q]
+            → x × [a-core λ: τ_m]  (skipped when x = 1)
+
+Pipeline per update: the d-core hands it to *every* layer's s-core
+(y·τ_w each), which fans it to the y w-cores of one column (~U each).
+
+Service times at w-cores are drawn from an
+:class:`~repro.knn.calibration.AlgorithmProfile` via gamma sampling;
+control-plane costs come from :class:`~repro.mpr.analysis.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..knn.calibration import AlgorithmProfile
+from ..mpr.analysis import MachineSpec
+from ..mpr.config import MPRConfig
+from ..mpr.core_matrix import MPRRouter, QueryRoute
+from ..objects.tasks import Task, TaskKind
+from .des import FCFSServer, ServiceSampler
+
+
+@dataclass
+class QueryOutcome:
+    """Timing of one simulated query."""
+
+    query_id: int
+    arrival: float
+    completion: float
+    worker_service_max: float  # service on the critical (slowest) partial
+
+    @property
+    def response_time(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass
+class SystemStats:
+    """Aggregate accounting of a simulation run."""
+
+    horizon: float
+    outcomes: list[QueryOutcome]
+    worker_utilizations: dict[tuple[int, int, int], float]
+    scheduler_utilizations: list[float]
+    aggregator_utilizations: list[float]
+    dispatcher_utilization: float
+    end_backlogs: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_utilization(self) -> float:
+        candidates = [self.dispatcher_utilization]
+        candidates.extend(self.worker_utilizations.values())
+        candidates.extend(self.scheduler_utilizations)
+        candidates.extend(self.aggregator_utilizations)
+        return max(candidates, default=0.0)
+
+
+class SimulatedMPRSystem:
+    """Evaluates a task stream through the simulated core matrix.
+
+    Two perturbation hooks extend the paper's homogeneous-core model:
+
+    * ``speed_factors`` — per-worker relative speeds (0.5 = half speed),
+      modelling heterogeneous cores (big.LITTLE, thermal throttling);
+      unlisted workers run at speed 1.0.
+    * ``straggler`` — ``(worker_id, start, end, slowdown)``: the worker
+      multiplies its service times by ``slowdown`` while the simulated
+      clock is inside ``[start, end)``, modelling a transient stall
+      (GC pause, noisy neighbour).
+    """
+
+    def __init__(
+        self,
+        config: MPRConfig,
+        profile: AlgorithmProfile,
+        machine: MachineSpec,
+        seed: int = 0,
+        speed_factors: dict[tuple[int, int, int], float] | None = None,
+        straggler: tuple[tuple[int, int, int], float, float, float] | None = None,
+    ) -> None:
+        if config.total_cores > machine.total_cores:
+            raise ValueError(
+                f"configuration needs {config.total_cores} cores, machine "
+                f"has {machine.total_cores}"
+            )
+        self._config = config
+        self._machine = machine
+        self._router = MPRRouter(config)
+        rng = random.Random(seed)
+        self._query_sampler = ServiceSampler(profile.tq, profile.vq, rng)
+        self._update_sampler = ServiceSampler(profile.tu, profile.vu, rng)
+        self._speed_factors = dict(speed_factors or {})
+        for worker_id, speed in self._speed_factors.items():
+            if speed <= 0:
+                raise ValueError(f"worker {worker_id} speed must be positive")
+        if straggler is not None:
+            worker_id, start, end, slowdown = straggler
+            if slowdown <= 0:
+                raise ValueError("straggler slowdown must be positive")
+            if end < start:
+                raise ValueError("straggler window must not be inverted")
+        self._straggler = straggler
+
+        self._dispatcher = FCFSServer("d-core")
+        self._schedulers = [FCFSServer(f"s-core[{l}]") for l in range(config.z)]
+        self._aggregators = [FCFSServer(f"a-core[{l}]") for l in range(config.z)]
+        self._workers = {
+            worker_id: FCFSServer(f"w-core{worker_id}")
+            for worker_id in self._router.all_workers()
+        }
+        # Per-layer partial results awaiting the a-core post-pass:
+        # (arrival_at_acore, seq, query_index).
+        self._pending_partials: list[list[tuple[float, int, int]]] = [
+            [] for _ in range(config.z)
+        ]
+        self._seq = 0
+
+    @property
+    def config(self) -> MPRConfig:
+        return self._config
+
+    def preload(self, objects: dict[int, int]) -> None:
+        """Register pre-placed objects with the router's schedulers so
+        the stream may delete/move them (placement does not affect the
+        simulated timing, only routing validity)."""
+        self._router.preload_objects(objects)
+
+    def run(self, tasks: list[Task], horizon: float) -> SystemStats:
+        """Push ``tasks`` (time-ordered) through the system.
+
+        ``horizon`` is the nominal run length used for utilization
+        accounting (tasks beyond it should not be in the list).
+        """
+        config = self._config
+        machine = self._machine
+        outcomes: list[QueryOutcome] = []
+        # Query bookkeeping for the aggregator post-pass.
+        query_meta: list[QueryOutcome] = []
+        expected: list[int] = []
+
+        for task in tasks:
+            t = task.arrival_time
+            route = self._router.route(task)
+            if config.z > 1:
+                t = self._dispatcher.serve(t, machine.dispatch_time)
+            if task.kind is TaskKind.QUERY:
+                assert isinstance(route, QueryRoute)
+                t_sched = self._schedulers[route.layer].serve(
+                    t, machine.queue_write_time * config.x
+                )
+                worker_done_max = 0.0
+                service_max = 0.0
+                query_index = len(query_meta)
+                for worker_id in route.workers:
+                    service = self._perturbed(
+                        worker_id, self._query_sampler.sample(), t_sched
+                    )
+                    done = self._workers[worker_id].serve(t_sched, service)
+                    if config.x > 1:
+                        self._pending_partials[route.layer].append(
+                            (done, self._seq, query_index)
+                        )
+                        self._seq += 1
+                    if done > worker_done_max:
+                        worker_done_max = done
+                    if service > service_max:
+                        service_max = service
+                outcome = QueryOutcome(
+                    task.query_id, task.arrival_time, worker_done_max, service_max
+                )
+                query_meta.append(outcome)
+                expected.append(len(route.workers))
+            else:
+                # Updates reach every layer; each layer's s-core writes
+                # y queues, then the column's workers apply the update.
+                for layer in range(config.z):
+                    t_sched = self._schedulers[layer].serve(
+                        t, machine.queue_write_time * config.y
+                    )
+                    column = route.columns[layer]
+                    for row in range(config.y):
+                        worker_id = (layer, row, column)
+                        service = self._perturbed(
+                            worker_id, self._update_sampler.sample(), t_sched
+                        )
+                        self._workers[worker_id].serve(t_sched, service)
+
+        # Aggregator post-pass: merge partials in FCFS (arrival) order.
+        if config.x > 1:
+            remaining = expected[:]
+            for layer in range(config.z):
+                partials = sorted(self._pending_partials[layer])
+                server = self._aggregators[layer]
+                for arrival, _seq, query_index in partials:
+                    done = server.serve(arrival, machine.merge_time)
+                    remaining[query_index] -= 1
+                    if remaining[query_index] == 0:
+                        # FCFS merge completions are monotone in arrival
+                        # order, so the last partial's merge is the max.
+                        query_meta[query_index].completion = done
+                self._pending_partials[layer] = []
+        outcomes = query_meta
+
+        backlogs: dict[str, float] = {}
+        for server in self._all_servers():
+            backlog = server.end_backlog(horizon)
+            if backlog > 0:
+                backlogs[server.name] = backlog
+
+        return SystemStats(
+            horizon=horizon,
+            outcomes=outcomes,
+            worker_utilizations={
+                worker_id: server.utilization(horizon)
+                for worker_id, server in self._workers.items()
+            },
+            scheduler_utilizations=[
+                s.utilization(horizon) for s in self._schedulers
+            ],
+            aggregator_utilizations=[
+                a.utilization(horizon) for a in self._aggregators
+            ]
+            if config.x > 1
+            else [],
+            dispatcher_utilization=(
+                self._dispatcher.utilization(horizon) if config.z > 1 else 0.0
+            ),
+            end_backlogs=backlogs,
+        )
+
+    def _perturbed(
+        self, worker_id: tuple[int, int, int], base: float, time: float
+    ) -> float:
+        """Apply speed factors and the straggler window to a service."""
+        service = base
+        speed = self._speed_factors.get(worker_id)
+        if speed is not None:
+            service /= speed
+        if self._straggler is not None:
+            victim, start, end, slowdown = self._straggler
+            if victim == worker_id and start <= time < end:
+                service *= slowdown
+        return service
+
+    def _all_servers(self) -> list[FCFSServer]:
+        servers: list[FCFSServer] = []
+        if self._config.z > 1:
+            servers.append(self._dispatcher)
+        servers.extend(self._schedulers)
+        if self._config.x > 1:
+            servers.extend(self._aggregators)
+        servers.extend(self._workers.values())
+        return servers

@@ -1,0 +1,126 @@
+"""Latency digests and per-core reports for simulation runs.
+
+The paper reports means ("We compute the average response time of all
+the queries"), but operators of the motivating systems (Uber, Didi)
+care about tails; this module turns a run's raw
+:class:`~repro.sim.system.SystemStats` into percentile digests,
+latency histograms, and per-core utilization reports for the benches
+and examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .system import SystemStats
+
+DEFAULT_PERCENTILES = (0.50, 0.90, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class LatencyDigest:
+    """Distributional summary of query response times."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    percentiles: dict[float, float]
+
+    def percentile(self, quantile: float) -> float:
+        try:
+            return self.percentiles[quantile]
+        except KeyError:
+            known = ", ".join(f"{q:g}" for q in sorted(self.percentiles))
+            raise KeyError(
+                f"percentile {quantile} not in digest (has: {known})"
+            ) from None
+
+    @property
+    def p99_over_mean(self) -> float:
+        """Tail amplification factor (1.0 = deterministic)."""
+        if self.mean <= 0:
+            return 0.0
+        return self.percentiles.get(0.99, self.maximum) / self.mean
+
+
+def digest_latencies(
+    stats: SystemStats,
+    warmup: float = 0.0,
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> LatencyDigest:
+    """Summarize response times of queries arriving after ``warmup``."""
+    samples = sorted(
+        outcome.response_time
+        for outcome in stats.outcomes
+        if outcome.arrival >= warmup
+    )
+    if not samples:
+        empty = {q: math.inf for q in percentiles}
+        return LatencyDigest(0, math.inf, math.inf, math.inf, empty)
+    values = {}
+    for quantile in percentiles:
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"percentile {quantile} outside [0, 1]")
+        index = min(int(quantile * (len(samples) - 1) + 0.5), len(samples) - 1)
+        values[quantile] = samples[index]
+    return LatencyDigest(
+        count=len(samples),
+        mean=sum(samples) / len(samples),
+        minimum=samples[0],
+        maximum=samples[-1],
+        percentiles=values,
+    )
+
+
+def latency_histogram(
+    stats: SystemStats, num_bins: int = 20, warmup: float = 0.0
+) -> list[tuple[float, int]]:
+    """Equal-width histogram of response times: (bin upper edge, count)."""
+    if num_bins < 1:
+        raise ValueError("num_bins must be positive")
+    samples = [
+        outcome.response_time
+        for outcome in stats.outcomes
+        if outcome.arrival >= warmup
+    ]
+    if not samples:
+        return []
+    top = max(samples)
+    if top <= 0:
+        return [(0.0, len(samples))]
+    width = top / num_bins
+    counts = [0] * num_bins
+    for sample in samples:
+        index = min(int(sample / width), num_bins - 1)
+        counts[index] += 1
+    return [((i + 1) * width, counts[i]) for i in range(num_bins)]
+
+
+def utilization_report(stats: SystemStats) -> list[tuple[str, float]]:
+    """Per-core utilization rows, hottest first.
+
+    Worker rows are labelled ``w(layer,row,col)``; control-plane rows
+    by role.  The hottest core is the system's capacity bottleneck.
+    """
+    rows: list[tuple[str, float]] = []
+    for worker_id, utilization in stats.worker_utilizations.items():
+        rows.append((f"w{worker_id}", utilization))
+    for layer, utilization in enumerate(stats.scheduler_utilizations):
+        rows.append((f"s-core[{layer}]", utilization))
+    for layer, utilization in enumerate(stats.aggregator_utilizations):
+        rows.append((f"a-core[{layer}]", utilization))
+    if stats.dispatcher_utilization > 0:
+        rows.append(("d-core", stats.dispatcher_utilization))
+    rows.sort(key=lambda row: row[1], reverse=True)
+    return rows
+
+
+def bottleneck(stats: SystemStats) -> tuple[str, float]:
+    """The hottest core and its utilization (the capacity limiter)."""
+    rows = utilization_report(stats)
+    if not rows:
+        return ("none", 0.0)
+    return rows[0]

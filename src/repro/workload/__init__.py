@@ -1,0 +1,48 @@
+"""Workload generation: arrivals, RU/TH streams, named scenarios."""
+
+from .arrivals import (
+    deterministic_arrivals,
+    interarrival_stats,
+    merge_labelled,
+    poisson_arrivals,
+    thin,
+)
+from .generator import GeneratedWorkload, UpdateMode, generate_workload
+from .replay import FleetSpec, fleet_update_rate, replay_fleet
+from .serialization import load_workload, save_workload
+from .scenarios import (
+    BJ_RU_QUERY_HEAVY,
+    CASE_STUDY,
+    FIGURE6_SCENARIOS,
+    FIGURE10_NETWORKS,
+    FIGURE10_SCENARIO_TEMPLATE,
+    NY_RU_UPDATE_HEAVY,
+    MaterializedScenario,
+    Scenario,
+    materialize,
+)
+
+__all__ = [
+    "deterministic_arrivals",
+    "interarrival_stats",
+    "merge_labelled",
+    "poisson_arrivals",
+    "thin",
+    "GeneratedWorkload",
+    "UpdateMode",
+    "generate_workload",
+    "FleetSpec",
+    "load_workload",
+    "save_workload",
+    "fleet_update_rate",
+    "replay_fleet",
+    "BJ_RU_QUERY_HEAVY",
+    "CASE_STUDY",
+    "FIGURE6_SCENARIOS",
+    "FIGURE10_NETWORKS",
+    "FIGURE10_SCENARIO_TEMPLATE",
+    "NY_RU_UPDATE_HEAVY",
+    "MaterializedScenario",
+    "Scenario",
+    "materialize",
+]

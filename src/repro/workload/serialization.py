@@ -1,0 +1,111 @@
+"""Workload persistence: save/load generated streams as JSON.
+
+Experiments become comparable across machines and languages when the
+exact task stream is an artifact.  The format is a single JSON object:
+
+.. code-block:: json
+
+    {
+      "format": "repro-workload-v1",
+      "lambda_q": 100.0, "lambda_u": 200.0, "duration": 1.0,
+      "initial_objects": {"0": 17, "1": 523},
+      "tasks": [
+        {"t": 0.01, "kind": "query", "id": 0, "location": 42, "k": 10},
+        {"t": 0.02, "kind": "insert", "object": 5, "location": 9},
+        {"t": 0.03, "kind": "delete", "object": 5, "movement": 0}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..objects.tasks import DeleteTask, InsertTask, QueryTask, Task
+from .generator import GeneratedWorkload
+
+FORMAT_TAG = "repro-workload-v1"
+
+
+def _task_to_dict(task: Task) -> dict[str, Any]:
+    if isinstance(task, QueryTask):
+        return {
+            "t": task.arrival_time, "kind": "query", "id": task.query_id,
+            "location": task.location, "k": task.k,
+        }
+    if isinstance(task, InsertTask):
+        payload: dict[str, Any] = {
+            "t": task.arrival_time, "kind": "insert",
+            "object": task.object_id, "location": task.location,
+        }
+        if task.movement_id is not None:
+            payload["movement"] = task.movement_id
+        return payload
+    if isinstance(task, DeleteTask):
+        payload = {
+            "t": task.arrival_time, "kind": "delete", "object": task.object_id,
+        }
+        if task.movement_id is not None:
+            payload["movement"] = task.movement_id
+        return payload
+    raise TypeError(f"unknown task type {type(task).__name__}")
+
+
+def _task_from_dict(payload: dict[str, Any]) -> Task:
+    kind = payload.get("kind")
+    if kind == "query":
+        return QueryTask(
+            float(payload["t"]), int(payload["id"]),
+            int(payload["location"]), int(payload["k"]),
+        )
+    if kind == "insert":
+        return InsertTask(
+            float(payload["t"]), int(payload["object"]),
+            int(payload["location"]),
+            movement_id=(
+                int(payload["movement"]) if "movement" in payload else None
+            ),
+        )
+    if kind == "delete":
+        return DeleteTask(
+            float(payload["t"]), int(payload["object"]),
+            movement_id=(
+                int(payload["movement"]) if "movement" in payload else None
+            ),
+        )
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def save_workload(workload: GeneratedWorkload, path: str | Path) -> None:
+    """Write a workload (initial objects + stream) to a JSON file."""
+    payload = {
+        "format": FORMAT_TAG,
+        "lambda_q": workload.lambda_q,
+        "lambda_u": workload.lambda_u,
+        "duration": workload.duration,
+        "initial_objects": {
+            str(object_id): node
+            for object_id, node in sorted(workload.initial_objects.items())
+        },
+        "tasks": [_task_to_dict(task) for task in workload.tasks],
+    }
+    Path(path).write_text(json.dumps(payload) + "\n")
+
+
+def load_workload(path: str | Path) -> GeneratedWorkload:
+    """Read a workload written by :func:`save_workload`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_TAG:
+        raise ValueError(f"{path}: not a {FORMAT_TAG} file")
+    return GeneratedWorkload(
+        initial_objects={
+            int(object_id): int(node)
+            for object_id, node in payload["initial_objects"].items()
+        },
+        tasks=[_task_from_dict(item) for item in payload["tasks"]],
+        lambda_q=float(payload["lambda_q"]),
+        lambda_u=float(payload["lambda_u"]),
+        duration=float(payload["duration"]),
+    )

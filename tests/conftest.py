@@ -1,0 +1,47 @@
+"""Shared fixtures: small deterministic networks and object sets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import RoadNetwork, grid_network, ring_radial_network
+
+
+@pytest.fixture(scope="session")
+def path_network() -> RoadNetwork:
+    """0 - 1 - 2 - 3 - 4 path with unit-ish weights."""
+    edges = [(i, i + 1, float(i + 1)) for i in range(4)]
+    coords = [(float(i), 0.0) for i in range(5)]
+    return RoadNetwork(5, edges, coordinates=coords, name="path5")
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> RoadNetwork:
+    return grid_network(8, 8, seed=1, diagonal_fraction=0.15)
+
+
+@pytest.fixture(scope="session")
+def medium_grid() -> RoadNetwork:
+    return grid_network(16, 16, seed=2, diagonal_fraction=0.2, deletion_fraction=0.08)
+
+
+@pytest.fixture(scope="session")
+def ring_network() -> RoadNetwork:
+    return ring_radial_network(5, 12, seed=3)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+def place_objects(network: RoadNetwork, count: int, seed: int = 7) -> dict[int, int]:
+    generator = random.Random(seed)
+    return {i: generator.randrange(network.num_nodes) for i in range(count)}
+
+
+@pytest.fixture()
+def grid_objects(small_grid: RoadNetwork) -> dict[int, int]:
+    return place_objects(small_grid, 15)

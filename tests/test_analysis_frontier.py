@@ -1,0 +1,102 @@
+"""Tests for the feasibility frontier and max-update-rate duals."""
+
+import math
+
+import pytest
+
+from repro.knn.calibration import AlgorithmProfile, paper_profile
+from repro.mpr import (
+    MachineSpec,
+    MPRConfig,
+    Workload,
+    feasible_frontier,
+    max_throughput_closed_form,
+    max_update_rate,
+    response_time,
+)
+
+
+def make_profile(tq=1e-4, tu=1e-5) -> AlgorithmProfile:
+    return AlgorithmProfile("t", tq=tq, vq=tq * tq, tu=tu, vu=tu * tu)
+
+
+MACHINE = MachineSpec(total_cores=19)
+
+
+class TestMaxUpdateRate:
+    def test_boundary_behaviour(self) -> None:
+        profile = make_profile()
+        config = MPRConfig(2, 4, 1)
+        bound = 0.01
+        lambda_q = 5_000.0
+        cap = max_update_rate(config, lambda_q, profile, MACHINE, bound)
+        assert cap > 0
+        below = response_time(
+            config, Workload(lambda_q, cap * 0.98), profile, MACHINE
+        )
+        above = response_time(
+            config, Workload(lambda_q, cap * 1.05), profile, MACHINE
+        )
+        assert below <= bound
+        assert above > bound or math.isinf(above)
+
+    def test_zero_when_queries_alone_overload(self) -> None:
+        profile = make_profile(tq=1e-2)
+        cap = max_update_rate(
+            MPRConfig(1, 1, 1), 1_000.0, profile, MACHINE, rq_bound=0.1
+        )
+        assert cap == 0.0
+
+    def test_more_columns_absorb_more_updates(self) -> None:
+        profile = paper_profile("V-tree", "BJ")  # slow updates
+        narrow = max_update_rate(MPRConfig(1, 8, 1), 100.0, profile, MACHINE, 0.05)
+        wide = max_update_rate(MPRConfig(8, 1, 1), 100.0, profile, MACHINE, 0.05)
+        assert wide > narrow
+
+
+class TestFrontier:
+    def test_monotone_decreasing(self) -> None:
+        profile = make_profile()
+        frontier = feasible_frontier(
+            MPRConfig(2, 4, 1), profile, MACHINE, rq_bound=0.01, num_points=7
+        )
+        assert len(frontier) == 7
+        lambdas_q = [point[0] for point in frontier]
+        lambdas_u = [point[1] for point in frontier]
+        assert lambdas_q == sorted(lambdas_q)
+        for earlier, later in zip(lambdas_u, lambdas_u[1:]):
+            assert later <= earlier + 1.0  # tolerance of the search
+
+    def test_endpoints(self) -> None:
+        profile = make_profile()
+        config = MPRConfig(2, 4, 1)
+        bound = 0.01
+        frontier = feasible_frontier(config, profile, MACHINE, bound, num_points=5)
+        # At λq = 0 the update cap matches the dual search directly.
+        assert frontier[0][0] == 0.0
+        direct = max_update_rate(config, 0.0, profile, MACHINE, bound)
+        assert frontier[0][1] == pytest.approx(direct, rel=0.01)
+        # At the last point λq is (just under) the zero-update peak.
+        peak = max_throughput_closed_form(config, 0.0, profile, MACHINE, bound)
+        assert frontier[-1][0] == pytest.approx(peak, rel=0.01)
+
+    def test_invalid_points(self) -> None:
+        with pytest.raises(ValueError):
+            feasible_frontier(
+                MPRConfig(1, 1, 1), make_profile(), MACHINE, 0.01, num_points=1
+            )
+
+    def test_frontier_interior_is_feasible(self) -> None:
+        profile = make_profile()
+        config = MPRConfig(1, 6, 2)
+        bound = 0.02
+        for lambda_q, lambda_u in feasible_frontier(
+            config, profile, MACHINE, bound, num_points=5
+        ):
+            if lambda_u <= 0:
+                continue
+            inside = response_time(
+                config, Workload(lambda_q * 0.9, lambda_u * 0.9),
+                profile, MACHINE,
+            )
+            assert inside <= bound

@@ -1,0 +1,87 @@
+"""Tests for joint TOAIN x MPR tuning."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph import grid_network
+from repro.knn import ContractionHierarchy
+from repro.mpr import (
+    JointChoice,
+    MachineSpec,
+    Objective,
+    Workload,
+    joint_tune,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(10, 10, seed=51, diagonal_fraction=0.15)
+
+
+@pytest.fixture(scope="module")
+def ch(net):
+    return ContractionHierarchy(net)
+
+
+@pytest.fixture(scope="module")
+def objects(net):
+    rng = random.Random(4)
+    return {i: rng.randrange(net.num_nodes) for i in range(20)}
+
+
+def test_joint_tune_response_time(net, ch, objects) -> None:
+    machine = MachineSpec(total_cores=12)
+    choice = joint_tune(
+        net, objects, Workload(50.0, 50.0), machine,
+        family=(0.05, 0.5), samples=5, ch=ch,
+    )
+    assert isinstance(choice, JointChoice)
+    assert choice.core_fraction in (0.05, 0.5)
+    assert choice.config.total_cores <= 12
+    assert set(choice.family_results) == {0.05, 0.5}
+    # The chosen member's value is the best of the family.
+    values = [value for _, _, value in choice.family_results.values()]
+    assert choice.predicted_value == min(values)
+
+
+def test_joint_tune_throughput(net, ch, objects) -> None:
+    machine = MachineSpec(total_cores=12)
+    choice = joint_tune(
+        net, objects, Workload(0.0, 20.0), machine,
+        objective=Objective.THROUGHPUT, rq_bound=0.5,
+        family=(0.05, 0.5), samples=5, ch=ch,
+    )
+    assert choice.objective is Objective.THROUGHPUT
+    values = [value for _, _, value in choice.family_results.values()]
+    assert choice.predicted_value == max(values)
+    assert choice.predicted_value > 0 or all(
+        value == 0 for value in values
+    )
+
+
+def test_joint_tune_profiles_differ_across_family(net, ch, objects) -> None:
+    """Different core fractions must produce different cost profiles —
+    otherwise the family is degenerate and the tuning pointless."""
+    machine = MachineSpec(total_cores=12)
+    choice = joint_tune(
+        net, objects, Workload(50.0, 50.0), machine,
+        family=(0.02, 0.8), samples=8, ch=ch,
+    )
+    (profile_a, _, _), (profile_b, _, _) = (
+        choice.family_results[0.02], choice.family_results[0.8]
+    )
+    assert profile_a.tq > 0 and profile_b.tq > 0
+    assert not math.isclose(profile_a.tu, profile_b.tu, rel_tol=0.01) or (
+        not math.isclose(profile_a.tq, profile_b.tq, rel_tol=0.01)
+    )
+
+
+def test_joint_tune_empty_family_rejected(net, ch, objects) -> None:
+    with pytest.raises(ValueError):
+        joint_tune(
+            net, objects, Workload(1.0, 1.0), MachineSpec(total_cores=4),
+            family=(), ch=ch,
+        )

@@ -1,0 +1,83 @@
+"""Tests for the one-call scheme comparison API."""
+
+import math
+
+import pytest
+
+from repro.harness import save_records, load_records
+from repro.knn import paper_profile
+from repro.mpr import (
+    MachineSpec,
+    Workload,
+    best_scheme,
+    compare_schemes_response_time,
+    compare_schemes_throughput,
+)
+
+PROFILE = paper_profile("TOAIN", "BJ")
+MACHINE = MachineSpec(total_cores=19)
+
+
+class TestResponseTimeComparison:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return compare_schemes_response_time(
+            Workload(15_000.0, 50_000.0), PROFILE, MACHINE,
+            scenario="BJ-RU", experiment="test", duration=0.5,
+        )
+
+    def test_four_records(self, records) -> None:
+        assert len(records) == 4
+        assert {r.scheme for r in records} == {"F-Rep", "F-Part", "1MPR", "MPR"}
+        assert all(r.metric == "response_time_s" for r in records)
+
+    def test_case_study_outcomes(self, records) -> None:
+        by_scheme = {r.scheme: r for r in records}
+        assert by_scheme["F-Rep"].overloaded
+        assert by_scheme["F-Part"].overloaded
+        assert not by_scheme["MPR"].overloaded
+
+    def test_best_scheme_is_mpr(self, records) -> None:
+        assert best_scheme(records).scheme == "MPR"
+
+    def test_round_trip_through_json(self, records, tmp_path) -> None:
+        path = tmp_path / "comparison.json"
+        save_records(records, path)
+        assert load_records(path) == records
+
+
+class TestThroughputComparison:
+    def test_ordering(self) -> None:
+        records = compare_schemes_throughput(
+            50_000.0, PROFILE, MACHINE, rq_bound=0.1, duration=0.25,
+        )
+        by_scheme = {r.scheme: r.value for r in records}
+        assert by_scheme["F-Rep"] < 200.0
+        assert by_scheme["MPR"] >= by_scheme["1MPR"] * 0.9
+        winner = best_scheme(records)
+        assert winner.scheme in ("MPR", "1MPR")
+        assert winner.metric == "throughput_qps"
+
+
+class TestBestScheme:
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            best_scheme([])
+
+    def test_mixed_metrics_rejected(self) -> None:
+        rt = compare_schemes_response_time(
+            Workload(1_000.0, 1_000.0), PROFILE, MACHINE, duration=0.2
+        )
+        tp = compare_schemes_throughput(
+            1_000.0, PROFILE, MACHINE, duration=0.2
+        )
+        with pytest.raises(ValueError, match="mixed metrics"):
+            best_scheme(rt + tp)
+
+    def test_minimizes_response_time(self) -> None:
+        records = compare_schemes_response_time(
+            Workload(5_000.0, 5_000.0), PROFILE, MACHINE, duration=0.3
+        )
+        winner = best_scheme(records)
+        finite = [r.value for r in records if math.isfinite(r.value)]
+        assert winner.value == min(finite)

@@ -1,0 +1,128 @@
+"""Tests for the core-matrix routing logic (Algorithms 1-3)."""
+
+import pytest
+
+from repro.mpr import MPRConfig, MPRRouter, QueryRoute, UpdateRoute
+from repro.mpr.core_matrix import check_matrix_invariants
+from repro.objects import DeleteTask, InsertTask, QueryTask
+
+
+def query(i: int) -> QueryTask:
+    return QueryTask(float(i), i, 0, 5)
+
+
+class TestQueryRouting:
+    def test_round_robin_over_rows(self) -> None:
+        router = MPRRouter(MPRConfig(x=2, y=3, z=1))
+        rows = [router.route(query(i)).row for i in range(6)]
+        assert rows == [0, 1, 2, 0, 1, 2]
+
+    def test_query_reaches_whole_row(self) -> None:
+        router = MPRRouter(MPRConfig(x=3, y=2, z=1))
+        route = router.route(query(0))
+        assert isinstance(route, QueryRoute)
+        assert route.workers == ((0, 0, 0), (0, 0, 1), (0, 0, 2))
+
+    def test_round_robin_over_layers(self) -> None:
+        router = MPRRouter(MPRConfig(x=1, y=2, z=3))
+        layers = [router.route(query(i)).layer for i in range(6)]
+        assert layers == [0, 1, 2, 0, 1, 2]
+
+
+class TestUpdateRouting:
+    def test_insert_round_robin_over_columns(self) -> None:
+        router = MPRRouter(MPRConfig(x=3, y=1, z=1))
+        columns = [
+            router.route(InsertTask(float(i), i, 0)).columns[0] for i in range(6)
+        ]
+        assert columns == [0, 1, 2, 0, 1, 2]
+
+    def test_update_reaches_whole_column_every_layer(self) -> None:
+        router = MPRRouter(MPRConfig(x=2, y=2, z=2))
+        route = router.route(InsertTask(0.0, 7, 0))
+        assert isinstance(route, UpdateRoute)
+        assert len(route.workers) == 2 * 2  # y rows x z layers
+        layers = {w[0] for w in route.workers}
+        assert layers == {0, 1}
+
+    def test_delete_follows_insert_column(self) -> None:
+        router = MPRRouter(MPRConfig(x=4, y=1, z=1))
+        router.route(InsertTask(0.0, 1, 0))  # column 0
+        router.route(InsertTask(0.1, 2, 0))  # column 1
+        delete_route = router.route(DeleteTask(0.2, 1))
+        assert delete_route.columns == (0,)
+
+    def test_delete_unknown_object_raises(self) -> None:
+        router = MPRRouter(MPRConfig(x=2, y=1, z=1))
+        with pytest.raises(KeyError, match="unknown object"):
+            router.route(DeleteTask(0.0, 404))
+
+    def test_double_insert_raises(self) -> None:
+        router = MPRRouter(MPRConfig(x=2, y=1, z=1))
+        router.route(InsertTask(0.0, 1, 0))
+        with pytest.raises(KeyError, match="live object"):
+            router.route(InsertTask(0.1, 1, 5))
+
+    def test_reinsert_after_delete_allowed(self) -> None:
+        router = MPRRouter(MPRConfig(x=2, y=1, z=1))
+        router.route(InsertTask(0.0, 1, 0))
+        router.route(DeleteTask(0.1, 1))
+        route = router.route(InsertTask(0.2, 1, 3))
+        assert isinstance(route, UpdateRoute)
+
+
+class TestSerializability:
+    def test_update_before_query_shares_worker(self) -> None:
+        """Section IV-A's argument: an update u arriving before query q
+        shares at least one w-core with q, serializing them there."""
+        config = MPRConfig(x=3, y=4, z=2)
+        router = MPRRouter(config)
+        update_route = router.route(InsertTask(0.0, 1, 0))
+        query_route = router.route(query(1))
+        assert set(update_route.workers) & set(query_route.workers)
+
+
+class TestPreload:
+    def test_preload_respects_invariants(self) -> None:
+        config = MPRConfig(x=3, y=2, z=2)
+        router = MPRRouter(config)
+        objects = {i: i * 10 for i in range(10)}
+        contents = router.preload_objects(objects)
+        check_matrix_invariants(contents, config)
+        union = set()
+        for column in range(config.x):
+            union |= set(contents[(0, 0, column)])
+        assert union == set(objects)
+
+    def test_preload_registers_delete_routing(self) -> None:
+        config = MPRConfig(x=3, y=1, z=1)
+        router = MPRRouter(config)
+        router.preload_objects({5: 0, 6: 1, 7: 2})
+        route = router.route(DeleteTask(0.0, 6))
+        # Object 6 is the second in sorted order -> column 1.
+        assert route.columns == (1,)
+
+    def test_all_workers_enumerated(self) -> None:
+        config = MPRConfig(x=2, y=3, z=2)
+        router = MPRRouter(config)
+        assert len(router.all_workers()) == config.worker_cores
+
+
+class TestInvariantChecker:
+    def test_detects_overlapping_cells(self) -> None:
+        config = MPRConfig(x=2, y=1, z=1)
+        contents = {(0, 0, 0): {1: 0}, (0, 0, 1): {1: 0}}
+        with pytest.raises(AssertionError, match="overlap"):
+            check_matrix_invariants(contents, config)
+
+    def test_detects_column_divergence(self) -> None:
+        config = MPRConfig(x=1, y=2, z=1)
+        contents = {(0, 0, 0): {1: 0}, (0, 1, 0): {1: 5}}
+        with pytest.raises(AssertionError, match="differs"):
+            check_matrix_invariants(contents, config)
+
+    def test_detects_missing_replica(self) -> None:
+        config = MPRConfig(x=1, y=2, z=1)
+        contents = {(0, 0, 0): {1: 0}, (0, 1, 0): {}}
+        with pytest.raises(AssertionError):
+            check_matrix_invariants(contents, config)

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are part of the public contract (deliverable (b)); these
+tests execute each one in a subprocess and sanity-check the expected
+headline strings in its output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+@pytest.mark.slow
+def test_quickstart() -> None:
+    out = run_example("quickstart.py")
+    assert "serial-equivalent answers: True" in out
+    assert "MPR chose" in out
+
+
+@pytest.mark.slow
+def test_taxi_dispatch() -> None:
+    out = run_example("taxi_dispatch.py")
+    assert "dispatched" in out
+    assert "Overload" in out       # F-Rep/F-Part break at peak
+    assert "MPR" in out
+
+
+@pytest.mark.slow
+def test_pokemon_events() -> None:
+    out = run_example("pokemon_events.py")
+    assert "exact vs serial: True" in out
+    assert "re-configures" in out
+
+
+@pytest.mark.slow
+def test_capacity_planning() -> None:
+    out = run_example("capacity_planning.py")
+    assert "Smallest machine satisfying the SLA" in out
+    assert "TOAIN" in out
+
+
+@pytest.mark.slow
+def test_custom_network() -> None:
+    out = run_example("custom_network.py")
+    assert "loaded NY-custom" in out
+    assert "Measured-in-the-loop" in out

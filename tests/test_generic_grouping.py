@@ -1,0 +1,178 @@
+"""Tests for the generic-grouping model and the Section IV-C claim."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knn.calibration import AlgorithmProfile, paper_profile
+from repro.mpr import (
+    GenericGrouping,
+    MachineSpec,
+    MPRConfig,
+    Workload,
+    best_rectangular,
+    equal_shares,
+    grouping_response_time,
+    proportional_shares,
+    random_grouping,
+    response_time,
+)
+
+
+def make_profile(tq=1e-4, tu=1e-5) -> AlgorithmProfile:
+    return AlgorithmProfile("t", tq=tq, vq=tq * tq, tu=tu, vu=tu * tu)
+
+
+MACHINE = MachineSpec(total_cores=19)
+
+
+class TestGroupingConstruction:
+    def test_rectangular_equivalent(self) -> None:
+        grouping = GenericGrouping.rectangular(MPRConfig(3, 5, 1))
+        assert grouping.group_sizes == (3,) * 5
+        assert sum(grouping.query_shares) == pytest.approx(1.0)
+        assert grouping.worker_cores == 15
+
+    def test_rejects_multi_layer(self) -> None:
+        with pytest.raises(ValueError):
+            GenericGrouping.rectangular(MPRConfig(1, 2, 2))
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            GenericGrouping((), ())
+        with pytest.raises(ValueError):
+            GenericGrouping((2, 2), (1.0,))
+        with pytest.raises(ValueError):
+            GenericGrouping((0, 2), (0.5, 0.5))
+        with pytest.raises(ValueError):
+            GenericGrouping((2, 2), (0.7, 0.7))
+        with pytest.raises(ValueError):
+            GenericGrouping((2, 2), (-0.2, 1.2))
+
+    def test_share_helpers(self) -> None:
+        assert proportional_shares([1, 3]) == (0.25, 0.75)
+        assert equal_shares(4) == (0.25,) * 4
+        with pytest.raises(ValueError):
+            equal_shares(0)
+
+    def test_random_grouping_budget(self) -> None:
+        rng = random.Random(1)
+        for _ in range(20):
+            grouping = random_grouping(15, rng)
+            assert grouping.worker_cores == 15
+            assert sum(grouping.query_shares) == pytest.approx(1.0)
+
+
+class TestGroupingModel:
+    def test_rectangular_grouping_matches_core_matrix_model(self) -> None:
+        """The grouping formula on a rectangular arrangement reproduces
+        Equation 5 for the same configuration."""
+        profile = make_profile()
+        workload = Workload(5_000.0, 8_000.0)
+        config = MPRConfig(3, 5, 1)
+        grouping = GenericGrouping.rectangular(config)
+        via_grouping = grouping_response_time(
+            grouping, workload, profile, MACHINE
+        )
+        via_matrix = response_time(config, workload, profile, MACHINE)
+        assert via_grouping == pytest.approx(via_matrix, rel=1e-9)
+
+    def test_overload_detected(self) -> None:
+        profile = make_profile(tq=1e-2)
+        grouping = GenericGrouping((1,), (1.0,))
+        value = grouping_response_time(
+            grouping, Workload(1_000.0, 0.0), profile, MACHINE
+        )
+        assert math.isinf(value)
+
+    def test_scheduler_overload_detected(self) -> None:
+        profile = make_profile(tq=1e-7, tu=1e-8)
+        grouping = GenericGrouping((1,) * 15, equal_shares(15))
+        value = grouping_response_time(
+            grouping, Workload(0.0, 60_000.0), profile, MACHINE
+        )
+        # 15 groups x 60K updates/s x 3us/write = 2.7 > 1 -> overload.
+        assert math.isinf(value)
+
+
+class TestOptimalityClaim:
+    """Section IV-C: the best rectangular arrangement is optimal among
+    generic groupings (checked empirically against random adversaries)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_groupings_never_beat_rectangular(self, seed) -> None:
+        profile = paper_profile("TOAIN", "BJ")
+        workload = Workload(15_000.0, 50_000.0)
+        _, rect_value = best_rectangular(15, workload, profile, MACHINE)
+        rng = random.Random(seed)
+        adversary = random_grouping(15, rng)
+        adversary_value = grouping_response_time(
+            adversary, workload, profile, MACHINE
+        )
+        assert adversary_value >= rect_value * (1.0 - 1e-9)
+
+    def test_proportional_share_variants_dont_beat_rectangular(self) -> None:
+        profile = paper_profile("TOAIN", "BJ")
+        workload = Workload(15_000.0, 50_000.0)
+        _, rect_value = best_rectangular(15, workload, profile, MACHINE)
+        for sizes in ([5, 5, 5], [6, 3, 3, 3], [4, 4, 4, 3], [2, 2, 2, 3, 3, 3]):
+            grouping = GenericGrouping(
+                tuple(sizes), proportional_shares(sizes)
+            )
+            value = grouping_response_time(grouping, workload, profile, MACHINE)
+            assert value >= rect_value * (1.0 - 1e-9), sizes
+
+    def test_best_rectangular_returns_feasible(self) -> None:
+        profile = paper_profile("TOAIN", "BJ")
+        grouping, value = best_rectangular(
+            15, Workload(15_000.0, 50_000.0), profile, MACHINE
+        )
+        assert math.isfinite(value)
+        assert grouping.worker_cores <= 15
+
+    def test_exhaustive_certification_small_budget(self) -> None:
+        """Numerically certify the theorem on a small instance: over
+        *all* integer groupings of 6 workers and a grid of query-share
+        splits, nothing beats the best rectangular configuration."""
+        profile = make_profile(tq=2e-4, tu=5e-5)
+        workload = Workload(3_000.0, 4_000.0)
+        _, rect_value = best_rectangular(6, workload, profile, MACHINE)
+        assert math.isfinite(rect_value)
+
+        def partitions(total: int, maximum: int | None = None):
+            if maximum is None:
+                maximum = total
+            if total == 0:
+                yield []
+                return
+            for first in range(min(total, maximum), 0, -1):
+                for rest in partitions(total - first, first):
+                    yield [first] + rest
+
+        # Share grid: compositions of `steps` units over the groups.
+        def compositions(units: int, bins: int):
+            if bins == 1:
+                yield (units,)
+                return
+            for first in range(units + 1):
+                for rest in compositions(units - first, bins - 1):
+                    yield (first,) + rest
+
+        steps = 4
+        best_generic = math.inf
+        for sizes in partitions(6):
+            if len(sizes) > 6:
+                continue
+            for composition in compositions(steps, len(sizes)):
+                shares = tuple(c / steps for c in composition)
+                grouping = GenericGrouping(tuple(sizes), shares)
+                value = grouping_response_time(
+                    grouping, workload, profile, MACHINE
+                )
+                if value < best_generic:
+                    best_generic = value
+        assert best_generic >= rect_value * (1.0 - 1e-9)

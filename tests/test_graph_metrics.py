@@ -1,0 +1,85 @@
+"""Tests for road-network diagnostics."""
+
+import pytest
+
+from repro.graph import (
+    RoadNetwork,
+    compute_metrics,
+    cut_fraction,
+    degree_histogram,
+    estimate_diameter,
+    grid_network,
+    scaled_replica,
+)
+
+
+class TestDegreeHistogram:
+    def test_path_graph(self, path_network) -> None:
+        histogram = degree_histogram(path_network)
+        # path of 5: two endpoints deg 1, three inner deg 2.
+        assert histogram == (0, 2, 3)
+
+    def test_empty(self) -> None:
+        assert degree_histogram(RoadNetwork(0, [])) == ()
+
+    def test_sums_to_node_count(self, medium_grid) -> None:
+        assert sum(degree_histogram(medium_grid)) == medium_grid.num_nodes
+
+
+class TestDiameter:
+    def test_path_graph_exact(self, path_network) -> None:
+        # weights 1+2+3+4 = 10.
+        assert estimate_diameter(path_network) == pytest.approx(10.0)
+
+    def test_lower_bounds_true_diameter(self, small_grid) -> None:
+        from repro.graph import dijkstra
+
+        estimate = estimate_diameter(small_grid, sweeps=4)
+        true = max(
+            max(dijkstra(small_grid, node).values())
+            for node in range(0, small_grid.num_nodes, 7)
+        )
+        assert estimate >= true * 0.8
+        assert estimate <= true * 1.3 or estimate >= true
+
+    def test_empty(self) -> None:
+        assert estimate_diameter(RoadNetwork(0, [])) == 0.0
+
+
+class TestCutFraction:
+    def test_road_networks_have_small_cuts(self) -> None:
+        replica = scaled_replica("NY", scale=1.0 / 1000.0)
+        assert cut_fraction(replica, 4) < 0.3
+
+    def test_empty(self) -> None:
+        assert cut_fraction(RoadNetwork(2, []), 2) == 0.0
+
+
+class TestComputeMetrics:
+    def test_full_report(self, medium_grid) -> None:
+        metrics = compute_metrics(medium_grid)
+        assert metrics.num_nodes == medium_grid.num_nodes
+        assert metrics.num_edges == medium_grid.num_edges
+        assert metrics.average_degree == pytest.approx(
+            medium_grid.average_degree()
+        )
+        assert metrics.max_degree == len(metrics.degree_histogram) - 1
+        assert metrics.estimated_diameter > 0
+        assert metrics.average_edge_weight > 0
+        assert 0 <= metrics.cut_fraction_4way < 1
+        assert "nodes=" in metrics.describe()
+
+    def test_replica_is_road_like(self) -> None:
+        """Replicas must have road-network signatures: small average
+        degree and a small 4-way cut."""
+        replica = scaled_replica("BJ", scale=1.0 / 2000.0)
+        metrics = compute_metrics(replica)
+        # average_degree counts both endpoints: BJ's Table I edge/node
+        # ratio of ~2.1 corresponds to an average degree of ~4.2.
+        assert 3.0 <= metrics.average_degree <= 6.0
+        assert metrics.cut_fraction_4way < 0.35
+
+    def test_grid_max_degree_bounded(self) -> None:
+        net = grid_network(10, 10, seed=0, diagonal_fraction=0.5)
+        metrics = compute_metrics(net)
+        assert metrics.max_degree <= 8

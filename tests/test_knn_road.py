@@ -1,0 +1,104 @@
+"""Structural tests for ROAD (Rnet indicators and skipping)."""
+
+import random
+
+import pytest
+
+from repro.graph import grid_network
+from repro.knn import DijkstraKNN, GTreeIndex, RoadKNN
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(14, 14, seed=61, diagonal_fraction=0.1)
+
+
+@pytest.fixture(scope="module")
+def index(net):
+    return GTreeIndex(net, leaf_size=24, fanout=4)
+
+
+class TestIndicators:
+    def test_indicator_tracks_occupancy(self, net, index) -> None:
+        road = RoadKNN(net, index=index)
+        leaf = index.leaf_of[0]
+        assert road.rnet_is_empty(leaf)
+        road.insert(1, 0)
+        assert not road.rnet_is_empty(leaf)
+        road.delete(1)
+        assert road.rnet_is_empty(leaf)
+
+    def test_indicator_rolls_up_to_root(self, net, index) -> None:
+        road = RoadKNN(net, index=index)
+        road.insert(1, net.num_nodes - 1)
+        assert not road.rnet_is_empty(0)  # root tree node
+        road.delete(1)
+        assert road.rnet_is_empty(0)
+
+
+class TestSkipping:
+    def test_query_skips_empty_rnets(self, net, index) -> None:
+        """With one far object, the search must settle far fewer nodes
+        than plain Dijkstra (it hops over empty Rnets)."""
+        # Object in the opposite corner from the query.
+        road = RoadKNN(net, {1: net.num_nodes - 1}, index=index)
+
+        # Count settled nodes in both searches.
+        import repro.graph.shortest_path as sp
+
+        plain = DijkstraKNN(net, {1: net.num_nodes - 1})
+        settled_plain = 0
+        for _node, _d in sp.dijkstra_expansion(net, 0):
+            settled_plain += 1
+            if _node == net.num_nodes - 1:
+                break
+
+        answer = road.query(0, 1)
+        expect = plain.query(0, 1)
+        assert [(round(n.distance, 6), n.object_id) for n in answer] == [
+            (round(n.distance, 6), n.object_id) for n in expect
+        ]
+        # Skipping evidence: ROAD settles strictly fewer nodes because
+        # it hops over the empty intermediate Rnets.
+        assert 0 < road.last_settled_count < settled_plain
+
+    def test_exact_when_all_rnets_occupied(self, net, index) -> None:
+        """Dense objects disable skipping; ROAD degrades to Dijkstra."""
+        rng = random.Random(1)
+        objects = {i: rng.randrange(net.num_nodes) for i in range(120)}
+        road = RoadKNN(net, objects, index=index)
+        plain = DijkstraKNN(net, objects)
+        for _ in range(20):
+            q = rng.randrange(net.num_nodes)
+            got = [(round(n.distance, 6), n.object_id) for n in road.query(q, 7)]
+            expect = [
+                (round(n.distance, 6), n.object_id) for n in plain.query(q, 7)
+            ]
+            assert got == expect
+
+    def test_exact_with_objects_only_at_borders(self, net, index) -> None:
+        """Borders of empty-interior leaves are the tricky case."""
+        some_borders = [
+            borders[0] for borders in index.leaf_borders.values() if borders
+        ][:8]
+        objects = {i: node for i, node in enumerate(some_borders)}
+        road = RoadKNN(net, objects, index=index)
+        plain = DijkstraKNN(net, objects)
+        for q in range(0, net.num_nodes, 23):
+            got = [(round(n.distance, 6), n.object_id) for n in road.query(q, 3)]
+            expect = [
+                (round(n.distance, 6), n.object_id) for n in plain.query(q, 3)
+            ]
+            assert got == expect
+
+    def test_query_from_empty_home_leaf(self, net, index) -> None:
+        """The home Rnet is searched even when empty (the query starts
+        in its interior)."""
+        road = RoadKNN(net, {9: net.num_nodes // 2}, index=index)
+        plain = DijkstraKNN(net, {9: net.num_nodes // 2})
+        assert road.query(0, 1) == plain.query(0, 1)
+
+    def test_mismatched_index_rejected(self, index) -> None:
+        other = grid_network(4, 4, seed=0)
+        with pytest.raises(ValueError, match="different network"):
+            RoadKNN(other, index=index)

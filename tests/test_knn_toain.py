@@ -1,0 +1,157 @@
+"""Tests for TOAIN: contraction hierarchy and SCOB registration."""
+
+import random
+
+import pytest
+
+from repro.graph import dijkstra, grid_network
+from repro.knn import (
+    ContractionHierarchy,
+    DijkstraKNN,
+    ToainIndex,
+    ToainKNN,
+    choose_core_fraction,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(10, 12, seed=41, diagonal_fraction=0.2)
+
+
+@pytest.fixture(scope="module")
+def ch(net):
+    return ContractionHierarchy(net)
+
+
+class TestContractionHierarchy:
+    def test_ranks_are_a_permutation(self, net, ch) -> None:
+        assert sorted(ch.rank) == list(range(net.num_nodes))
+
+    def test_shortcuts_preserve_distances(self, net, ch) -> None:
+        """Up-up meeting over the CH edge set must equal true distance."""
+        rng = random.Random(7)
+
+        def up_search(source):
+            import heapq
+
+            dist = {source: 0.0}
+            heap = [(0.0, source)]
+            settled = {}
+            while heap:
+                d, node = heapq.heappop(heap)
+                if node in settled:
+                    continue
+                settled[node] = d
+                for nxt, w in ch.up_adj[node]:
+                    nd = d + w
+                    if nd < dist.get(nxt, float("inf")):
+                        dist[nxt] = nd
+                        heapq.heappush(heap, (nd, nxt))
+            return settled
+
+        for _ in range(10):
+            s, t = rng.randrange(net.num_nodes), rng.randrange(net.num_nodes)
+            truth = dijkstra(net, s).get(t, float("inf"))
+            up_s, up_t = up_search(s), up_search(t)
+            meeting = min(
+                (up_s[w] + up_t[w] for w in up_s.keys() & up_t.keys()),
+                default=float("inf"),
+            )
+            assert meeting == pytest.approx(truth)
+
+    def test_upward_edges_go_up(self, ch) -> None:
+        for node, edges in enumerate(ch.up_adj):
+            for target, _ in edges:
+                assert ch.rank[target] > ch.rank[node]
+
+    def test_original_edges_present(self, net, ch) -> None:
+        for edge in net.edges():
+            key = (edge.u, edge.v) if edge.u < edge.v else (edge.v, edge.u)
+            assert key in ch.edges
+            assert ch.edges[key] <= edge.weight + 1e-12
+
+
+class TestToainIndex:
+    def test_core_size_tracks_fraction(self, net, ch) -> None:
+        small = ToainIndex(net, core_fraction=0.05, ch=ch)
+        large = ToainIndex(net, core_fraction=0.4, ch=ch)
+        assert sum(small.is_core) < sum(large.is_core)
+        assert sum(small.is_core) >= 1
+
+    def test_invalid_core_fraction(self, net, ch) -> None:
+        with pytest.raises(ValueError):
+            ToainIndex(net, core_fraction=0.0, ch=ch)
+        with pytest.raises(ValueError):
+            ToainIndex(net, core_fraction=1.5, ch=ch)
+
+    def test_truncated_upward_distances_sound(self, net, ch) -> None:
+        """Truncated-search distances are realizable (>= true distance)."""
+        index = ToainIndex(net, core_fraction=0.1, ch=ch)
+        source = 0
+        truth = dijkstra(net, source)
+        periphery, entries = index.truncated_upward(source)
+        for node, d in {**periphery, **entries}.items():
+            assert d >= truth[node] - 1e-9
+
+    def test_core_source_is_entry(self, net, ch) -> None:
+        index = ToainIndex(net, core_fraction=0.2, ch=ch)
+        core_node = index.is_core.index(True)
+        periphery, entries = index.truncated_upward(core_node)
+        assert periphery == {}
+        assert entries == {core_node: 0.0}
+
+
+class TestToainKNN:
+    @pytest.mark.parametrize("core_fraction", [0.02, 0.1, 0.5, 1.0])
+    def test_exact_across_core_fractions(self, net, ch, core_fraction) -> None:
+        rng = random.Random(8)
+        objects = {i: rng.randrange(net.num_nodes) for i in range(20)}
+        reference = DijkstraKNN(net, objects)
+        index = ToainIndex(net, core_fraction=core_fraction, ch=ch)
+        toain = ToainKNN(net, objects, index=index)
+        for _ in range(25):
+            q = rng.randrange(net.num_nodes)
+            got = [(round(n.distance, 6), n.object_id) for n in toain.query(q, 5)]
+            expect = [
+                (round(n.distance, 6), n.object_id)
+                for n in reference.query(q, 5)
+            ]
+            assert got == expect
+
+    def test_delete_clears_every_registration(self, net, ch) -> None:
+        index = ToainIndex(net, core_fraction=0.1, ch=ch)
+        toain = ToainKNN(net, {1: 5}, index=index)
+        assert any(1 in bucket for bucket in toain._registry.values())
+        toain.delete(1)
+        assert all(1 not in bucket for bucket in toain._registry.values())
+        assert toain._registry == {}
+
+    def test_registration_includes_own_node_distance_zero(self, net, ch) -> None:
+        index = ToainIndex(net, core_fraction=0.1, ch=ch)
+        toain = ToainKNN(net, {1: 5}, index=index)
+        assert toain.query(5, 1)[0].distance == 0.0
+
+    def test_core_fraction_property(self, net, ch) -> None:
+        index = ToainIndex(net, core_fraction=0.25, ch=ch)
+        toain = ToainKNN(net, index=index)
+        assert toain.core_fraction == 0.25
+
+
+class TestTuning:
+    def test_choose_core_fraction_returns_family_member(self, net, ch) -> None:
+        rng = random.Random(9)
+        objects = {i: rng.randrange(net.num_nodes) for i in range(15)}
+        family = (0.05, 0.5)
+        best, profile = choose_core_fraction(
+            net, objects, lambda_q=100.0, lambda_u=100.0,
+            family=family, sample_queries=5, sample_updates=5, ch=ch,
+        )
+        assert best in family
+        assert set(profile) == set(family)
+        for tq, tu in profile.values():
+            assert tq > 0 and tu >= 0
+
+    def test_negative_rates_rejected(self, net, ch) -> None:
+        with pytest.raises(ValueError):
+            choose_core_fraction(net, {}, lambda_q=-1.0, lambda_u=0.0, ch=ch)

@@ -1,0 +1,116 @@
+"""Tests for V-tree's cached border lists (active vertex lists)."""
+
+import random
+
+import pytest
+
+from repro.graph import dijkstra, grid_network
+from repro.knn import DijkstraKNN, VTreeKNN
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(12, 12, seed=31, diagonal_fraction=0.15)
+
+
+def test_cache_entries_are_live_and_exact(net) -> None:
+    """Every cached (object, distance) must be a live object at its true
+    network distance — the soundness requirement for the query bound."""
+    rng = random.Random(2)
+    objects = {i: rng.randrange(net.num_nodes) for i in range(20)}
+    vtree = VTreeKNN(net, objects, cache_size=6)
+    # Touch several leaves to force caches to build, then churn.
+    for _ in range(15):
+        vtree.query(rng.randrange(net.num_nodes), 4)
+    next_id = len(objects)
+    for _ in range(30):
+        live = sorted(vtree.object_locations())
+        if rng.random() < 0.5 and len(live) > 3:
+            vtree.delete(rng.choice(live))
+        else:
+            vtree.insert(next_id, rng.randrange(net.num_nodes))
+            next_id += 1
+    locations = vtree.object_locations()
+    checked = 0
+    for border, cached in vtree._cache.items():
+        truth = dijkstra(net, border)
+        for entry in cached:
+            assert entry.object_id in locations, "cache holds deleted object"
+            true_distance = truth[locations[entry.object_id]]
+            assert entry.distance == pytest.approx(true_distance)
+            checked += 1
+    assert checked > 0
+
+
+def test_cache_refs_track_membership(net) -> None:
+    rng = random.Random(3)
+    objects = {i: rng.randrange(net.num_nodes) for i in range(15)}
+    vtree = VTreeKNN(net, objects, cache_size=5)
+    for _ in range(10):
+        vtree.query(rng.randrange(net.num_nodes), 3)
+    for border, cached in vtree._cache.items():
+        for entry in cached:
+            assert border in vtree._cache_refs[entry.object_id]
+    for object_id, borders in vtree._cache_refs.items():
+        for border in borders:
+            assert any(
+                entry.object_id == object_id for entry in vtree._cache[border]
+            )
+
+
+def test_delete_scrubs_all_caches(net) -> None:
+    rng = random.Random(4)
+    objects = {i: rng.randrange(net.num_nodes) for i in range(12)}
+    vtree = VTreeKNN(net, objects, cache_size=8)
+    for _ in range(12):
+        vtree.query(rng.randrange(net.num_nodes), 5)
+    victim = 0
+    vtree.delete(victim)
+    assert victim not in vtree._cache_refs
+    for cached in vtree._cache.values():
+        assert all(entry.object_id != victim for entry in cached)
+
+
+def test_queries_exact_with_stale_underfull_caches(net) -> None:
+    """Deleting most objects leaves short caches; answers stay exact."""
+    rng = random.Random(5)
+    objects = {i: rng.randrange(net.num_nodes) for i in range(20)}
+    reference = DijkstraKNN(net, objects)
+    vtree = VTreeKNN(net, objects, cache_size=10)
+    for _ in range(10):
+        vtree.query(rng.randrange(net.num_nodes), 5)
+    for victim in range(15):
+        reference.delete(victim)
+        vtree.delete(victim)
+    for _ in range(20):
+        q = rng.randrange(net.num_nodes)
+        got = [(round(n.distance, 6), n.object_id) for n in vtree.query(q, 3)]
+        expect = [
+            (round(n.distance, 6), n.object_id) for n in reference.query(q, 3)
+        ]
+        assert got == expect
+
+
+def test_upper_bound_is_sound(net) -> None:
+    rng = random.Random(6)
+    objects = {i: rng.randrange(net.num_nodes) for i in range(25)}
+    reference = DijkstraKNN(net, objects)
+    vtree = VTreeKNN(net, objects, cache_size=8)
+    for _ in range(30):
+        q = rng.randrange(net.num_nodes)
+        k = rng.choice([1, 3, 5])
+        bound = vtree._upper_bound_from_caches(q, k)
+        truth = reference.query(q, k)
+        if len(truth) >= k:
+            assert bound >= truth[k - 1].distance - 1e-6
+
+
+def test_invalid_cache_size(net) -> None:
+    with pytest.raises(ValueError):
+        VTreeKNN(net, cache_size=0)
+
+
+def test_spawn_preserves_cache_size(net) -> None:
+    vtree = VTreeKNN(net, {1: 0}, cache_size=7)
+    child = vtree.spawn({2: 3})
+    assert child.cache_size == 7

@@ -1,0 +1,130 @@
+"""Tests for MPR configuration accounting and enumeration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpr import (
+    MPRConfig,
+    enumerate_configs,
+    full_partitioning_config,
+    full_replication_config,
+    max_replicas,
+)
+
+
+class TestCoreAccounting:
+    """Pin the exact rows of the paper's Tables II and III."""
+
+    def test_paper_table2_mpr_row(self) -> None:
+        config = MPRConfig(x=1, y=3, z=4)
+        assert config.worker_cores == 12
+        assert config.dispatcher_cores == 1
+        assert config.scheduler_cores == 4
+        assert config.aggregator_cores == 0  # x == 1
+        assert config.total_cores == 17
+
+    def test_paper_table2_1mpr_row(self) -> None:
+        config = MPRConfig(x=3, y=5, z=1)
+        assert config.dispatcher_cores == 0  # z == 1
+        assert config.aggregator_cores == 1
+        assert config.total_cores == 17
+
+    def test_paper_table2_frep_row(self) -> None:
+        config = MPRConfig(x=1, y=18, z=1)
+        assert config.total_cores == 19
+
+    def test_paper_table2_fpart_row(self) -> None:
+        config = MPRConfig(x=17, y=1, z=1)
+        assert config.total_cores == 19
+
+    def test_paper_table3_mpr_row(self) -> None:
+        config = MPRConfig(x=1, y=8, z=2)
+        assert config.total_cores == 19
+
+    def test_paper_table3_1mpr_row(self) -> None:
+        config = MPRConfig(x=2, y=8, z=1)
+        assert config.total_cores == 18
+
+    def test_invalid_dimensions(self) -> None:
+        with pytest.raises(ValueError):
+            MPRConfig(0, 1, 1)
+        with pytest.raises(ValueError):
+            MPRConfig(1, 0, 1)
+        with pytest.raises(ValueError):
+            MPRConfig(1, 1, 0)
+
+
+class TestRates:
+    def test_worker_rates(self) -> None:
+        config = MPRConfig(x=2, y=3, z=2)
+        assert config.worker_query_rate(600.0) == pytest.approx(100.0)
+        assert config.worker_update_rate(600.0) == pytest.approx(300.0)
+
+    def test_scheduler_write_rate(self) -> None:
+        # Section IV-C: x writes per query routed to the layer (λq/z),
+        # y writes per update (updates reach every layer).
+        config = MPRConfig(x=3, y=5, z=1)
+        assert config.scheduler_write_rate(15000.0, 50000.0) == pytest.approx(
+            15000.0 * 3 + 50000.0 * 5
+        )
+
+    def test_aggregator_rate_zero_when_single_partition(self) -> None:
+        assert MPRConfig(1, 4, 2).aggregator_merge_rate(1000.0) == 0.0
+
+    def test_dispatcher_rate_zero_single_layer(self) -> None:
+        assert MPRConfig(2, 2, 1).dispatcher_rate(100.0, 100.0) == 0.0
+
+    def test_dispatcher_rate_updates_hit_all_layers(self) -> None:
+        assert MPRConfig(1, 2, 3).dispatcher_rate(100.0, 10.0) == pytest.approx(130.0)
+
+
+class TestEnumeration:
+    def test_paper_31_configurations(self) -> None:
+        """Section V-B: 'With 19 available cores, there are 31 possible
+        MPR configurations' (with the z<=5 cap, see DESIGN.md)."""
+        assert len(enumerate_configs(19, max_layers=5)) == 31
+
+    def test_all_enumerated_fit_budget(self) -> None:
+        for config in enumerate_configs(19, max_layers=5):
+            assert config.total_cores <= 19
+
+    def test_enumeration_is_maximal_in_y(self) -> None:
+        for config in enumerate_configs(19, max_layers=5):
+            bigger = MPRConfig(config.x, config.y + 1, config.z)
+            assert bigger.total_cores > 19
+
+    def test_no_duplicates(self) -> None:
+        configs = enumerate_configs(19, max_layers=5)
+        assert len(set(configs)) == len(configs)
+
+    def test_tiny_budget(self) -> None:
+        assert enumerate_configs(1) == []
+        assert enumerate_configs(2) == [MPRConfig(1, 1, 1)]
+
+    @given(total=st.integers(min_value=2, max_value=64))
+    def test_budget_respected_for_any_core_count(self, total) -> None:
+        for config in enumerate_configs(total, max_layers=4):
+            assert config.total_cores <= total
+
+
+class TestSchemeConfigs:
+    def test_full_replication_19(self) -> None:
+        assert full_replication_config(19) == MPRConfig(1, 18, 1)
+
+    def test_full_partitioning_19(self) -> None:
+        assert full_partitioning_config(19) == MPRConfig(17, 1, 1)
+
+    def test_full_partitioning_tiny(self) -> None:
+        assert full_partitioning_config(3) == MPRConfig(1, 1, 1)
+
+    def test_max_replicas(self) -> None:
+        assert max_replicas(19, x=1, z=1) == 18
+        assert max_replicas(19, x=3, z=1) == 5
+        assert max_replicas(19, x=1, z=4) == 3
+
+    def test_insufficient_cores_raise(self) -> None:
+        with pytest.raises(ValueError):
+            full_replication_config(1)
+        with pytest.raises(ValueError):
+            full_partitioning_config(2)

@@ -1,0 +1,165 @@
+"""Tests for the object set and task stream types."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects import (
+    DeleteTask,
+    InsertTask,
+    ObjectSet,
+    QueryTask,
+    TaskKind,
+    count_kinds,
+    is_query,
+    is_update,
+    seed_stream_with_objects,
+    validate_stream,
+)
+
+
+class TestObjectSet:
+    def test_insert_and_lookup(self) -> None:
+        objects = ObjectSet()
+        objects.insert(1, 10)
+        assert objects.location_of(1) == 10
+        assert 1 in objects
+        assert objects.objects_at(10) == frozenset({1})
+
+    def test_duplicate_insert_rejected(self) -> None:
+        objects = ObjectSet({1: 5})
+        with pytest.raises(KeyError):
+            objects.insert(1, 6)
+
+    def test_delete_returns_node_and_clears_bucket(self) -> None:
+        objects = ObjectSet({1: 5})
+        assert objects.delete(1) == 5
+        assert objects.objects_at(5) == frozenset()
+        assert len(objects) == 0
+
+    def test_delete_missing_raises(self) -> None:
+        with pytest.raises(KeyError):
+            ObjectSet().delete(9)
+
+    def test_move_semantics(self) -> None:
+        objects = ObjectSet({1: 5})
+        assert objects.move(1, 7) == (5, 7)
+        assert objects.location_of(1) == 7
+        assert objects.objects_at(5) == frozenset()
+
+    def test_fresh_id_never_reuses_live_ids(self) -> None:
+        objects = ObjectSet({0: 1, 5: 2})
+        fresh = objects.fresh_id()
+        assert fresh not in objects
+        assert fresh > 5
+
+    def test_random_placement(self, small_grid) -> None:
+        objects = ObjectSet.random_on_network(small_grid, 20, seed=1)
+        assert len(objects) == 20
+        assert all(
+            0 <= node < small_grid.num_nodes for _, node in objects.items()
+        )
+
+    def test_random_placement_restricted_sites(self, small_grid) -> None:
+        sites = [0, 1, 2]
+        objects = ObjectSet.random_on_network(
+            small_grid, 10, seed=2, candidate_nodes=sites
+        )
+        assert all(node in sites for _, node in objects.items())
+
+    def test_random_placement_empty_sites_rejected(self, small_grid) -> None:
+        with pytest.raises(ValueError):
+            ObjectSet.random_on_network(small_grid, 3, candidate_nodes=[])
+
+    def test_copy_is_independent(self) -> None:
+        original = ObjectSet({1: 5})
+        clone = original.copy()
+        clone.delete(1)
+        assert 1 in original
+
+    def test_snapshot(self) -> None:
+        objects = ObjectSet({1: 5, 2: 5})
+        snap = objects.snapshot()
+        assert snap == {1: 5, 2: 5}
+        snap[3] = 9
+        assert 3 not in objects
+
+    def test_random_object(self) -> None:
+        objects = ObjectSet({1: 5, 2: 6})
+        rng = random.Random(0)
+        assert objects.random_object(rng) in {1, 2}
+        with pytest.raises(KeyError):
+            ObjectSet().random_object(rng)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 10)), max_size=40))
+    def test_bucket_invariant_under_churn(self, ops) -> None:
+        """objects_at and location_of stay mutually consistent."""
+        objects = ObjectSet()
+        model: dict[int, int] = {}
+        for object_id, node in ops:
+            if object_id in model:
+                objects.delete(object_id)
+                del model[object_id]
+            else:
+                objects.insert(object_id, node)
+                model[object_id] = node
+        assert objects.snapshot() == model
+        for object_id, node in model.items():
+            assert object_id in objects.objects_at(node)
+
+
+class TestTasks:
+    def test_kind_predicates(self) -> None:
+        q = QueryTask(0.0, 1, 5, 10)
+        i = InsertTask(0.1, 2, 6)
+        d = DeleteTask(0.2, 2)
+        assert is_query(q) and not is_update(q)
+        assert is_update(i) and is_update(d)
+
+    def test_count_kinds(self) -> None:
+        tasks = [
+            QueryTask(0.0, 0, 0, 1),
+            InsertTask(0.1, 1, 0),
+            DeleteTask(0.2, 1),
+            QueryTask(0.3, 1, 0, 1),
+        ]
+        counts = count_kinds(tasks)
+        assert counts[TaskKind.QUERY] == 2
+        assert counts[TaskKind.INSERT] == 1
+        assert counts[TaskKind.DELETE] == 1
+
+    def test_tasks_order_by_arrival(self) -> None:
+        tasks = sorted(
+            [QueryTask(2.0, 0, 0, 1), InsertTask(1.0, 1, 0), DeleteTask(3.0, 1)],
+            key=lambda t: t.arrival_time,
+        )
+        assert [t.arrival_time for t in tasks] == [1.0, 2.0, 3.0]
+
+    def test_same_kind_tasks_order_naturally(self) -> None:
+        assert QueryTask(1.0, 0, 0, 1) < QueryTask(2.0, 1, 0, 1)
+        assert InsertTask(1.0, 0, 0) < InsertTask(1.5, 1, 0)
+
+    def test_validate_stream_accepts_valid(self) -> None:
+        validate_stream(
+            [InsertTask(0.0, 1, 0), QueryTask(0.5, 0, 0, 1), DeleteTask(1.0, 1)]
+        )
+
+    def test_validate_stream_rejects_time_regression(self) -> None:
+        with pytest.raises(ValueError, match="before"):
+            validate_stream([InsertTask(1.0, 1, 0), QueryTask(0.5, 0, 0, 1)])
+
+    def test_validate_stream_rejects_double_insert(self) -> None:
+        with pytest.raises(ValueError, match="live object"):
+            validate_stream([InsertTask(0.0, 1, 0), InsertTask(0.5, 1, 2)])
+
+    def test_validate_stream_rejects_unknown_delete(self) -> None:
+        with pytest.raises(ValueError, match="unknown object"):
+            validate_stream([DeleteTask(0.0, 7)])
+
+    def test_seed_stream_with_objects(self) -> None:
+        seed_stream_with_objects([DeleteTask(0.0, 7)], {7})
+        with pytest.raises(ValueError):
+            seed_stream_with_objects([DeleteTask(0.0, 8)], {7})

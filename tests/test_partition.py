@@ -1,0 +1,105 @@
+"""Tests for the balanced multilevel graph partitioner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    border_nodes,
+    cut_edges,
+    grid_network,
+    part_sizes,
+    partition_graph,
+)
+from repro.graph.road_network import RoadNetwork
+
+
+class TestPartitionBasics:
+    def test_every_node_assigned(self, medium_grid) -> None:
+        assignment = partition_graph(medium_grid, 4, seed=0)
+        assert len(assignment) == medium_grid.num_nodes
+        assert all(0 <= part < 4 for part in assignment)
+
+    def test_all_parts_nonempty(self, medium_grid) -> None:
+        sizes = part_sizes(partition_graph(medium_grid, 6, seed=1), 6)
+        assert all(size > 0 for size in sizes)
+
+    def test_balance(self, medium_grid) -> None:
+        num_parts = 4
+        assignment = partition_graph(medium_grid, num_parts, seed=2)
+        sizes = part_sizes(assignment, num_parts)
+        ideal = medium_grid.num_nodes / num_parts
+        assert max(sizes) <= 1.6 * ideal
+        assert min(sizes) >= 0.3 * ideal
+
+    def test_single_part(self, small_grid) -> None:
+        assert partition_graph(small_grid, 1) == [0] * small_grid.num_nodes
+
+    def test_more_parts_than_nodes(self) -> None:
+        net = RoadNetwork(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assignment = partition_graph(net, 10)
+        assert sorted(assignment) == [0, 1, 2]
+
+    def test_empty_graph(self) -> None:
+        assert partition_graph(RoadNetwork(0, []), 3) == []
+
+    def test_invalid_num_parts(self, small_grid) -> None:
+        with pytest.raises(ValueError):
+            partition_graph(small_grid, 0)
+
+    def test_deterministic(self, medium_grid) -> None:
+        a = partition_graph(medium_grid, 4, seed=7)
+        b = partition_graph(medium_grid, 4, seed=7)
+        assert a == b
+
+
+class TestCutQuality:
+    def test_cut_much_smaller_than_total(self, medium_grid) -> None:
+        assignment = partition_graph(medium_grid, 4, seed=3)
+        cut = cut_edges(medium_grid, assignment)
+        assert cut < 0.25 * medium_grid.num_edges
+
+    def test_refinement_improves_or_keeps_cut(self, medium_grid) -> None:
+        rough = partition_graph(medium_grid, 4, seed=4, refinement_passes=0)
+        refined = partition_graph(medium_grid, 4, seed=4, refinement_passes=4)
+        assert cut_edges(medium_grid, refined) <= cut_edges(medium_grid, rough)
+
+    def test_border_nodes_are_cut_endpoints(self, medium_grid) -> None:
+        assignment = partition_graph(medium_grid, 3, seed=5)
+        borders = border_nodes(medium_grid, assignment)
+        for node in borders:
+            assert any(
+                assignment[nbr] != assignment[node]
+                for nbr, _ in medium_grid.neighbors(node)
+            )
+
+
+class TestDisconnected:
+    def test_disconnected_graph_fully_assigned(self) -> None:
+        # Two separate 2x3 grid components.
+        a = grid_network(2, 3, seed=0)
+        edges = [(e.u, e.v, e.weight) for e in a.edges()]
+        offset = a.num_nodes
+        edges += [(e.u + offset, e.v + offset, e.weight) for e in a.edges()]
+        net = RoadNetwork(2 * offset, edges)
+        assignment = partition_graph(net, 2, seed=1)
+        assert all(part in (0, 1) for part in assignment)
+        sizes = part_sizes(assignment, 2)
+        assert all(size > 0 for size in sizes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=2, max_value=8),
+    cols=st.integers(min_value=2, max_value=8),
+    parts=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_partition_is_total_and_in_range(rows, cols, parts, seed) -> None:
+    net = grid_network(rows, cols, seed=seed)
+    assignment = partition_graph(net, parts, seed=seed)
+    assert len(assignment) == net.num_nodes
+    used = set(assignment)
+    assert used <= set(range(max(parts, net.num_nodes)))
+    if net.num_nodes >= parts:
+        assert len({p for p in assignment if 0 <= p < parts}) == parts

@@ -1,0 +1,105 @@
+"""Tests for the index-based point-to-point distance oracles."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import RoadNetwork, dijkstra, grid_network
+from repro.knn import GTreeIndex, ToainIndex
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(12, 12, seed=71, diagonal_fraction=0.2,
+                        deletion_fraction=0.05)
+
+
+@pytest.fixture(scope="module")
+def gtree_index(net):
+    return GTreeIndex(net, leaf_size=24, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def toain_index(net):
+    return ToainIndex(net, core_fraction=0.1)
+
+
+class TestGTreeOracle:
+    def test_matches_dijkstra(self, net, gtree_index) -> None:
+        rng = random.Random(2)
+        for _ in range(40):
+            s, t = rng.randrange(net.num_nodes), rng.randrange(net.num_nodes)
+            expected = dijkstra(net, s).get(t, math.inf)
+            assert gtree_index.point_to_point(s, t) == pytest.approx(expected)
+
+    def test_same_node(self, gtree_index) -> None:
+        assert gtree_index.point_to_point(5, 5) == 0.0
+
+    def test_same_leaf_exit_and_return(self) -> None:
+        """A same-leaf pair whose shortest path exits the leaf: a path
+        graph split into two leaves with a cheap bypass edge."""
+        #   0 -100- 1 -100- 2     plus bypass 0 -1- 3 -1- 2
+        net = RoadNetwork(
+            4,
+            [(0, 1, 100.0), (1, 2, 100.0), (0, 3, 1.0), (3, 2, 1.0)],
+            name="bypass",
+        )
+        index = GTreeIndex(net, leaf_size=3, fanout=2)
+        expected = dijkstra(net, 0)[2]
+        assert index.point_to_point(0, 2) == pytest.approx(expected)
+
+    def test_unreachable(self) -> None:
+        net = RoadNetwork(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        index = GTreeIndex(net, leaf_size=2, fanout=2)
+        assert math.isinf(index.point_to_point(0, 3))
+
+
+class TestToainOracle:
+    def test_matches_dijkstra(self, net, toain_index) -> None:
+        rng = random.Random(3)
+        for _ in range(40):
+            s, t = rng.randrange(net.num_nodes), rng.randrange(net.num_nodes)
+            expected = dijkstra(net, s).get(t, math.inf)
+            assert toain_index.point_to_point(s, t) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("core_fraction", [0.02, 0.3, 1.0])
+    def test_matches_across_core_fractions(self, net, core_fraction) -> None:
+        index = ToainIndex(net, core_fraction=core_fraction)
+        rng = random.Random(4)
+        for _ in range(15):
+            s, t = rng.randrange(net.num_nodes), rng.randrange(net.num_nodes)
+            expected = dijkstra(net, s).get(t, math.inf)
+            assert index.point_to_point(s, t) == pytest.approx(expected)
+
+    def test_same_node(self, toain_index) -> None:
+        assert toain_index.point_to_point(7, 7) == 0.0
+
+    def test_unreachable(self) -> None:
+        net = RoadNetwork(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        index = ToainIndex(net, core_fraction=0.5)
+        assert math.isinf(index.point_to_point(0, 3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+    pair=st.tuples(st.integers(0, 999), st.integers(0, 999)),
+)
+def test_oracles_agree_on_random_graphs(n, seed, pair) -> None:
+    rng = random.Random(seed)
+    edges = [(i, rng.randrange(i), float(rng.randint(1, 9))) for i in range(1, n)]
+    for _ in range(n // 2):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v, float(rng.randint(1, 9))))
+    net = RoadNetwork(n, edges)
+    s, t = pair[0] % n, pair[1] % n
+    expected = dijkstra(net, s).get(t, math.inf)
+    gtree = GTreeIndex(net, leaf_size=6, fanout=3)
+    toain = ToainIndex(net, core_fraction=0.25)
+    assert gtree.point_to_point(s, t) == pytest.approx(expected)
+    assert toain.point_to_point(s, t) == pytest.approx(expected)

@@ -1,0 +1,100 @@
+"""Tests for the multiprocessing executor (real processes, no GIL).
+
+Speedup itself is hardware-dependent (a single-CPU machine — like some
+CI sandboxes — cannot parallelize anything), so these tests pin
+functional equivalence and report structure; the speedup assertion is
+conditional on available cores.
+"""
+
+import os
+
+import pytest
+
+from repro.graph import grid_network
+from repro.knn import DijkstraKNN, GTreeKNN
+from repro.mpr import (
+    MPRConfig,
+    ProcessMPRExecutor,
+    run_batch_speedup,
+    run_serial_reference,
+)
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def workload(small_grid):
+    return generate_workload(
+        small_grid, num_objects=12, lambda_q=30.0, lambda_u=40.0,
+        duration=0.8, seed=21, k=4,
+    )
+
+
+@pytest.mark.parametrize(
+    "config",
+    [MPRConfig(1, 2, 1), MPRConfig(2, 1, 1), MPRConfig(2, 2, 1)],
+    ids=lambda c: f"{c.x}x{c.y}x{c.z}",
+)
+def test_process_executor_matches_serial(small_grid, workload, config) -> None:
+    prototype = DijkstraKNN(small_grid)
+    reference = run_serial_reference(
+        prototype, workload.initial_objects, workload.tasks
+    )
+    executor = ProcessMPRExecutor(
+        prototype, config, workload.initial_objects
+    )
+    assert executor.run(workload.tasks) == reference
+
+
+def test_process_executor_with_indexed_solution(small_grid, workload) -> None:
+    prototype = GTreeKNN(small_grid)
+    reference = run_serial_reference(
+        prototype, workload.initial_objects, workload.tasks
+    )
+    executor = ProcessMPRExecutor(
+        prototype, MPRConfig(2, 1, 1), workload.initial_objects
+    )
+    assert executor.run(workload.tasks) == reference
+
+
+def test_empty_stream(small_grid) -> None:
+    executor = ProcessMPRExecutor(
+        DijkstraKNN(small_grid), MPRConfig(1, 1, 1), {1: 0}
+    )
+    assert executor.run([]) == {}
+
+
+class TestBatchSpeedup:
+    def test_report_structure(self) -> None:
+        net = grid_network(12, 12, seed=9)
+        objects = {i: (i * 13) % net.num_nodes for i in range(15)}
+        queries = [(i * 7) % net.num_nodes for i in range(20)]
+        report = run_batch_speedup(
+            DijkstraKNN(net), objects, queries, k=5, workers=2
+        )
+        assert report.num_queries == 20
+        assert report.workers == 2
+        assert report.serial_seconds > 0
+        assert report.parallel_seconds > 0
+        assert report.speedup > 0
+
+    def test_invalid_workers(self) -> None:
+        net = grid_network(4, 4, seed=0)
+        with pytest.raises(ValueError):
+            run_batch_speedup(DijkstraKNN(net), {1: 0}, [0], workers=0)
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="parallel speedup needs >= 4 CPU cores",
+    )
+    def test_speedup_on_multicore(self) -> None:
+        from repro.graph import scaled_replica
+        import random
+
+        net = scaled_replica("NY", scale=1.0 / 25.0, seed=1)
+        rng = random.Random(3)
+        objects = {i: rng.randrange(net.num_nodes) for i in range(30)}
+        queries = [rng.randrange(net.num_nodes) for _ in range(80)]
+        report = run_batch_speedup(
+            DijkstraKNN(net), objects, queries, k=10, workers=4
+        )
+        assert report.speedup > 1.5

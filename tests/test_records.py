@@ -1,0 +1,86 @@
+"""Tests for machine-readable experiment records."""
+
+import math
+
+import pytest
+
+from repro.harness import (
+    ExperimentRecord,
+    filter_records,
+    load_records,
+    save_records,
+)
+from repro.knn.calibration import AlgorithmProfile
+from repro.mpr import MPRConfig
+
+
+def make_record(**overrides) -> ExperimentRecord:
+    defaults = dict(
+        experiment="table2",
+        scenario="BJ-RU",
+        scheme="MPR",
+        solution="TOAIN",
+        config=MPRConfig(1, 5, 3),
+        lambda_q=15_000.0,
+        lambda_u=50_000.0,
+        total_cores=19,
+        metric="response_time_s",
+        value=385e-6,
+    )
+    defaults.update(overrides)
+    return ExperimentRecord(**defaults)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path) -> None:
+        records = [
+            make_record(),
+            make_record(scheme="F-Rep", config=MPRConfig(1, 18, 1),
+                        value=math.inf),
+        ]
+        path = tmp_path / "records.json"
+        save_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_overload_sentinel(self, tmp_path) -> None:
+        record = make_record(value=math.inf)
+        assert record.overloaded
+        path = tmp_path / "r.json"
+        save_records([record], path)
+        assert "overload" in path.read_text()
+        assert load_records(path)[0].overloaded
+
+    def test_profile_embedded(self, tmp_path) -> None:
+        profile = AlgorithmProfile("TOAIN", 170e-6, 2.89e-8, 1e-5, 1e-10)
+        record = make_record(profile=profile)
+        path = tmp_path / "p.json"
+        save_records([record], path)
+        loaded = load_records(path)[0]
+        assert loaded.profile == profile
+
+    def test_bad_file_rejected(self, tmp_path) -> None:
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ValueError):
+            load_records(path)
+
+
+class TestFiltering:
+    def test_filter_dimensions(self) -> None:
+        records = [
+            make_record(experiment="table2", scheme="MPR"),
+            make_record(experiment="table2", scheme="F-Rep"),
+            make_record(experiment="fig8", scheme="MPR", scenario="NY-RU"),
+        ]
+        assert len(filter_records(records, experiment="table2")) == 2
+        assert len(filter_records(records, scheme="MPR")) == 2
+        assert len(filter_records(records, scenario="NY-RU")) == 1
+        assert (
+            len(filter_records(records, experiment="table2", scheme="MPR"))
+            == 1
+        )
+
+    def test_wildcards(self) -> None:
+        records = [make_record()]
+        assert filter_records(records) == records

@@ -1,0 +1,139 @@
+"""Tests for the scheme factory (F-Rep, F-Part, 1MPR, MPR)."""
+
+import math
+
+import pytest
+
+from repro.knn.calibration import paper_profile
+from repro.mpr import (
+    MachineSpec,
+    Objective,
+    Scheme,
+    Workload,
+    configure_all_schemes,
+    configure_scheme,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineSpec(total_cores=19)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return paper_profile("TOAIN", "BJ")
+
+
+@pytest.fixture(scope="module")
+def case_study_workload():
+    return Workload(15_000.0, 50_000.0)
+
+
+class TestSchemeShapes:
+    def test_f_rep_is_single_partition(self, machine, profile, case_study_workload):
+        choice = configure_scheme(
+            Scheme.F_REP, case_study_workload, profile, machine
+        )
+        assert choice.config.x == 1
+        assert choice.config.z == 1
+        assert choice.config.y == 18
+
+    def test_f_part_is_single_replica(self, machine, profile, case_study_workload):
+        choice = configure_scheme(
+            Scheme.F_PART, case_study_workload, profile, machine
+        )
+        assert choice.config.y == 1
+        assert choice.config.x == 17
+
+    def test_1mpr_is_single_layer(self, machine, profile, case_study_workload):
+        choice = configure_scheme(
+            Scheme.ONE_MPR, case_study_workload, profile, machine
+        )
+        assert choice.config.z == 1
+
+    def test_mpr_uses_layers_in_case_study(
+        self, machine, profile, case_study_workload
+    ):
+        choice = configure_scheme(
+            Scheme.MPR, case_study_workload, profile, machine
+        )
+        assert choice.config.z > 1
+
+
+class TestPredictions:
+    def test_baselines_predicted_overloaded(
+        self, machine, profile, case_study_workload
+    ):
+        for scheme in (Scheme.F_REP, Scheme.F_PART):
+            choice = configure_scheme(
+                scheme, case_study_workload, profile, machine
+            )
+            assert math.isinf(choice.predicted_value)
+
+    def test_mpr_beats_1mpr_in_response_time(
+        self, machine, profile, case_study_workload
+    ):
+        one = configure_scheme(
+            Scheme.ONE_MPR, case_study_workload, profile, machine
+        )
+        full = configure_scheme(
+            Scheme.MPR, case_study_workload, profile, machine
+        )
+        assert full.predicted_value <= one.predicted_value
+
+    def test_throughput_objective(self, machine, profile, case_study_workload):
+        choice = configure_scheme(
+            Scheme.MPR, case_study_workload, profile, machine,
+            objective=Objective.THROUGHPUT, rq_bound=0.1,
+        )
+        assert choice.objective is Objective.THROUGHPUT
+        assert choice.predicted_value > 10_000
+
+    def test_objective_switch_is_supported_per_scheme(
+        self, machine, profile, case_study_workload
+    ):
+        """Section V-B: 1MPR/MPR re-solve their optimization when the
+        target measure changes — performance adaptability.  (Whether
+        the *resulting* config differs depends on the workload; here we
+        pin that both objectives yield valid, feasible choices and that
+        the throughput choice is at least as good for throughput.)"""
+        from repro.mpr import max_throughput_closed_form
+
+        rt = configure_scheme(
+            Scheme.ONE_MPR, case_study_workload, profile, machine,
+            objective=Objective.RESPONSE_TIME,
+        )
+        tp = configure_scheme(
+            Scheme.ONE_MPR, case_study_workload, profile, machine,
+            objective=Objective.THROUGHPUT, rq_bound=0.1,
+        )
+        rt_throughput = max_throughput_closed_form(
+            rt.config, case_study_workload.lambda_u, profile, machine, 0.1
+        )
+        assert tp.predicted_value >= rt_throughput
+        assert rt.config.z == 1 and tp.config.z == 1
+
+
+class TestConfigureAll:
+    def test_returns_all_four(self, machine, profile, case_study_workload):
+        choices = configure_all_schemes(
+            case_study_workload, profile, machine
+        )
+        assert set(choices) == set(Scheme)
+        for scheme, choice in choices.items():
+            assert choice.scheme is scheme
+            assert choice.config.total_cores <= machine.total_cores
+
+    def test_workload_adaptability(self, machine, profile):
+        """1MPR leans to partitioning under update-heavy load and to
+        replication under query-heavy load (Figure 8's reconfiguration
+        story)."""
+        update_heavy = configure_scheme(
+            Scheme.ONE_MPR, Workload(1_000.0, 60_000.0), profile, machine
+        )
+        query_heavy = configure_scheme(
+            Scheme.ONE_MPR, Workload(30_000.0, 1_000.0), profile, machine
+        )
+        assert update_heavy.config.x > query_heavy.config.x
+        assert query_heavy.config.y > update_heavy.config.y

@@ -1,0 +1,86 @@
+"""Tests for the queueing primitives (Lindley servers, samplers)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.sim import FCFSServer, ServiceSampler
+
+
+class TestFCFSServer:
+    def test_idle_server_serves_immediately(self) -> None:
+        server = FCFSServer("s")
+        assert server.serve(arrival=1.0, service=0.5) == 1.5
+
+    def test_busy_server_queues(self) -> None:
+        server = FCFSServer("s")
+        server.serve(0.0, 2.0)           # busy until 2.0
+        assert server.serve(1.0, 1.0) == 3.0  # waits 1.0
+        assert server.serve(1.5, 1.0) == 4.0  # waits 1.5
+
+    def test_lindley_recurrence_hand_example(self) -> None:
+        """Arrivals 0,1,2,10 with services 3,1,1,2."""
+        server = FCFSServer("s")
+        completions = [
+            server.serve(a, s)
+            for a, s in [(0.0, 3.0), (1.0, 1.0), (2.0, 1.0), (10.0, 2.0)]
+        ]
+        assert completions == [3.0, 4.0, 5.0, 12.0]
+
+    def test_utilization_accounting(self) -> None:
+        server = FCFSServer("s")
+        server.serve(0.0, 2.0)
+        server.serve(5.0, 3.0)
+        assert server.utilization(10.0) == pytest.approx(0.5)
+        assert server.served == 2
+
+    def test_end_backlog(self) -> None:
+        server = FCFSServer("s")
+        server.serve(0.9, 5.0)
+        assert server.end_backlog(1.0) == pytest.approx(4.9)
+        assert server.end_backlog(100.0) == 0.0
+
+    def test_mean_wait(self) -> None:
+        server = FCFSServer("s")
+        server.serve(0.0, 2.0)
+        server.serve(0.0, 2.0)  # waits 2
+        assert server.mean_wait() == pytest.approx(1.0)
+
+    def test_out_of_order_submission_rejected(self) -> None:
+        server = FCFSServer("s")
+        server.serve(5.0, 1.0)
+        with pytest.raises(AssertionError, match="FCFS"):
+            server.serve(4.0, 1.0)
+
+
+class TestServiceSampler:
+    def test_constant_when_variance_zero(self) -> None:
+        sampler = ServiceSampler(mean=0.5, variance=0.0, rng=random.Random(0))
+        assert all(sampler.sample() == 0.5 for _ in range(10))
+
+    def test_mean_and_variance_match(self) -> None:
+        rng = random.Random(42)
+        sampler = ServiceSampler(mean=2.0, variance=4.0, rng=rng)  # gamma(1,2)
+        samples = [sampler.sample() for _ in range(20_000)]
+        assert statistics.fmean(samples) == pytest.approx(2.0, rel=0.05)
+        assert statistics.pvariance(samples) == pytest.approx(4.0, rel=0.1)
+
+    def test_samples_positive(self) -> None:
+        sampler = ServiceSampler(mean=1e-4, variance=1e-8, rng=random.Random(1))
+        assert all(sampler.sample() > 0 for _ in range(100))
+
+    def test_deterministic_given_seed(self) -> None:
+        a = ServiceSampler(1.0, 1.0, random.Random(7))
+        b = ServiceSampler(1.0, 1.0, random.Random(7))
+        assert [a.sample() for _ in range(5)] == [b.sample() for _ in range(5)]
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            ServiceSampler(mean=-1.0, variance=0.0)
+        with pytest.raises(ValueError):
+            ServiceSampler(mean=1.0, variance=-1.0)
+
+    def test_zero_mean(self) -> None:
+        sampler = ServiceSampler(0.0, 0.0, random.Random(0))
+        assert sampler.sample() == 0.0

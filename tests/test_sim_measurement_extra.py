@@ -1,0 +1,72 @@
+"""Additional measurement-layer tests: TH streams and preloading."""
+
+import pytest
+
+from repro.knn.calibration import AlgorithmProfile
+from repro.mpr import MachineSpec, MPRConfig
+from repro.objects import TaskKind, seed_stream_with_objects
+from repro.sim import measure_response_time, synthetic_stream
+
+
+def make_profile(tq=1e-4, tu=1e-5) -> AlgorithmProfile:
+    return AlgorithmProfile("t", tq=tq, vq=tq * tq, tu=tu, vu=tu * tu)
+
+
+class TestTaxiHailingStream:
+    def test_stream_valid_with_preloaded_objects(self) -> None:
+        tasks = synthetic_stream(
+            200.0, 400.0, 2.0, seed=3, taxi_hailing=True, initial_objects=50
+        )
+        seed_stream_with_objects(tasks, set(range(50)))
+
+    def test_movements_are_pairs(self) -> None:
+        tasks = synthetic_stream(
+            0.0, 300.0, 2.0, seed=4, taxi_hailing=True, initial_objects=20
+        )
+        updates = [t for t in tasks if t.kind is not TaskKind.QUERY]
+        assert updates, "expected movement events"
+        assert len(updates) % 2 == 0
+        for delete, insert in zip(updates[::2], updates[1::2]):
+            assert delete.kind is TaskKind.DELETE
+            assert insert.kind is TaskKind.INSERT
+            assert delete.object_id == insert.object_id
+            assert delete.arrival_time == insert.arrival_time
+
+    def test_th_rate_counts_operations(self) -> None:
+        """λu counts update *operations*: movements arrive at λu/2."""
+        tasks = synthetic_stream(
+            0.0, 1_000.0, 4.0, seed=5, taxi_hailing=True, initial_objects=100
+        )
+        updates = sum(1 for t in tasks if t.kind is not TaskKind.QUERY)
+        assert updates == pytest.approx(4_000, rel=0.15)
+
+    def test_th_requires_initial_objects(self) -> None:
+        with pytest.raises(ValueError, match="initial_objects"):
+            synthetic_stream(10.0, 10.0, 1.0, taxi_hailing=True)
+
+    def test_measure_response_time_th_mode(self) -> None:
+        machine = MachineSpec(total_cores=19)
+        measurement = measure_response_time(
+            MPRConfig(2, 3, 1), make_profile(), machine,
+            lambda_q=500.0, lambda_u=1_000.0, duration=1.0,
+            taxi_hailing=True,
+        )
+        assert not measurement.overloaded
+        assert measurement.completed_queries > 0
+
+    def test_th_burstiness_not_cheaper_than_ru(self) -> None:
+        """Paired arrivals are burstier; at equal operation rates the
+        TH stream's mean response should not be materially lower."""
+        machine = MachineSpec(total_cores=19)
+        profile = make_profile(tq=1e-4, tu=5e-5)
+        ru = measure_response_time(
+            MPRConfig(2, 3, 1), profile, machine,
+            lambda_q=2_000.0, lambda_u=20_000.0, duration=2.0, seed=6,
+        )
+        th = measure_response_time(
+            MPRConfig(2, 3, 1), profile, machine,
+            lambda_q=2_000.0, lambda_u=20_000.0, duration=2.0, seed=6,
+            taxi_hailing=True,
+        )
+        assert not ru.overloaded and not th.overloaded
+        assert th.mean_response_time >= ru.mean_response_time * 0.85

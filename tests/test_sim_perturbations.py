@@ -1,0 +1,91 @@
+"""Tests for heterogeneous speeds and straggler injection in the DES."""
+
+import pytest
+
+from repro.knn.calibration import AlgorithmProfile
+from repro.mpr import MachineSpec, MPRConfig
+from repro.sim import SimulatedMPRSystem, summarize, synthetic_stream
+
+
+def make_profile(tq=1e-3, tu=1e-4) -> AlgorithmProfile:
+    return AlgorithmProfile("t", tq=tq, vq=0.0, tu=tu, vu=0.0)
+
+
+FREE = MachineSpec(total_cores=32, queue_write_time=0.0, merge_time=0.0,
+                   dispatch_time=0.0)
+
+
+def run(config, **kwargs):
+    tasks = synthetic_stream(400.0, 200.0, 4.0, seed=5)
+    system = SimulatedMPRSystem(config, make_profile(), FREE, seed=1, **kwargs)
+    return summarize(system.run(tasks, horizon=4.0))
+
+
+class TestSpeedFactors:
+    def test_uniform_speedup_reduces_response(self) -> None:
+        config = MPRConfig(2, 2, 1)
+        baseline = run(config)
+        fast = run(
+            config,
+            speed_factors={w: 2.0 for w in
+                           [(0, r, c) for r in range(2) for c in range(2)]},
+        )
+        assert fast.mean_response_time < baseline.mean_response_time
+
+    def test_slow_worker_hurts_partitioned_queries(self) -> None:
+        """With x = 2, every query waits for both columns, so slowing
+        one column inflates every query's response."""
+        config = MPRConfig(2, 1, 1)
+        baseline = run(config)
+        degraded = run(config, speed_factors={(0, 0, 1): 0.25})
+        assert degraded.mean_response_time > 1.5 * baseline.mean_response_time
+
+    def test_slow_worker_diluted_by_replication(self) -> None:
+        """With y = 4 replicas, only 1/4 of queries hit the slow core:
+        the mean inflates far less than in the partitioned layout."""
+        part = MPRConfig(2, 1, 1)
+        repl = MPRConfig(1, 4, 1)
+        part_base = run(part)
+        part_bad = run(part, speed_factors={(0, 0, 1): 0.25})
+        repl_base = run(repl)
+        repl_bad = run(repl, speed_factors={(0, 1, 0): 0.25})
+        part_ratio = part_bad.mean_response_time / part_base.mean_response_time
+        repl_ratio = repl_bad.mean_response_time / repl_base.mean_response_time
+        assert repl_ratio < part_ratio
+
+    def test_invalid_speed(self) -> None:
+        with pytest.raises(ValueError, match="speed"):
+            SimulatedMPRSystem(
+                MPRConfig(1, 1, 1), make_profile(), FREE,
+                speed_factors={(0, 0, 0): 0.0},
+            )
+
+
+class TestStraggler:
+    def test_straggler_window_inflates_tail(self) -> None:
+        config = MPRConfig(1, 2, 1)
+        baseline = run(config)
+        stalled = run(
+            config, straggler=((0, 0, 0), 1.0, 2.0, 20.0)
+        )
+        assert stalled.p95_response_time > baseline.p95_response_time
+
+    def test_straggler_outside_window_is_noop(self) -> None:
+        config = MPRConfig(1, 2, 1)
+        baseline = run(config)
+        harmless = run(
+            config, straggler=((0, 0, 0), 100.0, 200.0, 20.0)
+        )
+        assert harmless == baseline
+
+    def test_invalid_straggler(self) -> None:
+        with pytest.raises(ValueError, match="slowdown"):
+            SimulatedMPRSystem(
+                MPRConfig(1, 1, 1), make_profile(), FREE,
+                straggler=((0, 0, 0), 0.0, 1.0, 0.0),
+            )
+        with pytest.raises(ValueError, match="window"):
+            SimulatedMPRSystem(
+                MPRConfig(1, 1, 1), make_profile(), FREE,
+                straggler=((0, 0, 0), 2.0, 1.0, 5.0),
+            )

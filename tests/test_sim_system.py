@@ -1,0 +1,237 @@
+"""Tests for the simulated MPR system against queueing theory."""
+
+import math
+
+import pytest
+
+from repro.knn.calibration import AlgorithmProfile, paper_profile
+from repro.mpr import MachineSpec, MPRConfig, Workload, response_time
+from repro.sim import (
+    SimulatedMPRSystem,
+    find_max_throughput,
+    measure_response_time,
+    summarize,
+    synthetic_stream,
+)
+from repro.objects import validate_stream
+
+
+def make_profile(tq=1e-3, gamma_q=1.0, tu=1e-4, gamma_u=1.0) -> AlgorithmProfile:
+    return AlgorithmProfile(
+        "test", tq=tq, vq=gamma_q * tq * tq, tu=tu, vu=gamma_u * tu * tu
+    )
+
+
+#: Control-plane costs set to zero isolate the w-core queueing so the
+#: simulation can be compared against the M/G/1 formula exactly.
+FREE_CONTROL = MachineSpec(
+    total_cores=64, queue_write_time=0.0, merge_time=0.0, dispatch_time=0.0
+)
+
+
+class TestAgainstTheory:
+    def test_single_core_matches_mg1(self) -> None:
+        """A 1x1x1 simulated system must match Equation 3 closely."""
+        profile = make_profile()
+        lambda_q, lambda_u = 400.0, 2000.0  # utilization 0.6
+        expected = response_time(
+            MPRConfig(1, 1, 1), Workload(lambda_q, lambda_u), profile, FREE_CONTROL
+        )
+        measurement = measure_response_time(
+            MPRConfig(1, 1, 1), profile, FREE_CONTROL, lambda_q, lambda_u,
+            duration=40.0, seed=5,
+        )
+        assert not measurement.overloaded
+        assert measurement.mean_response_time == pytest.approx(expected, rel=0.15)
+
+    def test_replication_upper_bounded_by_model(self) -> None:
+        """Round-robin row selection is *less* variable than the Poisson
+        splitting Equation 2 assumes (Erlang inter-arrivals at each
+        worker), so the simulated mean must come in at or below the
+        model, and within the same ballpark."""
+        profile = make_profile()
+        config = MPRConfig(1, 4, 1)
+        lambda_q, lambda_u = 1600.0, 1000.0
+        expected = response_time(
+            config, Workload(lambda_q, lambda_u), profile, FREE_CONTROL
+        )
+        measurement = measure_response_time(
+            config, profile, FREE_CONTROL, lambda_q, lambda_u,
+            duration=25.0, seed=6,
+        )
+        assert measurement.mean_response_time <= expected * 1.1
+        assert measurement.mean_response_time >= expected * 0.4
+
+    def test_partitioning_lower_bounded_by_model(self) -> None:
+        """The paper's footnote 2 models tw as the sojourn at *one*
+        w-core; with x partitions a query actually waits for the max of
+        x sojourns, so the simulation must sit at or above the model."""
+        profile = make_profile(tu=2e-4)
+        config = MPRConfig(4, 1, 1)
+        lambda_q, lambda_u = 300.0, 8000.0
+        expected = response_time(
+            config, Workload(lambda_q, lambda_u), profile, FREE_CONTROL
+        )
+        measurement = measure_response_time(
+            config, profile, FREE_CONTROL, lambda_q, lambda_u,
+            duration=25.0, seed=7,
+        )
+        assert measurement.mean_response_time >= expected * 0.95
+        assert measurement.mean_response_time <= expected * 3.0
+
+    def test_partitioning_matches_model_when_deterministic(self) -> None:
+        """With zero service variance the max-of-x effect vanishes and
+        Equation 5 should match the simulation tightly."""
+        profile = make_profile(gamma_q=0.0, gamma_u=0.0)
+        config = MPRConfig(4, 1, 1)
+        lambda_q, lambda_u = 300.0, 2000.0
+        expected = response_time(
+            config, Workload(lambda_q, lambda_u), profile, FREE_CONTROL
+        )
+        measurement = measure_response_time(
+            config, profile, FREE_CONTROL, lambda_q, lambda_u,
+            duration=25.0, seed=7,
+        )
+        assert measurement.mean_response_time == pytest.approx(expected, rel=0.1)
+
+
+class TestOverloadDetection:
+    def test_overloaded_worker_flagged(self) -> None:
+        profile = make_profile(tq=1e-2)
+        measurement = measure_response_time(
+            MPRConfig(1, 1, 1), profile, FREE_CONTROL,
+            lambda_q=200.0, lambda_u=0.0, duration=5.0,
+        )
+        assert measurement.overloaded
+
+    def test_underloaded_not_flagged(self) -> None:
+        profile = make_profile()
+        measurement = measure_response_time(
+            MPRConfig(1, 2, 1), profile, FREE_CONTROL,
+            lambda_q=100.0, lambda_u=100.0, duration=5.0,
+        )
+        assert not measurement.overloaded
+
+    def test_scheduler_bottleneck_visible_in_simulation(self) -> None:
+        """F-Rep under heavy updates overloads the s-core even though
+        the workers are idle (the Table III story)."""
+        profile = make_profile(tq=1e-5, tu=1e-7)
+        machine = MachineSpec(total_cores=19, queue_write_time=3e-6)
+        measurement = measure_response_time(
+            MPRConfig(1, 18, 1), profile, machine,
+            lambda_q=100.0, lambda_u=50_000.0, duration=2.0,
+        )
+        assert measurement.overloaded
+
+
+class TestMechanics:
+    def test_deterministic_given_seed(self) -> None:
+        profile = make_profile()
+        a = measure_response_time(
+            MPRConfig(2, 2, 1), profile, FREE_CONTROL, 500.0, 500.0,
+            duration=3.0, seed=9,
+        )
+        b = measure_response_time(
+            MPRConfig(2, 2, 1), profile, FREE_CONTROL, 500.0, 500.0,
+            duration=3.0, seed=9,
+        )
+        assert a == b
+
+    def test_config_exceeding_machine_rejected(self) -> None:
+        with pytest.raises(ValueError, match="cores"):
+            SimulatedMPRSystem(
+                MPRConfig(8, 8, 1), make_profile(), MachineSpec(total_cores=4)
+            )
+
+    def test_completion_after_arrival(self) -> None:
+        profile = make_profile()
+        tasks = synthetic_stream(300.0, 300.0, 3.0, seed=3)
+        system = SimulatedMPRSystem(MPRConfig(2, 2, 2), profile, FREE_CONTROL)
+        stats = system.run(tasks, horizon=3.0)
+        for outcome in stats.outcomes:
+            assert outcome.completion >= outcome.arrival
+            assert outcome.response_time >= 0
+
+    def test_aggregation_waits_for_all_partials(self) -> None:
+        """With x > 1, response time includes every partition's work: a
+        query's completion is at least the max of x independent service
+        draws, so mean response exceeds the x=1 mean service."""
+        profile = make_profile(gamma_q=1.0)
+        tasks = synthetic_stream(50.0, 0.0, 10.0, seed=4)
+        system = SimulatedMPRSystem(MPRConfig(4, 1, 1), profile, FREE_CONTROL)
+        stats = system.run(tasks, horizon=10.0)
+        mean_response = sum(o.response_time for o in stats.outcomes) / len(
+            stats.outcomes
+        )
+        assert mean_response > profile.tq  # strictly above single service
+
+    def test_breakdown_components(self) -> None:
+        profile = make_profile()
+        measurement = measure_response_time(
+            MPRConfig(1, 2, 1), profile, FREE_CONTROL, 400.0, 100.0,
+            duration=10.0,
+        )
+        assert measurement.mean_queuing_delay >= 0
+        assert measurement.mean_worker_service == pytest.approx(
+            profile.tq, rel=0.25
+        )
+        assert measurement.mean_response_time >= measurement.mean_worker_service
+
+
+class TestSyntheticStream:
+    def test_stream_is_valid(self) -> None:
+        tasks = synthetic_stream(500.0, 500.0, 2.0, seed=8)
+        validate_stream(tasks)
+
+    def test_rates_approximate(self) -> None:
+        tasks = synthetic_stream(1000.0, 500.0, 4.0, seed=2)
+        queries = sum(1 for t in tasks if t.kind.value == "query")
+        updates = len(tasks) - queries
+        assert queries == pytest.approx(4000, rel=0.15)
+        assert updates == pytest.approx(2000, rel=0.15)
+
+    def test_zero_rates(self) -> None:
+        assert synthetic_stream(0.0, 0.0, 1.0) == []
+
+
+class TestMaxThroughputSearch:
+    def test_matches_analytic_bound(self) -> None:
+        profile = paper_profile("TOAIN", "BJ")
+        machine = MachineSpec(total_cores=19)
+        config = MPRConfig(1, 5, 3)
+        from repro.mpr import max_throughput_closed_form
+
+        analytic = max_throughput_closed_form(
+            config, 50_000.0, profile, machine, rq_bound=0.1
+        )
+        simulated = find_max_throughput(
+            config, profile, machine, 50_000.0, rq_bound=0.1,
+            duration=0.3, initial_lambda_q=2000.0,
+        )
+        assert simulated == pytest.approx(analytic, rel=0.2)
+
+    def test_zero_when_updates_alone_overload(self) -> None:
+        profile = make_profile(tu=1e-2)
+        machine = MachineSpec(total_cores=19)
+        result = find_max_throughput(
+            MPRConfig(1, 1, 1), profile, machine, lambda_u=500.0,
+            rq_bound=0.1, duration=0.5, initial_lambda_q=10.0,
+        )
+        assert result < 10.0
+
+
+class TestSummarize:
+    def test_no_queries_reports_inf(self) -> None:
+        profile = make_profile()
+        system = SimulatedMPRSystem(MPRConfig(1, 1, 1), profile, FREE_CONTROL)
+        stats = system.run([], horizon=1.0)
+        measurement = summarize(stats)
+        assert math.isinf(measurement.mean_response_time)
+        assert measurement.completed_queries == 0
+
+    def test_display_formats(self) -> None:
+        profile = make_profile()
+        measurement = measure_response_time(
+            MPRConfig(1, 1, 1), profile, FREE_CONTROL, 10.0, 0.0, duration=2.0
+        )
+        assert "us" in measurement.display

@@ -1,0 +1,110 @@
+"""Tests for latency digests and utilization reports."""
+
+import math
+
+import pytest
+
+from repro.knn.calibration import AlgorithmProfile
+from repro.mpr import MachineSpec, MPRConfig
+from repro.sim import (
+    SimulatedMPRSystem,
+    bottleneck,
+    digest_latencies,
+    latency_histogram,
+    synthetic_stream,
+    utilization_report,
+)
+
+
+def make_profile(tq=1e-3, tu=1e-4) -> AlgorithmProfile:
+    return AlgorithmProfile("t", tq=tq, vq=tq * tq, tu=tu, vu=tu * tu)
+
+
+#: Near-free control plane; dispatch kept slightly positive so the
+#: d-core shows up in utilization reports for multi-layer runs.
+FREE = MachineSpec(total_cores=32, queue_write_time=0.0, merge_time=0.0,
+                   dispatch_time=1e-8)
+
+
+@pytest.fixture(scope="module")
+def stats():
+    tasks = synthetic_stream(300.0, 300.0, 5.0, seed=1)
+    system = SimulatedMPRSystem(MPRConfig(2, 2, 2), make_profile(), FREE, seed=2)
+    return system.run(tasks, horizon=5.0)
+
+
+class TestDigest:
+    def test_basic_properties(self, stats) -> None:
+        digest = digest_latencies(stats)
+        assert digest.count > 0
+        assert digest.minimum <= digest.mean <= digest.maximum
+        assert digest.percentiles[0.50] <= digest.percentiles[0.95]
+        assert digest.percentiles[0.95] <= digest.percentiles[0.99]
+        assert digest.percentiles[0.99] <= digest.maximum
+
+    def test_percentile_accessor(self, stats) -> None:
+        digest = digest_latencies(stats)
+        assert digest.percentile(0.95) == digest.percentiles[0.95]
+        with pytest.raises(KeyError):
+            digest.percentile(0.42)
+
+    def test_tail_amplification(self, stats) -> None:
+        digest = digest_latencies(stats)
+        assert digest.p99_over_mean >= 1.0
+
+    def test_warmup_filters(self, stats) -> None:
+        full = digest_latencies(stats)
+        trimmed = digest_latencies(stats, warmup=2.5)
+        assert trimmed.count < full.count
+
+    def test_empty_digest(self) -> None:
+        system = SimulatedMPRSystem(MPRConfig(1, 1, 1), make_profile(), FREE)
+        empty = system.run([], horizon=1.0)
+        digest = digest_latencies(empty)
+        assert digest.count == 0
+        assert math.isinf(digest.mean)
+
+    def test_invalid_percentile(self, stats) -> None:
+        with pytest.raises(ValueError):
+            digest_latencies(stats, percentiles=(1.5,))
+
+
+class TestHistogram:
+    def test_counts_sum_to_queries(self, stats) -> None:
+        histogram = latency_histogram(stats, num_bins=10)
+        assert len(histogram) == 10
+        assert sum(count for _, count in histogram) == len(stats.outcomes)
+
+    def test_edges_increase(self, stats) -> None:
+        histogram = latency_histogram(stats, num_bins=5)
+        edges = [edge for edge, _ in histogram]
+        assert edges == sorted(edges)
+
+    def test_empty(self) -> None:
+        system = SimulatedMPRSystem(MPRConfig(1, 1, 1), make_profile(), FREE)
+        empty = system.run([], horizon=1.0)
+        assert latency_histogram(empty) == []
+
+    def test_invalid_bins(self, stats) -> None:
+        with pytest.raises(ValueError):
+            latency_histogram(stats, num_bins=0)
+
+
+class TestUtilization:
+    def test_report_sorted_descending(self, stats) -> None:
+        rows = utilization_report(stats)
+        utils = [value for _, value in rows]
+        assert utils == sorted(utils, reverse=True)
+        labels = {label for label, _ in rows}
+        assert any(label.startswith("w(") for label in labels)
+        assert any(label.startswith("s-core") for label in labels)
+        assert "d-core" in labels  # z = 2
+
+    def test_bottleneck_is_hottest(self, stats) -> None:
+        label, value = bottleneck(stats)
+        assert value == max(v for _, v in utilization_report(stats))
+        assert label
+
+    def test_workers_are_bottleneck_with_free_control_plane(self, stats) -> None:
+        label, _ = bottleneck(stats)
+        assert label.startswith("w(")

@@ -1,0 +1,146 @@
+"""Tests for the node locator (map matching) and route extraction."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    NodeLocator,
+    RoadNetwork,
+    Route,
+    detour_factor,
+    dijkstra,
+    grid_network,
+    route_length,
+    routes_to_neighbors,
+    shortest_route,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(12, 14, seed=81, diagonal_fraction=0.15)
+
+
+@pytest.fixture(scope="module")
+def locator(net):
+    return NodeLocator(net)
+
+
+class TestNodeLocator:
+    def test_exact_node_position_snaps_to_itself(self, net, locator) -> None:
+        for node in range(0, net.num_nodes, 17):
+            x, y = net.coordinate(node)
+            found, distance = locator.nearest_node(x, y)
+            assert distance == pytest.approx(0.0, abs=1e-9)
+            # Jittered grids may have coincident points; accept any
+            # node at the same coordinates.
+            assert net.coordinate(found) == (x, y)
+
+    def test_matches_brute_force(self, net, locator) -> None:
+        rng = random.Random(4)
+        xs = [net.coordinate(n)[0] for n in net.nodes()]
+        ys = [net.coordinate(n)[1] for n in net.nodes()]
+        for _ in range(50):
+            x = rng.uniform(min(xs) - 100, max(xs) + 100)
+            y = rng.uniform(min(ys) - 100, max(ys) + 100)
+            found, distance = locator.nearest_node(x, y)
+            brute = min(
+                math.hypot(net.coordinate(n)[0] - x, net.coordinate(n)[1] - y)
+                for n in net.nodes()
+            )
+            assert distance == pytest.approx(brute)
+
+    def test_nodes_within_matches_brute_force(self, net, locator) -> None:
+        rng = random.Random(5)
+        for _ in range(20):
+            node = rng.randrange(net.num_nodes)
+            x, y = net.coordinate(node)
+            radius = rng.uniform(100, 1500)
+            got = set(locator.nodes_within(x, y, radius))
+            brute = {
+                n for n in net.nodes()
+                if math.hypot(
+                    net.coordinate(n)[0] - x, net.coordinate(n)[1] - y
+                ) <= radius
+            }
+            assert got == brute
+
+    def test_nodes_within_sorted_by_distance(self, net, locator) -> None:
+        x, y = net.coordinate(40)
+        nodes = locator.nodes_within(x, y, 2000.0)
+        distances = [
+            math.hypot(net.coordinate(n)[0] - x, net.coordinate(n)[1] - y)
+            for n in nodes
+        ]
+        assert distances == sorted(distances)
+
+    def test_snap_many(self, net, locator) -> None:
+        points = [net.coordinate(n) for n in (0, 5, 9)]
+        snapped = locator.snap_many(points)
+        for node, point in zip(snapped, points):
+            assert net.coordinate(node) == point
+
+    def test_negative_radius_rejected(self, locator) -> None:
+        with pytest.raises(ValueError):
+            locator.nodes_within(0.0, 0.0, -1.0)
+
+    def test_empty_network_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            NodeLocator(RoadNetwork(0, []))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        x=st.floats(min_value=-1e4, max_value=1e4),
+        y=st.floats(min_value=-1e4, max_value=1e4),
+    )
+    def test_always_finds_some_node(self, net, locator, x, y) -> None:
+        found, distance = locator.nearest_node(x, y)
+        assert 0 <= found < net.num_nodes
+        assert math.isfinite(distance)
+
+
+class TestRouting:
+    def test_route_matches_dijkstra_distance(self, net) -> None:
+        rng = random.Random(6)
+        for _ in range(15):
+            s, t = rng.randrange(net.num_nodes), rng.randrange(net.num_nodes)
+            route = shortest_route(net, s, t)
+            expected = dijkstra(net, s).get(t)
+            assert route is not None
+            assert route.distance == pytest.approx(expected)
+            assert route.nodes[0] == s and route.nodes[-1] == t
+            # The node sequence's edge weights sum to the distance.
+            assert route_length(net, route.nodes) == pytest.approx(
+                route.distance
+            )
+
+    def test_unreachable_returns_none(self) -> None:
+        net = RoadNetwork(3, [(0, 1, 1.0)])
+        assert shortest_route(net, 0, 2) is None
+
+    def test_trivial_route(self, net) -> None:
+        route = shortest_route(net, 3, 3)
+        assert route == Route(nodes=(3,), distance=0.0)
+        assert route.num_segments == 0
+
+    def test_route_length_rejects_nonadjacent(self, net) -> None:
+        with pytest.raises(KeyError):
+            route_length(net, [0, net.num_nodes - 1])
+
+    def test_routes_to_neighbors_shares_one_search(self, net) -> None:
+        targets = [5, 60, 100]
+        routes = routes_to_neighbors(net, 0, targets)
+        reference = dijkstra(net, 0)
+        for target in targets:
+            assert routes[target].distance == pytest.approx(reference[target])
+
+    def test_detour_factor_at_least_one(self, net) -> None:
+        route = shortest_route(net, 0, net.num_nodes - 1)
+        assert detour_factor(net, route) >= 1.0 - 1e-9
+
+    def test_detour_factor_degenerate(self, net) -> None:
+        assert detour_factor(net, Route((3,), 0.0)) == 1.0

@@ -1,0 +1,83 @@
+"""Tests for workload persistence (JSON round trips)."""
+
+import pytest
+
+from repro.workload import (
+    FleetSpec,
+    UpdateMode,
+    generate_workload,
+    load_workload,
+    replay_fleet,
+    save_workload,
+)
+
+
+class TestRoundTrip:
+    def test_ru_workload(self, medium_grid, tmp_path) -> None:
+        workload = generate_workload(
+            medium_grid, 15, lambda_q=60.0, lambda_u=100.0, duration=1.0,
+            mode=UpdateMode.RANDOM, seed=1,
+        )
+        path = tmp_path / "wl.json"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded == workload
+
+    def test_th_workload_preserves_movement_ids(self, medium_grid, tmp_path) -> None:
+        workload = generate_workload(
+            medium_grid, 15, lambda_q=20.0, lambda_u=100.0, duration=1.0,
+            mode=UpdateMode.TAXI_HAILING, seed=2,
+        )
+        path = tmp_path / "th.json"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.tasks == workload.tasks
+        movement_ids = [
+            getattr(task, "movement_id", None) for task in loaded.tasks
+        ]
+        assert any(mid is not None for mid in movement_ids)
+
+    def test_replay_workload(self, medium_grid, tmp_path) -> None:
+        fleet = FleetSpec(num_taxis=8, report_period=(0.3, 0.5))
+        workload = replay_fleet(medium_grid, fleet, lambda_q=20.0,
+                                duration=1.0, seed=3)
+        path = tmp_path / "fleet.json"
+        save_workload(workload, path)
+        assert load_workload(path) == workload
+
+    def test_replayed_stream_executes_identically(self, medium_grid, tmp_path) -> None:
+        from repro.knn import DijkstraKNN
+        from repro.mpr import run_serial_reference
+
+        workload = generate_workload(
+            medium_grid, 10, lambda_q=40.0, lambda_u=40.0, duration=0.5, seed=4
+        )
+        path = tmp_path / "exec.json"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        prototype = DijkstraKNN(medium_grid)
+        original = run_serial_reference(
+            prototype, workload.initial_objects, workload.tasks
+        )
+        replayed = run_serial_reference(
+            prototype, loaded.initial_objects, loaded.tasks
+        )
+        assert original == replayed
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self, tmp_path) -> None:
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="repro-workload-v1"):
+            load_workload(path)
+
+    def test_unknown_kind_rejected(self, tmp_path) -> None:
+        path = tmp_path / "bad2.json"
+        path.write_text(
+            '{"format": "repro-workload-v1", "lambda_q": 0, "lambda_u": 0,'
+            ' "duration": 1, "initial_objects": {},'
+            ' "tasks": [{"t": 0, "kind": "teleport"}]}'
+        )
+        with pytest.raises(ValueError, match="unknown task kind"):
+            load_workload(path)
