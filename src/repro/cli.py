@@ -7,6 +7,7 @@ Gives the headline experiments and utilities a no-pytest entry point:
 * ``networks``        — Table I replica sizes + realism metrics
 * ``profile``         — measure (tq, Vq, tu, Vu) of a solution on a replica
 * ``plan``            — pick an MPR configuration for a given workload
+* ``pool``            — run a workload through the real process pool
 """
 
 from __future__ import annotations
@@ -216,6 +217,71 @@ def _plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pool(args: argparse.Namespace) -> int:
+    import time
+
+    from .graph import grid_network
+    from .harness import format_duration
+    from .mpr import MPRConfig, ProcessPoolService
+    from .sim import machine_spec_from_pool, measured_tau_prime
+    from .workload import generate_workload
+
+    try:
+        solution_cls = SOLUTIONS[args.solution]
+    except KeyError:
+        known = ", ".join(sorted(SOLUTIONS))
+        print(f"unknown solution {args.solution!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    network = grid_network(args.grid, args.grid, seed=args.seed)
+    workload = generate_workload(
+        network, num_objects=args.objects, lambda_q=args.lambda_q,
+        lambda_u=args.lambda_u, duration=args.duration, seed=args.seed,
+        k=args.k,
+    )
+    config = MPRConfig(args.x, args.y, args.z)
+    prototype = solution_cls(network)
+    start = time.perf_counter()
+    with ProcessPoolService(
+        prototype, config, workload.initial_objects,
+        batch_size=args.batch_size,
+    ) as pool:
+        answers = pool.run(workload.tasks)
+        wall = time.perf_counter() - start
+        metrics = pool.metrics
+    rows = [
+        ["tasks (queries/updates)",
+         f"{metrics.tasks_submitted} ({metrics.queries_submitted}/"
+         f"{metrics.updates_submitted})"],
+        ["answers aggregated", str(len(answers))],
+        ["batches sent", str(metrics.batches_sent)],
+        ["mean batch size", f"{metrics.mean_batch_size:.1f}"],
+        ["messages per task", f"{metrics.messages_per_task:.3f}"],
+        ["worker respawns", str(metrics.respawns)],
+        ["wall clock", format_duration(wall)],
+        ["dispatch time", format_duration(metrics.dispatch.seconds)],
+        ["result wait", format_duration(metrics.wait.seconds)],
+        ["aggregation", format_duration(metrics.aggregate.seconds)],
+        ["measured τ' per task", format_duration(measured_tau_prime(metrics))],
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=(
+                f"Process pool {config.describe()} batch_size="
+                f"{args.batch_size} on grid {args.grid}x{args.grid}"
+            ),
+        )
+    )
+    spec = machine_spec_from_pool(metrics, total_cores=args.cores)
+    print(
+        f"calibrated machine model: τ'={spec.queue_write_time*1e6:.1f} us, "
+        f"merge={spec.merge_time*1e6:.1f} us, "
+        f"dispatch={spec.dispatch_time*1e6:.1f} us"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MPR reproduction command line"
@@ -271,6 +337,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="response-time",
     )
     plan.set_defaults(func=_plan)
+
+    pool = sub.add_parser(
+        "pool", help="run a generated workload on the real process pool"
+    )
+    pool.add_argument("--solution", default="Dijkstra")
+    pool.add_argument("--grid", type=int, default=12,
+                      help="grid network side length")
+    pool.add_argument("--x", type=int, default=2)
+    pool.add_argument("--y", type=int, default=2)
+    pool.add_argument("--z", type=int, default=1)
+    pool.add_argument("--batch-size", type=int, default=16)
+    pool.add_argument("--objects", type=int, default=30)
+    pool.add_argument("--lambda-q", type=float, default=200.0)
+    pool.add_argument("--lambda-u", type=float, default=100.0)
+    pool.add_argument("--duration", type=float, default=1.0)
+    pool.add_argument("--k", type=int, default=5)
+    pool.add_argument("--cores", type=int, default=19,
+                      help="core budget of the calibrated machine model")
+    pool.add_argument("--seed", type=int, default=0)
+    pool.set_defaults(func=_pool)
     return parser
 
 

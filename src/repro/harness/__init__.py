@@ -1,13 +1,18 @@
 """Reporting helpers shared by benches and examples."""
 
+from .metrics import PoolMetrics, StageTimer
 from .records import (
     ExperimentRecord,
+    PoolRunRecord,
     filter_records,
+    load_pool_records,
     load_records,
+    save_pool_records,
     save_records,
 )
 from .report import (
     ascii_bar_chart,
+    format_duration,
     format_microseconds,
     format_rate,
     format_series,
@@ -15,11 +20,17 @@ from .report import (
 )
 
 __all__ = [
+    "PoolMetrics",
+    "StageTimer",
     "ExperimentRecord",
+    "PoolRunRecord",
     "filter_records",
+    "load_pool_records",
     "load_records",
+    "save_pool_records",
     "save_records",
     "ascii_bar_chart",
+    "format_duration",
     "format_microseconds",
     "format_rate",
     "format_series",

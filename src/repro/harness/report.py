@@ -25,6 +25,17 @@ def format_rate(rate: float) -> str:
     return f"{rate:,.0f}"
 
 
+def format_duration(seconds: float) -> str:
+    """Render a wall-clock duration with an adaptive unit (s/ms/μs)."""
+    if math.isinf(seconds) or math.isnan(seconds):
+        return "Overload"
+    if seconds >= 1.0:
+        return f"{seconds:,.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:,.2f} ms"
+    return f"{seconds * 1e6:,.1f} us"
+
+
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
 ) -> str:

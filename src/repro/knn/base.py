@@ -34,7 +34,14 @@ class Neighbor:
 
 
 def canonical_knn(candidates: Mapping[int, float] | Sequence[Neighbor], k: int) -> list[Neighbor]:
-    """Best ``k`` of a candidate pool in canonical order."""
+    """Best ``k`` of a candidate pool in canonical order.
+
+    ``k`` may exceed the pool (the whole pool is returned, sorted) but
+    must be non-negative: a negative ``k`` would silently slice from
+    the *end* of the pool and return the worst candidates.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
     if isinstance(candidates, Mapping):
         pool = [Neighbor(distance, object_id) for object_id, distance in candidates.items()]
     else:

@@ -171,6 +171,82 @@ class MPRRouter:
         ]
 
 
+#: Wire encoding of one task for a worker queue.  Kept as plain tuples
+#: so a batch pickles as one small flat structure:
+#: ``("query", query_id, location, k)`` | ``("insert", object_id,
+#: location)`` | ``("delete", object_id)``.
+WorkerOp = tuple
+
+#: A batch addressed to one worker: ``(worker_id, (op, op, ...))``.
+WorkerBatch = tuple[WorkerId, tuple[WorkerOp, ...]]
+
+
+def encode_op(task: Task) -> WorkerOp:
+    """Flatten a task into its worker-queue wire form."""
+    if task.kind is TaskKind.QUERY:
+        return ("query", task.query_id, task.location, task.k)
+    if task.kind is TaskKind.INSERT:
+        return ("insert", task.object_id, task.location)
+    return ("delete", task.object_id)
+
+
+class RouteBatcher:
+    """Group routed tasks into per-worker batches (pure logic, no queues).
+
+    One queue message normally carries one task; at ~tens of μs per
+    ``multiprocessing`` message that round-trip dwarfs the paper's τ'.
+    The batcher accumulates each worker's consecutive ops and releases
+    them as one message of up to ``batch_size`` ops, preserving the
+    per-worker FCFS order the serial-equivalence argument rests on
+    (ops within a batch stay in arrival order; batches are released in
+    order).  Latency-sensitive callers use :meth:`flush` to release
+    partial batches immediately.
+    """
+
+    def __init__(self, router: MPRRouter, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._router = router
+        self._batch_size = batch_size
+        self._pending: dict[WorkerId, list[WorkerOp]] = {
+            worker: [] for worker in router.all_workers()
+        }
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
+    def pending_ops(self) -> int:
+        """Ops routed but not yet released in a batch."""
+        return sum(len(ops) for ops in self._pending.values())
+
+    def add(
+        self, task: Task
+    ) -> tuple[QueryRoute | UpdateRoute, list[WorkerBatch]]:
+        """Route ``task``; return the route plus any now-full batches."""
+        route = self._router.route(task)
+        op = encode_op(task)
+        ready: list[WorkerBatch] = []
+        for worker_id in route.workers:
+            pending = self._pending[worker_id]
+            pending.append(op)
+            if len(pending) >= self._batch_size:
+                ready.append((worker_id, tuple(pending)))
+                pending.clear()
+        return route, ready
+
+    def flush(self) -> list[WorkerBatch]:
+        """Release every partial batch (deterministic worker order)."""
+        ready: list[WorkerBatch] = []
+        for worker_id in sorted(self._pending):
+            pending = self._pending[worker_id]
+            if pending:
+                ready.append((worker_id, tuple(pending)))
+                pending.clear()
+        return ready
+
+
 def check_matrix_invariants(
     contents: Mapping[WorkerId, Mapping[int, int]], config: MPRConfig
 ) -> None:

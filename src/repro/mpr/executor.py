@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -27,6 +28,29 @@ from .config import MPRConfig
 from .core_matrix import MPRRouter, QueryRoute, WorkerId, check_matrix_invariants
 
 _SENTINEL = None
+
+
+class MPRExecutor(ABC):
+    """The contract every core-matrix executor satisfies.
+
+    An executor realizes one MPR arrangement over some worker substrate
+    (threads, processes, a simulator) and runs task streams through it.
+    The contract — shared by :class:`ThreadedMPRExecutor` and
+    :class:`repro.mpr.process_executor.ProcessPoolService`, and pinned
+    by ``tests/test_executor_equivalence.py`` — is *serial
+    equivalence*: ``run(tasks)`` returns exactly the answers of a
+    single-threaded execution in arrival order (Section III), so
+    executors are interchangeable wherever one is accepted.
+    """
+
+    @property
+    @abstractmethod
+    def config(self) -> MPRConfig:
+        """The realized core-matrix arrangement."""
+
+    @abstractmethod
+    def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
+        """Execute a task stream; return ``query_id -> aggregated kNN``."""
 
 
 @dataclass
@@ -85,7 +109,7 @@ class _Worker:
             self.error = exc
 
 
-class ThreadedMPRExecutor:
+class ThreadedMPRExecutor(MPRExecutor):
     """Run a task stream through a real multi-threaded core matrix.
 
     Parameters

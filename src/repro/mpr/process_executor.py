@@ -1,73 +1,489 @@
-"""A multiprocessing executor: real parallelism, no GIL.
+"""A persistent, fault-tolerant multiprocessing executor.
 
 The threaded executor (:mod:`repro.mpr.executor`) proves functional
 correctness but cannot show wall-clock speedup under CPython's GIL.
-This executor runs each w-core as an OS *process* — the literal
-"multi-processing" of the paper's title — so query work genuinely
-parallelizes across CPU cores.
+:class:`ProcessPoolService` runs each w-core as an OS *process* — the
+literal "multi-processing" of the paper's title — and keeps it alive
+across calls, the way a serving system would:
 
-Trade-offs that shape its design:
+* **persistent workers** — processes start once (``start()`` or the
+  context manager) and serve any number of ``run()``/``submit()``
+  calls; the road network and each worker's object partition are
+  pickled to the child once, mirroring MPR's one-time replica
+  construction;
+* **batched dispatch** — one queue message carries up to
+  ``batch_size`` tasks, amortizing the ~tens-of-μs per-message pickle
+  and queue cost (the τ' the paper models, magnified ~1000× by
+  ``multiprocessing``) over the batch; ``flush()`` releases partial
+  batches for latency-sensitive streams;
+* **supervision** — the parent polls worker liveness while waiting on
+  results; a dead worker (crash, SIGKILL) is respawned from its
+  replica's object cell and the in-flight batches are replayed, so
+  final answers are indistinguishable from a fault-free run.
 
-* the road network and each worker's object partition are pickled to
-  the child once at start-up (mirroring MPR's one-time replica
-  construction);
-* task dispatch goes over ``multiprocessing`` queues, whose per-message
-  cost (~tens of μs) dwarfs the paper's τ'; this executor is therefore
-  a *demonstration and batch* tool, not the performance model — the
-  calibrated DES remains the instrument for queueing behaviour
-  (DESIGN.md substitution #1);
-* results are aggregated in the parent, exactly like the a-core.
+Fault-tolerance argument, in MPR's own terms: every ``(layer, column)``
+cell is replicated across the ``y`` rows (Section IV-A), so a worker's
+object set is never lost with the process.  The service keeps the
+authoritative copy of each cell — its initial contents plus every
+*acknowledged* update batch — which is exactly the state any row
+sibling holds.  A respawned worker is ``solution.spawn``-ed from that
+cell and replays the unacknowledged batch suffix in FCFS order;
+because solutions are deterministic, the replayed partials equal the
+lost ones (duplicates from ack races are idempotent and deduplicated
+per ``(query, worker)``).
 
-Use :func:`run_batch_speedup` for the headline demonstration: a batch
-of kNN queries executed on 1 vs N worker processes.
+Per-stage timings and counters stream into a
+:class:`repro.harness.PoolMetrics`, which the benchmarks and the DES
+calibration (:func:`repro.sim.measurement.machine_spec_from_pool`)
+consume.
+
+Use :func:`run_batch_speedup` for the historical headline
+demonstration (1 vs N workers); :class:`ProcessMPRExecutor` remains as
+the one-shot compatibility wrapper.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-import os
+import queue as queue_module
 import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from ..harness.metrics import PoolMetrics
 from ..knn.base import KNNSolution, Neighbor, merge_partial_results
 from ..objects.tasks import Task, TaskKind
 from .config import MPRConfig
-from .core_matrix import MPRRouter, QueryRoute, WorkerId
+from .core_matrix import (
+    MPRRouter,
+    QueryRoute,
+    RouteBatcher,
+    WorkerBatch,
+    WorkerId,
+)
+from .executor import MPRExecutor
 
 _STOP = ("stop",)
 
 
-def _worker_main(solution: KNNSolution, inbox, outbox) -> None:
-    """Child process: drain the inbox into the solution."""
+def _worker_main(solution: KNNSolution, worker_id, inbox, outbox) -> None:
+    """Child process: serve batches until told to stop.
+
+    One ``("batch", seq, ops)`` message is acknowledged by one
+    ``("done", worker_id, seq, partials)`` message carrying every query
+    partial of the batch — the ack doubles as the result envelope, so
+    the return path is batch-amortized too.
+    """
     while True:
         message = inbox.get()
         kind = message[0]
         if kind == "stop":
-            outbox.put(("stopped", os.getpid()))
+            outbox.put(("stopped", worker_id))
             return
-        if kind == "query":
-            _, query_id, location, k = message
-            partial = solution.query(location, k)
-            outbox.put(("partial", query_id, partial))
-        elif kind == "insert":
-            _, object_id, location = message
-            solution.insert(object_id, location)
-        elif kind == "delete":
-            _, object_id = message
-            solution.delete(object_id)
+        if kind != "batch":  # pragma: no cover - protocol guard
+            outbox.put(("error", worker_id, -1, f"unknown message {kind!r}"))
+            return
+        _, seq, ops = message
+        partials = []
+        try:
+            for op in ops:
+                if op[0] == "query":
+                    _, query_id, location, k = op
+                    partials.append((query_id, solution.query(location, k)))
+                elif op[0] == "insert":
+                    solution.insert(op[1], op[2])
+                else:
+                    solution.delete(op[1])
+        except Exception as exc:
+            outbox.put(("error", worker_id, seq, repr(exc)))
+            return
+        outbox.put(("done", worker_id, seq, partials))
+
+
+class _WorkerState:
+    """Parent-side ledger for one w-core: process + replica cell + log."""
+
+    def __init__(self, worker_id: WorkerId, cell: Mapping[int, int]) -> None:
+        self.worker_id = worker_id
+        #: The replica's object cell: initial contents plus every
+        #: acknowledged update — the state a respawn restarts from.
+        self.cell: dict[int, int] = dict(cell)
+        #: Dispatched-but-unacknowledged batches, in seq order.
+        self.unacked: dict[int, tuple] = {}
+        self.next_seq = 0
+        self.respawns = 0
+        self.failed: str | None = None
+        self.process: mp.process.BaseProcess | None = None
+        self.inbox = None
+
+    def acknowledge(self, seq: int) -> bool:
+        """Apply an ack: advance the durable cell past batch ``seq``.
+
+        Returns False for a duplicate ack (a replayed batch whose
+        original ack survived the crash) — those are ignored.
+        """
+        ops = self.unacked.pop(seq, None)
+        if ops is None:
+            return False
+        for op in ops:
+            if op[0] == "insert":
+                self.cell[op[1]] = op[2]
+            elif op[0] == "delete":
+                self.cell.pop(op[1], None)
+        return True
+
+
+class WorkerCrash(RuntimeError):
+    """A worker died irrecoverably (poison task or respawn limit)."""
+
+
+class ProcessPoolService(MPRExecutor):
+    """A persistent process pool realizing one MPR core matrix.
+
+    Parameters
+    ----------
+    solution:
+        Prototype solution; each worker gets ``solution.spawn(cell)``.
+    config:
+        The ``(x, y, z)`` arrangement to realize.
+    objects:
+        Initial object placements (partitioned round-robin by column).
+    batch_size:
+        Tasks per queue message.  1 reproduces per-task dispatch; the
+        sweep in ``benchmarks/bench_process_pool.py`` shows the
+        trade-off.
+    start_method:
+        ``multiprocessing`` start method (``fork`` shares the network
+        index copy-on-write; ``spawn`` pickles it).
+    health_check_interval:
+        How long one result-queue wait may block before the supervisor
+        re-checks worker liveness (seconds).
+    max_respawns:
+        Per-worker crash budget; exceeding it raises
+        :class:`WorkerCrash` instead of looping on a poison batch.
+
+    Lifecycle: ``start()`` → any number of ``submit()``/``flush()``/
+    ``drain()``/``run()`` calls → ``close()``.  The context manager
+    form does start/close automatically; ``close()`` is idempotent.
+    """
+
+    def __init__(
+        self,
+        solution: KNNSolution,
+        config: MPRConfig,
+        objects: Mapping[int, int],
+        *,
+        batch_size: int = 16,
+        start_method: str = "fork",
+        health_check_interval: float = 0.05,
+        max_respawns: int = 3,
+        metrics: PoolMetrics | None = None,
+    ) -> None:
+        if health_check_interval <= 0:
+            raise ValueError("health_check_interval must be positive")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        self._solution = solution
+        self._config = config
+        self._router = MPRRouter(config)
+        self._batcher = RouteBatcher(self._router, batch_size)
+        self._context = mp.get_context(start_method)
+        self._health_check_interval = health_check_interval
+        self._max_respawns = max_respawns
+        self.metrics = metrics if metrics is not None else PoolMetrics()
+        self._outbox = self._context.Queue()
+        contents = self._router.preload_objects(objects)
+        self._workers: dict[WorkerId, _WorkerState] = {
+            worker_id: _WorkerState(worker_id, cell)
+            for worker_id, cell in contents.items()
+        }
+        #: Pending query bookkeeping: expected partial count, requested
+        #: k, and received partials keyed by worker (dedup on replay).
+        self._expected: dict[int, int] = {}
+        self._ks: dict[int, int] = {}
+        self._partials: dict[int, dict[WorkerId, list[Neighbor]]] = {}
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> MPRConfig:
+        return self._config
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._closed
+
+    def start(self) -> "ProcessPoolService":
+        """Spawn every worker process (no-op if already running)."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if not self._started:
+            for state in self._workers.values():
+                self._spawn(state)
+            self._started = True
+        return self
+
+    def __enter__(self) -> "ProcessPoolService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop messages, bounded wait, then force.
+
+        Workers that acknowledge the stop within ``timeout`` seconds
+        exit cleanly; stragglers (hung or already dead) are terminated.
+        Safe to call twice and safe to call without ``start()``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        live = {
+            state.worker_id: state
+            for state in self._workers.values()
+            if state.process is not None and state.process.is_alive()
+        }
+        for state in live.values():
+            try:
+                state.inbox.put(_STOP)
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                pass
+        deadline = time.monotonic() + timeout
+        pending = set(live)
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                message = self._outbox.get(timeout=min(remaining, 0.1))
+            except queue_module.Empty:
+                pending = {
+                    worker_id for worker_id in pending
+                    if self._workers[worker_id].process.is_alive()
+                }
+                continue
+            if message[0] == "stopped":
+                pending.discard(message[1])
+        for state in self._workers.values():
+            process = state.process
+            if process is None:
+                continue
+            process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """Route one task; full batches are dispatched immediately."""
+        self.start()
+        self.metrics.tasks_submitted += 1
+        with self.metrics.timed("dispatch", events=0):
+            route, ready = self._batcher.add(task)
+        if task.kind is TaskKind.QUERY:
+            assert isinstance(route, QueryRoute)
+            self.metrics.queries_submitted += 1
+            self._expected[task.query_id] = len(route.workers)
+            self._ks[task.query_id] = task.k
+        else:
+            self.metrics.updates_submitted += 1
+        self._send_batches(ready)
+        # Opportunistically drain acks so the result queue stays short.
+        self._collect_ready()
+
+    def flush(self) -> None:
+        """Dispatch every partial batch (latency over amortization)."""
+        if not self._started or self._closed:
+            return
+        with self.metrics.timed("dispatch", events=0):
+            ready = self._batcher.flush()
+        self._send_batches(ready)
+
+    def _send_batches(self, batches: Sequence[WorkerBatch]) -> None:
+        for worker_id, ops in batches:
+            state = self._workers[worker_id]
+            self._ensure_alive(state)
+            seq = state.next_seq
+            state.next_seq += 1
+            state.unacked[seq] = ops
+            with self.metrics.timed("dispatch"):
+                state.inbox.put(("batch", seq, ops))
+            self.metrics.batches_sent += 1
+            self.metrics.messages_sent += 1
+            self.metrics.ops_dispatched += len(ops)
+
+    # ------------------------------------------------------------------
+    # Collection and supervision
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> dict[int, list[Neighbor]]:
+        """Flush, wait until the pool quiesces, return finished answers.
+
+        Returns the aggregated top-k for every query submitted since
+        the previous drain.  ``timeout`` bounds the total wait
+        (``None`` = wait as long as workers keep making progress);
+        worker death during the wait triggers respawn + replay.
+        """
+        self.flush()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._outstanding():
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"pool did not quiesce within {timeout} s "
+                    f"({self._outstanding()} batches outstanding)"
+                )
+            with self.metrics.timed("wait", events=0):
+                try:
+                    message = self._outbox.get(
+                        timeout=self._health_check_interval
+                    )
+                except queue_module.Empty:
+                    message = None
+            if message is None:
+                self._check_health()
+                continue
+            self._handle(message)
+        return self._finish_answers()
+
+    def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
+        """Submit a whole stream and drain it; workers stay alive."""
+        self.start()
+        for task in tasks:
+            self.submit(task)
+        return self.drain()
+
+    def worker_pids(self) -> dict[WorkerId, int]:
+        """Live worker process ids (fault-injection hooks)."""
+        return {
+            worker_id: state.process.pid
+            for worker_id, state in self._workers.items()
+            if state.process is not None and state.process.pid is not None
+        }
+
+    def _outstanding(self) -> int:
+        return sum(len(state.unacked) for state in self._workers.values())
+
+    def _collect_ready(self) -> None:
+        while True:
+            try:
+                message = self._outbox.get_nowait()
+            except queue_module.Empty:
+                return
+            self._handle(message)
+
+    def _handle(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "done":
+            _, worker_id, seq, partials = message
+            state = self._workers[worker_id]
+            state.acknowledge(seq)
+            for query_id, partial in partials:
+                self.metrics.partials_received += 1
+                self._partials.setdefault(query_id, {})[worker_id] = partial
+        elif kind == "error":
+            _, worker_id, seq, detail = message
+            self._workers[worker_id].failed = detail
+            raise WorkerCrash(
+                f"worker {worker_id} failed on batch {seq}: {detail}"
+            )
+        elif kind == "stopped":  # late stop ack from a prior close
+            pass
         else:  # pragma: no cover - protocol guard
-            outbox.put(("error", f"unknown message {kind!r}"))
+            raise RuntimeError(f"unknown pool message {message!r}")
+
+    def _finish_answers(self) -> dict[int, list[Neighbor]]:
+        with self.metrics.timed("aggregate", events=len(self._expected)):
+            answers: dict[int, list[Neighbor]] = {}
+            for query_id, expected in self._expected.items():
+                parts = self._partials.get(query_id, {})
+                if len(parts) != expected:
+                    raise RuntimeError(
+                        f"query {query_id}: {len(parts)} partials, "
+                        f"expected {expected}"
+                    )
+                answers[query_id] = merge_partial_results(
+                    list(parts.values()), self._ks[query_id]
+                )
+        self._expected.clear()
+        self._ks.clear()
+        self._partials.clear()
+        return answers
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _check_health(self) -> None:
+        for state in self._workers.values():
+            if state.unacked:
+                self._ensure_alive(state)
+
+    def _ensure_alive(self, state: _WorkerState) -> None:
+        process = state.process
+        if process is not None and process.is_alive():
             return
+        if state.failed is not None:
+            raise WorkerCrash(
+                f"worker {state.worker_id} is failed: {state.failed}"
+            )
+        if state.respawns >= self._max_respawns:
+            raise WorkerCrash(
+                f"worker {state.worker_id} exceeded the respawn budget "
+                f"({self._max_respawns}); last batches: "
+                f"{sorted(state.unacked)}"
+            )
+        self._respawn(state)
+
+    def _spawn(self, state: _WorkerState) -> None:
+        state.inbox = self._context.Queue()
+        state.process = self._context.Process(
+            target=_worker_main,
+            args=(
+                self._solution.spawn(dict(state.cell)),
+                state.worker_id,
+                state.inbox,
+                self._outbox,
+            ),
+            daemon=True,
+        )
+        state.process.start()
+
+    def _respawn(self, state: _WorkerState) -> None:
+        """Rebuild a dead worker from its replica cell; replay its log.
+
+        A death can race with its last ack (the ack may be sitting in
+        the result queue), so pending acks are consumed first — replays
+        of batches whose ack did survive are then skipped or, if
+        already re-sent, deduplicated downstream.
+        """
+        if state.process is not None:
+            # A cleanly-exited worker (poison task) flushes its error
+            # report on exit; joining first makes it visible below so
+            # poison surfaces as WorkerCrash instead of a replay loop.
+            state.process.join(timeout=1.0)
+        self._collect_ready()
+        state.respawns += 1
+        self.metrics.respawns += 1
+        self.metrics.batches_replayed += len(state.unacked)
+        self._spawn(state)
+        for seq in sorted(state.unacked):
+            state.inbox.put(("batch", seq, state.unacked[seq]))
+            self.metrics.messages_sent += 1
 
 
-class ProcessMPRExecutor:
-    """Run a task stream through worker *processes*.
+class ProcessMPRExecutor(MPRExecutor):
+    """One-shot batch wrapper over :class:`ProcessPoolService`.
 
-    Functionally identical to :class:`ThreadedMPRExecutor`; each worker
-    is an OS process fed over a queue.  Per-worker FCFS order is
-    preserved (one queue per worker), so the serial-equivalence
-    guarantee carries over unchanged.
+    Preserved for compatibility with the original executor: workers are
+    spawned for a single :meth:`run` and torn down afterwards, with
+    per-task dispatch (``batch_size=1``).  New code should hold a
+    :class:`ProcessPoolService` instead.
     """
 
     def __init__(
@@ -77,73 +493,18 @@ class ProcessMPRExecutor:
         objects: Mapping[int, int],
         start_method: str = "fork",
     ) -> None:
-        self._config = config
-        self._router = MPRRouter(config)
-        context = mp.get_context(start_method)
-        contents = self._router.preload_objects(objects)
-        self._outbox: mp.Queue = context.Queue()
-        self._inboxes: dict[WorkerId, mp.Queue] = {}
-        self._processes: dict[WorkerId, mp.process.BaseProcess] = {}
-        for worker_id, cell in contents.items():
-            inbox = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(solution.spawn(cell), inbox, self._outbox),
-                daemon=True,
-            )
-            self._inboxes[worker_id] = inbox
-            self._processes[worker_id] = process
+        self._service = ProcessPoolService(
+            solution, config, objects,
+            batch_size=1, start_method=start_method,
+        )
+
+    @property
+    def config(self) -> MPRConfig:
+        return self._service.config
 
     def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
-        expected: dict[int, int] = {}
-        ks: dict[int, int] = {}
-        for process in self._processes.values():
-            process.start()
-        try:
-            for task in tasks:
-                route = self._router.route(task)
-                if task.kind is TaskKind.QUERY:
-                    assert isinstance(route, QueryRoute)
-                    expected[task.query_id] = len(route.workers)
-                    ks[task.query_id] = task.k
-                    message = ("query", task.query_id, task.location, task.k)
-                elif task.kind is TaskKind.INSERT:
-                    message = ("insert", task.object_id, task.location)
-                else:
-                    message = ("delete", task.object_id)
-                for worker_id in route.workers:
-                    self._inboxes[worker_id].put(message)
-
-            partials: dict[int, list[list[Neighbor]]] = {}
-            outstanding = sum(expected.values())
-            while outstanding > 0:
-                kind, *payload = self._outbox.get()
-                if kind == "error":  # pragma: no cover - protocol guard
-                    raise RuntimeError(payload[0])
-                if kind == "partial":
-                    query_id, partial = payload
-                    partials.setdefault(query_id, []).append(partial)
-                    outstanding -= 1
-        finally:
-            for inbox in self._inboxes.values():
-                inbox.put(_STOP)
-            stopped = 0
-            while stopped < len(self._processes):
-                kind, *_ = self._outbox.get()
-                if kind == "stopped":
-                    stopped += 1
-            for process in self._processes.values():
-                process.join(timeout=10.0)
-
-        answers: dict[int, list[Neighbor]] = {}
-        for query_id, parts in partials.items():
-            if len(parts) != expected[query_id]:
-                raise RuntimeError(
-                    f"query {query_id}: {len(parts)} partials, expected "
-                    f"{expected[query_id]}"
-                )
-            answers[query_id] = merge_partial_results(parts, ks[query_id])
-        return answers
+        with self._service as pool:
+            return pool.run(tasks)
 
 
 @dataclass(frozen=True)
@@ -169,6 +530,7 @@ def run_batch_speedup(
     k: int = 10,
     workers: int = 4,
     start_method: str = "fork",
+    batch_size: int = 16,
 ) -> SpeedupReport:
     """Execute a query batch on 1 process vs ``workers`` processes.
 
@@ -180,37 +542,22 @@ def run_batch_speedup(
     """
     if workers < 1:
         raise ValueError("workers must be positive")
-    context = mp.get_context(start_method)
+    from ..objects.tasks import QueryTask
+
+    tasks = [
+        QueryTask(float(position), position, location, k)
+        for position, location in enumerate(query_locations)
+    ]
 
     def timed_run(num_workers: int) -> float:
-        outbox = context.Queue()
-        inboxes = []
-        processes = []
-        for _ in range(num_workers):
-            inbox = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(solution.spawn(dict(objects)), inbox, outbox),
-                daemon=True,
-            )
-            process.start()
-            inboxes.append(inbox)
-            processes.append(process)
-        start = time.perf_counter()
-        for position, location in enumerate(query_locations):
-            inboxes[position % num_workers].put(
-                ("query", position, location, k)
-            )
-        for _ in query_locations:
-            outbox.get()
-        elapsed = time.perf_counter() - start
-        for inbox in inboxes:
-            inbox.put(_STOP)
-        for _ in processes:
-            outbox.get()
-        for process in processes:
-            process.join(timeout=10.0)
-        return elapsed
+        config = MPRConfig(1, num_workers, 1)
+        with ProcessPoolService(
+            solution, config, dict(objects),
+            batch_size=batch_size, start_method=start_method,
+        ) as pool:
+            start = time.perf_counter()
+            pool.run(tasks)
+            return time.perf_counter() - start
 
     serial = timed_run(1)
     parallel = timed_run(workers)

@@ -5,7 +5,9 @@ from .inloop import InLoopResult, simulate_with_execution
 from .measurement import (
     Measurement,
     find_max_throughput,
+    machine_spec_from_pool,
     measure_response_time,
+    measured_tau_prime,
     summarize,
     synthetic_stream,
 )
@@ -30,7 +32,9 @@ __all__ = [
     "ServiceSampler",
     "Measurement",
     "find_max_throughput",
+    "machine_spec_from_pool",
     "measure_response_time",
+    "measured_tau_prime",
     "summarize",
     "synthetic_stream",
     "QueryOutcome",

@@ -126,3 +126,61 @@ class TestInvariantChecker:
         contents = {(0, 0, 0): {1: 0}, (0, 1, 0): {}}
         with pytest.raises(AssertionError):
             check_matrix_invariants(contents, config)
+
+
+class TestRouteBatcher:
+    def make(self, config: MPRConfig, batch_size: int):
+        from repro.mpr import RouteBatcher
+
+        return RouteBatcher(MPRRouter(config), batch_size)
+
+    def test_batch_released_when_full(self) -> None:
+        batcher = self.make(MPRConfig(x=1, y=1, z=1), batch_size=3)
+        for i in range(2):
+            _, ready = batcher.add(query(i))
+            assert ready == []
+        _, ready = batcher.add(query(2))
+        assert len(ready) == 1
+        worker, ops = ready[0]
+        assert worker == (0, 0, 0)
+        assert [op[0] for op in ops] == ["query", "query", "query"]
+        assert batcher.pending_ops == 0
+
+    def test_flush_releases_partial_batches(self) -> None:
+        batcher = self.make(MPRConfig(x=2, y=1, z=1), batch_size=10)
+        batcher.add(query(0))           # both columns of the row
+        batcher.add(InsertTask(1.0, 7, 3))  # one column only
+        assert batcher.pending_ops == 3
+        released = {worker: ops for worker, ops in batcher.flush()}
+        assert set(released) == {(0, 0, 0), (0, 0, 1)}
+        assert batcher.pending_ops == 0
+        assert batcher.flush() == []
+
+    def test_per_worker_fcfs_order_is_preserved(self) -> None:
+        batcher = self.make(MPRConfig(x=1, y=1, z=1), batch_size=2)
+        batcher.add(InsertTask(0.0, 5, 1))
+        _, ready = batcher.add(query(0))
+        (_, ops), = ready
+        assert [op[0] for op in ops] == ["insert", "query"]
+        batcher.add(DeleteTask(2.0, 5))
+        (_, ops2), = batcher.flush()
+        assert ops2 == (("delete", 5),)
+
+    def test_batch_size_one_is_per_task_dispatch(self) -> None:
+        batcher = self.make(MPRConfig(x=2, y=1, z=1), batch_size=1)
+        _, ready = batcher.add(query(0))
+        assert len(ready) == 2          # one single-op message per worker
+        assert all(len(ops) == 1 for _, ops in ready)
+
+    def test_rejects_invalid_batch_size(self) -> None:
+        with pytest.raises(ValueError):
+            self.make(MPRConfig(x=1, y=1, z=1), batch_size=0)
+
+
+class TestEncodeOp:
+    def test_wire_forms(self) -> None:
+        from repro.mpr import encode_op
+
+        assert encode_op(QueryTask(0.0, 4, 17, 6)) == ("query", 4, 17, 6)
+        assert encode_op(InsertTask(0.0, 9, 3)) == ("insert", 9, 3)
+        assert encode_op(DeleteTask(0.0, 9)) == ("delete", 9)

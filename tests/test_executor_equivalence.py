@@ -1,0 +1,147 @@
+"""Cross-executor equivalence: oracle vs threads vs process pool.
+
+Section III's correctness requirement — every scheme's execution is
+"equivalent to a serial execution in the tasks' arrival order" — is
+the contract of :class:`repro.mpr.MPRExecutor`.  This suite pins it
+across every executor substrate at once: randomized seeded task
+streams (queries + inserts + deletes) must produce *identical* answers
+from the single-threaded oracle, :class:`ThreadedMPRExecutor`, and the
+persistent :class:`ProcessPoolService`, for several ``(x, y, z)``
+arrangements and batch sizes.
+
+Process-spawning cases are marked ``slow`` (see pyproject/ROADMAP for
+the fast/full lanes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knn import DijkstraKNN
+from repro.mpr import (
+    MPRConfig,
+    MPRExecutor,
+    ProcessPoolService,
+    ThreadedMPRExecutor,
+    run_serial_reference,
+)
+from repro.workload import UpdateMode, generate_workload
+
+CONFIGS = [
+    MPRConfig(1, 3, 1),   # F-Rep shape
+    MPRConfig(3, 1, 1),   # F-Part shape
+    MPRConfig(2, 2, 1),   # 1MPR shape
+    MPRConfig(2, 2, 2),   # multi-layer MPR
+]
+
+SEEDS = [101, 202, 303]
+
+
+def make_workload(network, seed, mode=UpdateMode.RANDOM):
+    return generate_workload(
+        network, num_objects=15, lambda_q=50.0, lambda_u=60.0,
+        duration=0.8, mode=mode, k=4, seed=seed,
+    )
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def stream(request, small_grid):
+    return make_workload(small_grid, request.param)
+
+
+@pytest.fixture(scope="module")
+def oracle(small_grid, stream):
+    return run_serial_reference(
+        DijkstraKNN(small_grid), stream.initial_objects, stream.tasks
+    )
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"{c.x}x{c.y}x{c.z}")
+def test_threaded_matches_oracle(small_grid, stream, oracle, config) -> None:
+    executor: MPRExecutor = ThreadedMPRExecutor(
+        DijkstraKNN(small_grid), config, stream.initial_objects
+    )
+    assert executor.run(stream.tasks) == oracle
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"{c.x}x{c.y}x{c.z}")
+def test_process_pool_matches_oracle(small_grid, stream, oracle, config) -> None:
+    with ProcessPoolService(
+        DijkstraKNN(small_grid), config, stream.initial_objects,
+        batch_size=8,
+    ) as pool:
+        assert pool.run(stream.tasks) == oracle
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("batch_size", [1, 3, 64])
+def test_process_pool_batch_size_is_transparent(
+    small_grid, stream, oracle, batch_size
+) -> None:
+    """Answers are independent of how dispatch is batched — batch_size
+    1 (per-task), a size that splits streams mid-batch, and one larger
+    than the whole stream (everything rides on the final flush)."""
+    with ProcessPoolService(
+        DijkstraKNN(small_grid), MPRConfig(2, 2, 1),
+        stream.initial_objects, batch_size=batch_size,
+    ) as pool:
+        assert pool.run(stream.tasks) == oracle
+
+
+@pytest.mark.slow
+def test_persistent_pool_serves_many_runs(small_grid) -> None:
+    """One pool, many run() calls: workers persist, state carries over,
+    and the concatenation equals one oracle pass over the full stream."""
+    workload = make_workload(small_grid, 77)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    third = len(workload.tasks) // 3
+    chunks = [
+        workload.tasks[:third],
+        workload.tasks[third:2 * third],
+        workload.tasks[2 * third:],
+    ]
+    answers = {}
+    with ProcessPoolService(
+        DijkstraKNN(small_grid), MPRConfig(2, 2, 1),
+        workload.initial_objects, batch_size=5,
+    ) as pool:
+        pids_before = pool.worker_pids()
+        for chunk in chunks:
+            answers.update(pool.run(chunk))
+        assert pool.worker_pids() == pids_before  # no re-forking between runs
+    assert answers == oracle
+
+
+@pytest.mark.slow
+def test_process_pool_taxi_hailing_mode(small_grid) -> None:
+    workload = make_workload(small_grid, 55, mode=UpdateMode.TAXI_HAILING)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    with ProcessPoolService(
+        DijkstraKNN(small_grid), MPRConfig(2, 2, 1),
+        workload.initial_objects, batch_size=6,
+    ) as pool:
+        assert pool.run(workload.tasks) == oracle
+
+
+@pytest.mark.slow
+def test_flush_mid_stream_preserves_answers(small_grid) -> None:
+    """A latency-motivated flush() between submits must not change
+    results — only the batch boundaries."""
+    workload = make_workload(small_grid, 42)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    with ProcessPoolService(
+        DijkstraKNN(small_grid), MPRConfig(2, 1, 1),
+        workload.initial_objects, batch_size=50,
+    ) as pool:
+        for position, task in enumerate(workload.tasks):
+            pool.submit(task)
+            if position % 7 == 0:
+                pool.flush()
+        assert pool.drain() == oracle

@@ -1,5 +1,6 @@
 """Tests for the kNN base types: Neighbor, canonical ordering, merging."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -39,6 +40,45 @@ class TestMergePartials:
     def test_empty_partials(self) -> None:
         assert merge_partial_results([], 5) == []
         assert merge_partial_results([[], []], 5) == []
+
+    def test_some_partials_empty(self) -> None:
+        """A worker whose partition holds < k objects returns a short
+        (possibly empty) partial; the merge must not be disturbed."""
+        a = [Neighbor(3.0, 7)]
+        merged = merge_partial_results([[], a, []], 2)
+        assert merged == [Neighbor(3.0, 7)]
+
+    def test_k_larger_than_merged_pool(self) -> None:
+        a = [Neighbor(1.0, 1)]
+        b = [Neighbor(2.0, 2)]
+        merged = merge_partial_results([a, b], 100)
+        assert merged == [Neighbor(1.0, 1), Neighbor(2.0, 2)]
+
+    def test_exact_distance_ties_break_by_object_id(self) -> None:
+        """Equidistant objects across different partitions must rank by
+        object id so every executor produces the identical answer."""
+        a = [Neighbor(5.0, 9), Neighbor(5.0, 3)]
+        b = [Neighbor(5.0, 1), Neighbor(5.0, 6)]
+        merged = merge_partial_results([a, b], 3)
+        assert merged == [Neighbor(5.0, 1), Neighbor(5.0, 3), Neighbor(5.0, 6)]
+
+    def test_tie_at_the_k_boundary_is_deterministic(self) -> None:
+        a = [Neighbor(1.0, 2), Neighbor(2.0, 5)]
+        b = [Neighbor(2.0, 4)]
+        assert merge_partial_results([a, b], 2) == [
+            Neighbor(1.0, 2), Neighbor(2.0, 4),
+        ]
+
+    def test_k_zero(self) -> None:
+        assert merge_partial_results([[Neighbor(1.0, 1)]], 0) == []
+
+    def test_negative_k_rejected(self) -> None:
+        """A negative k used to slice from the end of the sorted pool,
+        returning the *worst* candidates; it must raise instead."""
+        with pytest.raises(ValueError):
+            merge_partial_results([[Neighbor(1.0, 1)]], -1)
+        with pytest.raises(ValueError):
+            canonical_knn({1: 1.0}, -2)
 
     @given(
         partials=st.lists(

@@ -1,0 +1,183 @@
+"""Fault injection for the process pool: kill, respawn, replay.
+
+The supervisor's guarantee: a worker death (SIGKILL here — no chance
+to clean up) is detected, the worker is respawned from its replica's
+object cell, the unacknowledged batches are replayed, and the final
+answers are indistinguishable from a fault-free oracle run.  Also
+covered: the shutdown-timeout path, double-``close()``, and the
+poison-task path (a crashing batch must surface as an error, not a
+respawn loop).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.graph import grid_network
+from repro.knn import DijkstraKNN
+from repro.mpr import (
+    MPRConfig,
+    ProcessPoolService,
+    WorkerCrash,
+    run_serial_reference,
+)
+from repro.workload import generate_workload
+
+pytestmark = pytest.mark.slow
+
+POISON_LOCATION = -1
+
+
+class PoisonableKNN(DijkstraKNN):
+    """Dijkstra solution that crashes on a sentinel query location
+    (module-level so fork/spawn children can reconstruct it)."""
+
+    def query(self, location, k):
+        if location == POISON_LOCATION:
+            raise RuntimeError("poisoned query")
+        return super().query(location, k)
+
+    def spawn(self, objects):
+        return PoisonableKNN(self._network, objects)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(10, 10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workload(network):
+    return generate_workload(
+        network, num_objects=15, lambda_q=120.0, lambda_u=80.0,
+        duration=1.0, seed=13, k=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle(network, workload):
+    return run_serial_reference(
+        DijkstraKNN(network), workload.initial_objects, workload.tasks
+    )
+
+
+def test_sigkill_between_drains_is_invisible(network, workload, oracle) -> None:
+    """Kill a quiesced worker; the next dispatch notices and respawns
+    it from the replica cell — final answers equal the oracle's."""
+    half = len(workload.tasks) // 2
+    pool = ProcessPoolService(
+        DijkstraKNN(network), MPRConfig(2, 1, 1),
+        workload.initial_objects, batch_size=4,
+        health_check_interval=0.02,
+    )
+    with pool:
+        answers = {}
+        for task in workload.tasks[:half]:
+            pool.submit(task)
+        answers.update(pool.drain())
+        victim_id, victim_pid = next(iter(pool.worker_pids().items()))
+        os.kill(victim_pid, signal.SIGKILL)
+        for task in workload.tasks[half:]:
+            pool.submit(task)
+        answers.update(pool.drain())
+        assert pool.metrics.respawns >= 1
+        assert pool.worker_pids()[victim_id] != victim_pid
+    assert answers == oracle
+
+
+def test_sigkill_with_batches_in_flight_replays(network, workload, oracle) -> None:
+    """Kill a worker *while its batches are outstanding*: the
+    supervisor must replay the unacknowledged suffix and the answers
+    must still be identical to the fault-free oracle."""
+    pool = ProcessPoolService(
+        DijkstraKNN(network), MPRConfig(2, 1, 1),
+        workload.initial_objects, batch_size=8,
+        health_check_interval=0.02,
+    )
+    with pool:
+        for task in workload.tasks:
+            pool.submit(task)
+        pool.flush()
+        victim_pid = next(iter(pool.worker_pids().values()))
+        os.kill(victim_pid, signal.SIGKILL)
+        answers = pool.drain()
+        assert pool.metrics.respawns >= 1
+        assert pool.metrics.batches_replayed >= 1
+    assert answers == oracle
+
+
+def test_every_worker_killed_once(network, workload, oracle) -> None:
+    """Serially kill *each* worker of a replicated matrix; every cell
+    must be reconstructible (y-row replication has no single point of
+    failure)."""
+    pool = ProcessPoolService(
+        DijkstraKNN(network), MPRConfig(2, 2, 1),
+        workload.initial_objects, batch_size=4,
+        health_check_interval=0.02,
+    )
+    chunk = max(1, len(workload.tasks) // 5)
+    with pool:
+        answers = {}
+        position = 0
+        for victim_pid in list(pool.worker_pids().values()):
+            for task in workload.tasks[position:position + chunk]:
+                pool.submit(task)
+            position += chunk
+            answers.update(pool.drain())
+            os.kill(victim_pid, signal.SIGKILL)
+        for task in workload.tasks[position:]:
+            pool.submit(task)
+        answers.update(pool.drain())
+        assert pool.metrics.respawns == 4
+    assert answers == oracle
+
+
+def test_close_times_out_on_dead_worker_and_is_idempotent(network) -> None:
+    """A worker that cannot ack the stop message (SIGKILLed) must not
+    hang close(); a second close() is a no-op."""
+    pool = ProcessPoolService(
+        DijkstraKNN(network), MPRConfig(1, 2, 1), {1: 0}, batch_size=2
+    )
+    pool.start()
+    victim_pid = next(iter(pool.worker_pids().values()))
+    os.kill(victim_pid, signal.SIGKILL)
+    start = time.monotonic()
+    pool.close(timeout=1.0)
+    assert time.monotonic() - start < 5.0
+    pool.close(timeout=1.0)  # idempotent
+    assert not pool.running
+    with pytest.raises(RuntimeError):
+        pool.start()
+
+
+def test_close_before_start_and_empty_drain(network) -> None:
+    pool = ProcessPoolService(
+        DijkstraKNN(network), MPRConfig(1, 1, 1), {1: 0}
+    )
+    pool.close()  # never started: still safe
+    with ProcessPoolService(
+        DijkstraKNN(network), MPRConfig(1, 1, 1), {1: 0}
+    ) as fresh:
+        assert fresh.drain() == {}
+        assert fresh.run([]) == {}
+
+
+def test_poison_task_raises_instead_of_respawn_loop(network, workload) -> None:
+    """A batch that crashes the solution itself is not a process fault:
+    it must surface as WorkerCrash, not burn the respawn budget."""
+    from repro.objects.tasks import QueryTask
+
+    pool = ProcessPoolService(
+        PoisonableKNN(network), MPRConfig(1, 1, 1),
+        workload.initial_objects, batch_size=1,
+        health_check_interval=0.02,
+    )
+    with pool:
+        pool.submit(QueryTask(0.0, 0, POISON_LOCATION, 3))
+        with pytest.raises(WorkerCrash):
+            pool.drain()
+        assert pool.metrics.respawns == 0
