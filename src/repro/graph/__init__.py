@@ -12,6 +12,13 @@ from .generators import (
     scaled_replica,
 )
 from .io import FormatError, load_dimacs, load_edge_list, save_dimacs
+from .kernels import KERNEL_CALLS, CSRKernels, IncrementalSSSP, dial_delta
+from .shared import (
+    SharedGraph,
+    SharedGraphMeta,
+    attach_shared_graph,
+    publish_shared_graph,
+)
 from .metrics import (
     NetworkMetrics,
     compute_metrics,
@@ -24,11 +31,14 @@ from .routing import Route, detour_factor, route_length, routes_to_neighbors, sh
 from .spatial import NodeLocator
 from .shortest_path import (
     INFINITY,
+    KERNEL_MIN_NODES,
     astar_distance,
     dijkstra,
     dijkstra_expansion,
+    dijkstra_heapq,
     dijkstra_with_paths,
     multi_source_dijkstra,
+    multi_source_dijkstra_heapq,
     pairwise_distances,
     reconstruct_path,
     shortest_path_distance,
@@ -49,6 +59,14 @@ __all__ = [
     "load_dimacs",
     "load_edge_list",
     "save_dimacs",
+    "KERNEL_CALLS",
+    "CSRKernels",
+    "IncrementalSSSP",
+    "dial_delta",
+    "SharedGraph",
+    "SharedGraphMeta",
+    "attach_shared_graph",
+    "publish_shared_graph",
     "NetworkMetrics",
     "compute_metrics",
     "cut_fraction",
@@ -65,11 +83,14 @@ __all__ = [
     "part_sizes",
     "partition_graph",
     "INFINITY",
+    "KERNEL_MIN_NODES",
     "astar_distance",
     "dijkstra",
     "dijkstra_expansion",
+    "dijkstra_heapq",
     "dijkstra_with_paths",
     "multi_source_dijkstra",
+    "multi_source_dijkstra_heapq",
     "pairwise_distances",
     "reconstruct_path",
     "shortest_path_distance",

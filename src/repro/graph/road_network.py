@@ -8,15 +8,31 @@ network index is *shared* by all cores while only the object set is
 partitioned, so a single immutable :class:`RoadNetwork` instance backs
 every worker in the MPR machinery.
 
-The adjacency is stored in CSR (compressed sparse row) form using plain
-Python lists of primitives, which keeps Dijkstra inner loops cheap and
-the memory footprint predictable.
+The adjacency is stored in CSR (compressed sparse row) form twice over:
+
+* contiguous **numpy arrays** (``int32`` indptr/indices, ``float64``
+  weights and coordinates) built once at construction — the substrate
+  for the vectorized kernels in :mod:`repro.graph.kernels` and for the
+  zero-copy shared-memory publication in :mod:`repro.graph.shared`;
+* plain **Python lists** mirroring the arrays, kept for the classic
+  ``heapq`` engines whose inner loops index lists faster than arrays.
+
+Networks built the normal way carry both representations; networks
+attached from shared memory (:meth:`RoadNetwork.from_csr_arrays`) carry
+only the arrays and materialize the list mirror lazily on first use, so
+a worker that sticks to the kernel path never copies the graph at all.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernels import CSRKernels
 
 
 @dataclass(frozen=True)
@@ -93,13 +109,16 @@ class RoadNetwork:
             weights[cursor[v]] = w
             cursor[v] += 1
 
-        self._offsets = offsets
-        self._targets = targets
-        self._weights = weights
-        self._edge_set = best
+        self._offsets: list[int] | None = offsets
+        self._targets: list[int] | None = targets
+        self._weights: list[float] | None = weights
+        self._edge_set: dict[tuple[int, int], float] | None = best
+        self._first_seen: tuple[np.ndarray, ...] | None = None
 
         if coordinates is None:
-            self._coordinates: list[tuple[float, float]] = [(0.0, 0.0)] * num_nodes
+            self._coordinates: list[tuple[float, float]] | None = (
+                [(0.0, 0.0)] * num_nodes
+            )
         else:
             coords = [(float(x), float(y)) for x, y in coordinates]
             if len(coords) != num_nodes:
@@ -107,6 +126,212 @@ class RoadNetwork:
                     f"expected {num_nodes} coordinate pairs, got {len(coords)}"
                 )
             self._coordinates = coords
+
+        self._indptr = np.asarray(offsets, dtype=np.int32)
+        self._indices = np.asarray(targets, dtype=np.int32)
+        self._weight_arr = np.asarray(weights, dtype=np.float64)
+        self._coord_arr = np.asarray(
+            self._coordinates, dtype=np.float64
+        ).reshape(num_nodes, 2)
+        self._init_runtime_state()
+
+    def _init_runtime_state(self) -> None:
+        """Per-instance, non-picklable bits (thread-local kernels, shm)."""
+        self._tls = threading.local()
+        #: Shared-memory publication token (see :mod:`repro.graph.shared`);
+        #: when set, pickling this network ships the token, not the arrays.
+        self._shared_meta = None
+        #: Keep-alive reference to an attached SharedMemory segment.
+        self._shm = None
+
+    # ------------------------------------------------------------------
+    # Alternative constructors (vectorized / zero-copy)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        num_nodes: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        coordinates: np.ndarray | Sequence[tuple[float, float]] | None = None,
+        name: str = "road-network",
+    ) -> "RoadNetwork":
+        """Vectorized constructor from parallel edge arrays.
+
+        Produces a network *identical* to ``RoadNetwork(num_nodes,
+        zip(u, v, w), ...)`` — same dedup (first-seen key order, minimum
+        weight), same CSR neighbor order, same error behavior — but with
+        all per-edge work done in numpy.  This is the batch path used by
+        :func:`repro.graph.io.load_dimacs`.
+        """
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        u = np.ascontiguousarray(u, dtype=np.int64)
+        v = np.ascontiguousarray(v, dtype=np.int64)
+        w = np.ascontiguousarray(w, dtype=np.float64)
+        if not (len(u) == len(v) == len(w)):
+            raise ValueError("u, v, w arrays must have equal length")
+
+        # Vectorized validation, reporting the first offender with the
+        # same messages as the scalar constructor.
+        bad = (u < 0) | (u >= num_nodes)
+        if bad.any():
+            node = int(u[int(np.argmax(bad))])
+            raise IndexError(
+                f"node {node} out of range for graph with {num_nodes} nodes"
+            )
+        bad = (v < 0) | (v >= num_nodes)
+        if bad.any():
+            node = int(v[int(np.argmax(bad))])
+            raise IndexError(
+                f"node {node} out of range for graph with {num_nodes} nodes"
+            )
+        loops = u == v
+        if loops.any():
+            node = int(u[int(np.argmax(loops))])
+            raise ValueError(f"self loop on node {node} is not allowed")
+        nonpos = w <= 0
+        if nonpos.any():
+            at = int(np.argmax(nonpos))
+            raise ValueError(
+                f"edge ({int(u[at])}, {int(v[at])}) has non-positive "
+                f"weight {w[at]}"
+            )
+
+        # Dedup to first-seen (min(u,v), max(u,v)) keys with min weight.
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        key = lo * max(num_nodes, 1) + hi
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        first = np.empty(len(key_sorted), dtype=bool)
+        if len(key_sorted):
+            first[0] = True
+            np.not_equal(key_sorted[1:], key_sorted[:-1], out=first[1:])
+        group_starts = np.flatnonzero(first)
+        if len(group_starts):
+            w_min = np.minimum.reduceat(w[order], group_starts)
+        else:
+            w_min = np.empty(0, dtype=np.float64)
+        first_pos = order[group_starts]  # first occurrence of each key
+        seen_order = np.argsort(first_pos, kind="stable")
+        edge_u = lo[first_pos][seen_order]
+        edge_v = hi[first_pos][seen_order]
+        edge_w = w_min[seen_order]
+
+        # Interleave the two directed arcs of each edge so that a stable
+        # sort by source reproduces the scalar constructor's per-node
+        # neighbor order exactly.
+        num_undirected = len(edge_u)
+        src = np.empty(2 * num_undirected, dtype=np.int64)
+        dst = np.empty(2 * num_undirected, dtype=np.int64)
+        wt = np.empty(2 * num_undirected, dtype=np.float64)
+        src[0::2], src[1::2] = edge_u, edge_v
+        dst[0::2], dst[1::2] = edge_v, edge_u
+        wt[0::2] = wt[1::2] = edge_w
+        arc_order = np.argsort(src, kind="stable")
+
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        if num_undirected:
+            counts = np.bincount(src, minlength=num_nodes)
+            np.cumsum(counts, out=indptr[1:])
+
+        if coordinates is None:
+            coord_arr = np.zeros((num_nodes, 2), dtype=np.float64)
+        else:
+            coord_arr = np.asarray(coordinates, dtype=np.float64)
+            if coord_arr.shape != (num_nodes, 2):
+                raise ValueError(
+                    f"expected {num_nodes} coordinate pairs, "
+                    f"got {len(coord_arr)}"
+                )
+        net = cls.from_csr_arrays(
+            indptr.astype(np.int32),
+            dst[arc_order].astype(np.int32),
+            wt[arc_order],
+            coordinates=coord_arr,
+            name=name,
+        )
+        # Remember the first-seen dedup order so the edge dict (built
+        # lazily on first use) iterates edges exactly as the scalar
+        # constructor's would — save_dimacs round trips depend on it.
+        net._first_seen = (edge_u, edge_v, edge_w)
+        return net
+
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        coordinates: np.ndarray | None = None,
+        name: str = "road-network",
+    ) -> "RoadNetwork":
+        """Wrap existing CSR arrays without copying them.
+
+        The arrays are adopted as-is (e.g. views into a shared-memory
+        segment); the Python-list mirror and the edge dict are derived
+        lazily on first use.  The caller is responsible for the arrays
+        being a valid symmetric CSR adjacency.
+        """
+        net = cls.__new__(cls)
+        net._num_nodes = int(len(indptr) - 1)
+        net._name = name
+        net._indptr = np.asarray(indptr, dtype=np.int32)
+        net._indices = np.asarray(indices, dtype=np.int32)
+        net._weight_arr = np.asarray(weights, dtype=np.float64)
+        if coordinates is None:
+            net._coord_arr = np.zeros((net._num_nodes, 2), dtype=np.float64)
+        else:
+            net._coord_arr = np.asarray(coordinates, dtype=np.float64).reshape(
+                net._num_nodes, 2
+            )
+        net._offsets = None
+        net._targets = None
+        net._weights = None
+        net._edge_set = None
+        net._first_seen = None
+        net._coordinates = None
+        net._init_runtime_state()
+        return net
+
+    # ------------------------------------------------------------------
+    # Lazy mirrors
+    # ------------------------------------------------------------------
+    def _ensure_lists(self) -> tuple[list[int], list[int], list[float]]:
+        if self._offsets is None:
+            self._offsets = self._indptr.tolist()
+            self._targets = self._indices.tolist()
+            self._weights = self._weight_arr.tolist()
+        return self._offsets, self._targets, self._weights  # type: ignore[return-value]
+
+    def _edge_dict(self) -> dict[tuple[int, int], float]:
+        if self._edge_set is None:
+            if self._first_seen is not None:
+                edge_u, edge_v, edge_w = self._first_seen
+                self._edge_set = dict(
+                    zip(
+                        zip(edge_u.tolist(), edge_v.tolist()),
+                        edge_w.tolist(),
+                    )
+                )
+            else:
+                # Derive the undirected edge dict from CSR (each edge
+                # appears twice); without a recorded first-seen order the
+                # iteration order is CSR order.
+                counts = np.diff(self._indptr.astype(np.int64))
+                srcs = np.repeat(
+                    np.arange(self._num_nodes, dtype=np.int64), counts
+                )
+                mask = srcs < self._indices
+                self._edge_set = dict(
+                    zip(
+                        zip(srcs[mask].tolist(), self._indices[mask].tolist()),
+                        self._weight_arr[mask].tolist(),
+                    )
+                )
+        return self._edge_set
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -122,58 +347,99 @@ class RoadNetwork:
     @property
     def num_edges(self) -> int:
         """Number of undirected edges (each counted once)."""
-        return len(self._edge_set)
+        return len(self._indices) // 2
 
     def nodes(self) -> range:
         return range(self._num_nodes)
 
     def degree(self, node: int) -> int:
         self._check_endpoint(node)
-        return self._offsets[node + 1] - self._offsets[node]
+        return int(self._indptr[node + 1] - self._indptr[node])
 
     def neighbors(self, node: int) -> Iterator[tuple[int, float]]:
         """Yield ``(neighbor, weight)`` pairs for ``node``."""
         self._check_endpoint(node)
-        start, end = self._offsets[node], self._offsets[node + 1]
-        targets, weights = self._targets, self._weights
+        offsets, targets, weights = self._ensure_lists()
+        start, end = offsets[node], offsets[node + 1]
         for idx in range(start, end):
             yield targets[idx], weights[idx]
 
     def neighbor_slices(self, node: int) -> tuple[list[int], list[float]]:
         """Return the raw CSR slices for ``node`` (hot-loop friendly)."""
-        start, end = self._offsets[node], self._offsets[node + 1]
-        return self._targets[start:end], self._weights[start:end]
+        offsets, targets, weights = self._ensure_lists()
+        start, end = offsets[node], offsets[node + 1]
+        return targets[start:end], weights[start:end]
 
     @property
     def csr(self) -> tuple[list[int], list[int], list[float]]:
-        """The raw ``(offsets, targets, weights)`` arrays, shared not copied.
+        """The raw ``(offsets, targets, weights)`` lists, shared not copied.
 
-        Exposed for the shortest-path engines, whose inner loops index the
-        arrays directly rather than paying generator overhead.
+        Exposed for the classic ``heapq`` shortest-path engines, whose
+        inner loops index Python lists directly.  The numpy counterpart
+        is :attr:`csr_arrays`.
         """
-        return self._offsets, self._targets, self._weights
+        return self._ensure_lists()
+
+    @property
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The contiguous ``(indptr, indices, weights)`` numpy arrays.
+
+        ``indptr``/``indices`` are ``int32``, ``weights`` ``float64``.
+        These are the arrays the vectorized kernels run on and the exact
+        buffers published to workers via shared memory — treat them as
+        immutable.
+        """
+        return self._indptr, self._indices, self._weight_arr
+
+    @property
+    def coord_arrays(self) -> np.ndarray:
+        """Node coordinates as a contiguous ``(num_nodes, 2)`` float64 array."""
+        return self._coord_arr
+
+    @property
+    def kernels(self) -> "CSRKernels":
+        """A per-thread :class:`~repro.graph.kernels.CSRKernels` instance.
+
+        Kernels reuse preallocated distance/bucket buffers across calls,
+        so one instance must never be driven from two threads; this
+        property hands every thread its own instance over the same
+        (shared, immutable) CSR arrays.
+        """
+        kern = getattr(self._tls, "kernels", None)
+        if kern is None:
+            from .kernels import CSRKernels
+
+            kern = CSRKernels(self._indptr, self._indices, self._weight_arr)
+            self._tls.kernels = kern
+        return kern
 
     def edges(self) -> Iterator[Edge]:
-        for (u, v), w in self._edge_set.items():
+        for (u, v), w in self._edge_dict().items():
             yield Edge(u, v, w)
 
     def has_edge(self, u: int, v: int) -> bool:
         key = (u, v) if u < v else (v, u)
-        return key in self._edge_set
+        return key in self._edge_dict()
 
     def edge_weight(self, u: int, v: int) -> float:
         key = (u, v) if u < v else (v, u)
         try:
-            return self._edge_set[key]
+            return self._edge_dict()[key]
         except KeyError:
             raise KeyError(f"no edge between {u} and {v}") from None
 
     def coordinate(self, node: int) -> tuple[float, float]:
         self._check_endpoint(node)
-        return self._coordinates[node]
+        if self._coordinates is not None:
+            return self._coordinates[node]
+        return (float(self._coord_arr[node, 0]), float(self._coord_arr[node, 1]))
 
     @property
     def coordinates(self) -> list[tuple[float, float]]:
+        if self._coordinates is None:
+            self._coordinates = [
+                (float(x), float(y)) for x, y in self._coord_arr.tolist()
+            ]
         return list(self._coordinates)
 
     # ------------------------------------------------------------------
@@ -183,7 +449,7 @@ class RoadNetwork:
         """Connected components as lists of nodes (BFS, iterative)."""
         seen = [False] * self._num_nodes
         components: list[list[int]] = []
-        offsets, targets = self._offsets, self._targets
+        offsets, targets, _ = self._ensure_lists()
         for root in range(self._num_nodes):
             if seen[root]:
                 continue
@@ -224,11 +490,11 @@ class RoadNetwork:
         if len(remap) != len(nodes):
             raise ValueError("duplicate nodes in induced_subgraph")
         sub_edges = []
-        for (u, v), w in self._edge_set.items():
+        for (u, v), w in self._edge_dict().items():
             iu, iv = remap.get(u), remap.get(v)
             if iu is not None and iv is not None:
                 sub_edges.append((iu, iv, w))
-        coords = [self._coordinates[node] for node in nodes]
+        coords = [self.coordinate(node) for node in nodes]
         return RoadNetwork(len(nodes), sub_edges, coordinates=coords, name=self._name)
 
     def average_degree(self) -> float:
@@ -237,7 +503,22 @@ class RoadNetwork:
         return 2.0 * self.num_edges / self._num_nodes
 
     def total_weight(self) -> float:
-        return sum(self._edge_set.values())
+        return sum(self._edge_dict().values())
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        if self._shared_meta is not None:
+            # Published to shared memory: ship the (tiny) token; the
+            # receiving process re-attaches zero-copy.
+            from .shared import attach_shared_graph
+
+            return (attach_shared_graph, (self._shared_meta,))
+        state = self.__dict__.copy()
+        for transient in ("_tls", "_shared_meta", "_shm"):
+            state.pop(transient, None)
+        return (_rebuild_network, (state,))
 
     # ------------------------------------------------------------------
     # Dunder / misc
@@ -253,8 +534,8 @@ class RoadNetwork:
             return NotImplemented
         return (
             self._num_nodes == other._num_nodes
-            and self._edge_set == other._edge_set
-            and self._coordinates == other._coordinates
+            and self._edge_dict() == other._edge_dict()
+            and self.coordinates == other.coordinates
         )
 
     def __hash__(self) -> int:  # frozen enough for dict keys by identity
@@ -265,3 +546,11 @@ class RoadNetwork:
             raise IndexError(
                 f"node {node} out of range for graph with {self._num_nodes} nodes"
             )
+
+
+def _rebuild_network(state: dict) -> RoadNetwork:
+    """Unpickle helper: restore state and recreate the transient bits."""
+    net = RoadNetwork.__new__(RoadNetwork)
+    net.__dict__.update(state)
+    net._init_runtime_state()
+    return net

@@ -1,0 +1,250 @@
+"""Zero-copy shared-memory publication of road-network CSR arrays.
+
+MPR's premise (end of Section III) is that the road-network index is
+*shared* by all cores while only the object set is partitioned.  For
+the process pool that sharing used to be realized by ``fork``
+copy-on-write at best and by pickling the whole graph per worker under
+``spawn`` at worst.  This module makes the sharing literal: the CSR
+arrays are copied once into a :class:`multiprocessing.shared_memory`
+segment, and every worker — forked, spawned, or respawned after a
+crash — maps the same pages read-only.
+
+Lifecycle
+---------
+* :func:`publish_shared_graph` copies a network's arrays into a fresh
+  segment and stamps the network with a small *token*
+  (:class:`SharedGraphMeta`).  From then on, pickling that network (or
+  any solution holding it) ships the token instead of the arrays — see
+  ``RoadNetwork.__reduce__``.
+* :func:`attach_shared_graph` (run in the receiving process during
+  unpickling) maps the segment and wraps the views via
+  ``RoadNetwork.from_csr_arrays`` — no bytes are copied.  Attached
+  arrays are marked read-only; attachers never unlink.
+* The publisher — in practice :class:`repro.mpr.ProcessPoolService`'s
+  close path — calls :meth:`SharedGraph.close`, which unlinks the
+  segment and removes the token so later pickles fall back to by-value.
+  A ``weakref.finalize`` guard unlinks on interpreter exit if the owner
+  forgot, so crashed benchmarks do not leak ``/dev/shm`` segments.
+
+The segment layout is four aligned regions (indptr ``int32``, indices
+``int32``, weights ``float64``, coordinates ``float64``) described
+entirely by the token, so attaching needs no handshake with the
+publisher.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .road_network import RoadNetwork
+
+__all__ = [
+    "SharedGraph",
+    "SharedGraphMeta",
+    "attach_shared_graph",
+    "publish_shared_graph",
+]
+
+_ALIGN = 8
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SharedGraphMeta:
+    """The picklable token describing one published graph segment."""
+
+    shm_name: str
+    num_nodes: int
+    num_arcs: int  # directed arcs = 2 * undirected edges
+    name: str
+    owner_pid: int  # publisher's pid: attaches elsewhere must untrack
+
+    def _layout(self) -> tuple[tuple[int, int, int, int], int]:
+        """Byte offsets of (indptr, indices, weights, coords) + total."""
+        indptr_off = 0
+        indices_off = _aligned(indptr_off + 4 * (self.num_nodes + 1))
+        weights_off = _aligned(indices_off + 4 * self.num_arcs)
+        coords_off = _aligned(weights_off + 8 * self.num_arcs)
+        total = _aligned(coords_off + 16 * self.num_nodes)
+        return (indptr_off, indices_off, weights_off, coords_off), total
+
+
+class SharedGraph:
+    """Owner-side handle for one published network (create → unlink)."""
+
+    def __init__(self, network: RoadNetwork) -> None:
+        indptr, indices, weights = network.csr_arrays
+        coords = network.coord_arrays
+        meta = SharedGraphMeta(
+            shm_name="",  # patched below once the segment exists
+            num_nodes=network.num_nodes,
+            num_arcs=len(indices),
+            name=network.name,
+            owner_pid=os.getpid(),
+        )
+        (_, _, _, _), total = meta._layout()
+        self._shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        self.meta = SharedGraphMeta(
+            shm_name=self._shm.name,
+            num_nodes=meta.num_nodes,
+            num_arcs=meta.num_arcs,
+            name=meta.name,
+            owner_pid=meta.owner_pid,
+        )
+        offsets, _ = self.meta._layout()
+        views = _views(self._shm, self.meta, offsets, writeable=True)
+        views[0][:] = indptr
+        views[1][:] = indices
+        views[2][:] = weights
+        views[3][:] = coords
+        self._network_ref = weakref.ref(network)
+        network._shared_meta = self.meta
+        self._closed = False
+        # Safety net: unlink at interpreter exit if the owner never
+        # closed (e.g. a benchmark that crashed mid-run).
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segment, self._shm
+        )
+
+    def close(self) -> None:
+        """Unlink the segment and strip the token off the network.
+
+        Idempotent.  After this, pickling the network falls back to
+        by-value and no new worker can attach; workers already mapped
+        keep their (anonymous, now unlinked) pages until they exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        network = self._network_ref()
+        if network is not None and network._shared_meta is self.meta:
+            network._shared_meta = None
+        self._finalizer.detach()
+        _cleanup_segment(self._shm)
+
+
+def publish_shared_graph(network: RoadNetwork) -> SharedGraph:
+    """Copy ``network``'s CSR arrays into shared memory and tag it.
+
+    Returns the owning handle; call :meth:`SharedGraph.close` when the
+    last consumer is gone.  Publishing an already-published network
+    raises — one token slot per instance keeps ownership unambiguous.
+    """
+    if network._shared_meta is not None:
+        raise RuntimeError(
+            f"network {network.name!r} is already published to shared memory"
+        )
+    return SharedGraph(network)
+
+
+def attach_shared_graph(meta: SharedGraphMeta) -> RoadNetwork:
+    """Map a published segment and wrap it as a zero-copy RoadNetwork.
+
+    This is the unpickle hook of a published network: it runs inside
+    worker processes.  The returned network holds the mapping open for
+    its lifetime and re-pickles as the same token (so nested spawns
+    keep working); it never unlinks the segment.
+    """
+    shm = _open_attached(meta.shm_name, borrower=os.getpid() != meta.owner_pid)
+    offsets, _ = meta._layout()
+    indptr, indices, weights, coords = _views(shm, meta, offsets, writeable=False)
+    network = RoadNetwork.from_csr_arrays(
+        indptr, indices, weights, coordinates=coords, name=meta.name
+    )
+    network._shm = shm  # keep the mapping alive as long as the network
+    network._shared_meta = meta
+    return network
+
+
+def _views(
+    shm: shared_memory.SharedMemory,
+    meta: SharedGraphMeta,
+    offsets: tuple[int, int, int, int],
+    writeable: bool,
+) -> tuple[np.ndarray, ...]:
+    indptr_off, indices_off, weights_off, coords_off = offsets
+    buf = shm.buf
+    indptr = np.frombuffer(
+        buf, dtype=np.int32, count=meta.num_nodes + 1, offset=indptr_off
+    )
+    indices = np.frombuffer(
+        buf, dtype=np.int32, count=meta.num_arcs, offset=indices_off
+    )
+    weights = np.frombuffer(
+        buf, dtype=np.float64, count=meta.num_arcs, offset=weights_off
+    )
+    coords = np.frombuffer(
+        buf, dtype=np.float64, count=2 * meta.num_nodes, offset=coords_off
+    ).reshape(meta.num_nodes, 2)
+    views = (indptr, indices, weights, coords)
+    for view in views:
+        view.flags.writeable = writeable
+    return views
+
+
+class _AttachedSharedMemory(shared_memory.SharedMemory):
+    """Attach-side segment handle with a shutdown-tolerant finalizer.
+
+    An attached network holds numpy views over the buffer for its whole
+    lifetime, so when the inherited finalizer fires at interpreter
+    shutdown its ``close()`` can find the exports still alive and spray
+    ``BufferError`` noise on every worker's stderr.  The mapping dies
+    with the process either way, so swallow that one error.
+    """
+
+    def __del__(self) -> None:
+        try:
+            super().__del__()
+        except BufferError:  # pragma: no cover - GC-order dependent
+            pass
+
+
+def _open_attached(name: str, borrower: bool) -> shared_memory.SharedMemory:
+    """Open an existing segment, without tracker registration if borrowing.
+
+    Before Python 3.13 (``track=False``), every attach registers the
+    segment with ``multiprocessing.resource_tracker``, which unlinks it
+    when the attaching process exits — exactly wrong for workers that
+    merely borrow the publisher's segment (a dying worker would yank
+    the graph out from under its siblings).  The registration must be
+    *suppressed*, not undone afterwards: the tracker process is shared
+    with the publisher, so a borrower's unregister message would erase
+    the publisher's own entry and void the leak safety net.
+    """
+    if not borrower:
+        return _AttachedSharedMemory(name=name)
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+    except Exception:
+        return _AttachedSharedMemory(name=name)
+
+    def _skip_shared_memory(name_: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(name_, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return _AttachedSharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _cleanup_segment(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - already torn down
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with another owner
+        pass

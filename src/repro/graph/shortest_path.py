@@ -9,8 +9,14 @@ Every kNN solution in the paper is built on graph search:
 * **bidirectional Dijkstra** and **A*** (used by IER and by tests as an
   independent oracle).
 
-All engines work directly on the CSR arrays so that the inner loop is a
-tight ``heappush``/``heappop`` cycle with no generator overhead.
+The classic engines work directly on the CSR lists so that the inner
+loop is a tight ``heappush``/``heappop`` cycle with no generator
+overhead.  On graphs of at least :data:`KERNEL_MIN_NODES` nodes,
+:func:`dijkstra` and :func:`multi_source_dijkstra` delegate to the
+vectorized bucket kernels in :mod:`repro.graph.kernels`, which return
+bit-identical distances at a fraction of the cost; the ``heapq``
+bodies are kept as the reference implementation (``*_heapq``) that the
+property suite pins the kernels against.
 """
 
 from __future__ import annotations
@@ -22,6 +28,11 @@ from typing import Callable, Iterable, Iterator, Sequence
 from .road_network import RoadNetwork
 
 INFINITY = math.inf
+
+#: Below this node count the pure-Python ``heapq`` loop wins (kernel
+#: call overhead dominates on e.g. G-tree leaf subgraphs); at or above
+#: it the vectorized kernels take over.
+KERNEL_MIN_NODES = 2048
 
 
 def dijkstra(
@@ -48,6 +59,24 @@ def dijkstra(
     Returns
     -------
     dict mapping each settled node to its network distance from ``source``.
+    """
+    if targets is None and network.num_nodes >= KERNEL_MIN_NODES:
+        nodes, dists = network.kernels.sssp(source, max_distance=max_distance)
+        return dict(zip(nodes.tolist(), dists.tolist()))
+    return dijkstra_heapq(network, source, max_distance, targets)
+
+
+def dijkstra_heapq(
+    network: RoadNetwork,
+    source: int,
+    max_distance: float = INFINITY,
+    targets: Iterable[int] | None = None,
+) -> dict[int, float]:
+    """The classic ``heapq`` engine behind :func:`dijkstra`.
+
+    Exposed as the reference implementation the kernel property tests
+    compare against, and used directly for small graphs and
+    target-truncated searches.
     """
     offsets, adj_targets, adj_weights = network.csr
     pending = set(targets) if targets is not None else None
@@ -202,9 +231,28 @@ def multi_source_dijkstra(
     """Distances from the *nearest* of several sources.
 
     Returns ``(dist, owner)`` where ``owner[node]`` is the source that
-    realizes ``dist[node]``.  Used by the partitioner's boundary growing
-    and by V-tree's border list maintenance.
+    realizes ``dist[node]`` (smallest source id on ties).  Used by the
+    partitioner's boundary growing and by V-tree's border list
+    maintenance.
     """
+    if network.num_nodes >= KERNEL_MIN_NODES:
+        nodes, dists, owners = network.kernels.sssp_multi(
+            sources, max_distance=max_distance, with_owners=True
+        )
+        node_list = nodes.tolist()
+        return (
+            dict(zip(node_list, dists.tolist())),
+            dict(zip(node_list, owners.tolist())),
+        )
+    return multi_source_dijkstra_heapq(network, sources, max_distance)
+
+
+def multi_source_dijkstra_heapq(
+    network: RoadNetwork,
+    sources: Sequence[int],
+    max_distance: float = INFINITY,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """The ``heapq`` reference engine behind :func:`multi_source_dijkstra`."""
     offsets, adj_targets, adj_weights = network.csr
     dist: dict[int, float] = {}
     owner: dict[int, int] = {}

@@ -6,15 +6,21 @@ Dijkstra does not use an elaborate index and therefore has very low
 object update costs." (Section II)
 
 The only bookkeeping is the per-node object bucket, so inserts and
-deletes are O(1); queries pay an incremental Dijkstra expansion.
+deletes are O(1); queries pay an incremental Dijkstra expansion —
+executed by the early-terminating top-k kernel
+(:meth:`repro.graph.kernels.CSRKernels.topk_objects`), which settles
+distance buckets with vectorized relaxation instead of popping a heap
+node at a time and returns exactly the answers the classic expansion
+produced (``tests/test_kernels.py`` pins the equivalence).
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
+import numpy as np
+
 from ..graph.road_network import RoadNetwork
-from ..graph.shortest_path import dijkstra_expansion
 from ..objects.object_set import ObjectSet
 from .base import KNNSolution, Neighbor
 
@@ -29,6 +35,17 @@ class DijkstraKNN(KNNSolution):
     ) -> None:
         self._network = network
         self._objects = ObjectSet(dict(objects) if objects else None)
+        # Per-node object counts for the top-k kernel; derived data,
+        # built lazily on first query and maintained incrementally.
+        self._counts: np.ndarray | None = None
+
+    def _object_counts(self) -> np.ndarray:
+        if self._counts is None:
+            counts = np.zeros(self._network.num_nodes, dtype=np.int32)
+            for node in self._objects.snapshot().values():
+                counts[node] += 1
+            self._counts = counts
+        return self._counts
 
     # ------------------------------------------------------------------
     # KNNSolution interface
@@ -36,31 +53,41 @@ class DijkstraKNN(KNNSolution):
     def query(self, location: int, k: int) -> list[Neighbor]:
         if k <= 0:
             return []
-        found: list[Neighbor] = []
-        kth_distance = float("inf")
-        for node, distance in dijkstra_expansion(self._network, location):
-            if len(found) >= k and distance > kth_distance:
-                break
-            bucket = self._objects.objects_at(node)
-            for object_id in bucket:
-                found.append(Neighbor(distance, object_id))
-            if len(found) >= k:
-                found.sort()
-                kth_distance = found[k - 1].distance
+        nodes, dists = self._network.kernels.topk_objects(
+            location, self._object_counts(), k
+        )
+        found = [
+            Neighbor(distance, object_id)
+            for node, distance in zip(nodes.tolist(), dists.tolist())
+            for object_id in self._objects.objects_at(node)
+        ]
         found.sort()
         return found[:k]
 
     def insert(self, object_id: int, location: int) -> None:
         self._objects.insert(object_id, location)
+        if self._counts is not None:
+            self._counts[location] += 1
 
     def delete(self, object_id: int) -> None:
-        self._objects.delete(object_id)
+        node = self._objects.delete(object_id)
+        if self._counts is not None:
+            self._counts[node] -= 1
 
     def spawn(self, objects: Mapping[int, int]) -> "DijkstraKNN":
         return DijkstraKNN(self._network, objects)
 
     def object_locations(self) -> dict[int, int]:
         return self._objects.snapshot()
+
+    # ------------------------------------------------------------------
+    # Pickling: the counts vector is derived data (4 bytes/node); drop
+    # it so spawned workers ship only the object map + the graph token.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_counts"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Extras

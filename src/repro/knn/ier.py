@@ -20,7 +20,6 @@ from heapq import heappop, heappush
 from typing import Mapping
 
 from ..graph.road_network import RoadNetwork
-from ..graph.shortest_path import astar_distance
 from .base import KNNSolution, Neighbor, canonical_knn
 
 
@@ -139,13 +138,18 @@ class IERKNN(KNNSolution):
     def query(self, location: int, k: int) -> list[Neighbor]:
         if k <= 0:
             return []
+        # All candidates share the query location, so one incremental
+        # single-source kernel search replaces a fresh A* per candidate:
+        # each distance_to() grows the settled region just far enough
+        # and later candidates reuse everything already explored.
+        expander = self._network.kernels.expander(location)
         exact: dict[int, float] = {}
         kth = math.inf
         for lower_bound, object_id in self._grid.iter_by_euclidean(location):
             if len(exact) >= k and lower_bound > kth:
                 break
             node = self._location[object_id]
-            distance = astar_distance(self._network, location, node)
+            distance = expander.distance_to(node)
             if math.isinf(distance):
                 continue  # unreachable (disconnected component)
             exact[object_id] = distance

@@ -21,6 +21,15 @@ across calls, the way a serving system would:
   replica's object cell and the in-flight batches are replayed, so
   final answers are indistinguishable from a fault-free run.
 
+Results travel over one dedicated ``Pipe`` per worker rather than a
+shared result ``Queue``.  A shared queue serializes every worker's acks
+through one cross-process write lock, and a worker SIGKILLed inside
+that critical section leaks the semaphore forever — deadlocking every
+*surviving* worker's acks (observed deterministically in the respawn
+tests).  With one pipe per worker there is exactly one writer per
+channel, no lock to leak, and a crash can only corrupt the dead
+worker's own pipe, which the respawn replaces wholesale.
+
 Fault-tolerance argument, in MPR's own terms: every ``(layer, column)``
 cell is replicated across the ``y`` rows (Section IV-A), so a worker's
 object set is never lost with the process.  The service keeps the
@@ -45,8 +54,8 @@ the one-shot compatibility wrapper.
 from __future__ import annotations
 
 import multiprocessing as mp
-import queue as queue_module
 import time
+from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -66,22 +75,24 @@ from .executor import MPRExecutor
 _STOP = ("stop",)
 
 
-def _worker_main(solution: KNNSolution, worker_id, inbox, outbox) -> None:
+def _worker_main(solution: KNNSolution, worker_id, inbox, results) -> None:
     """Child process: serve batches until told to stop.
 
     One ``("batch", seq, ops)`` message is acknowledged by one
     ``("done", worker_id, seq, partials)`` message carrying every query
     partial of the batch — the ack doubles as the result envelope, so
-    the return path is batch-amortized too.
+    the return path is batch-amortized too.  ``results`` is this
+    worker's private pipe end: no lock is shared with sibling workers,
+    so this process dying mid-send cannot wedge anyone else.
     """
     while True:
         message = inbox.get()
         kind = message[0]
         if kind == "stop":
-            outbox.put(("stopped", worker_id))
+            results.send(("stopped", worker_id))
             return
         if kind != "batch":  # pragma: no cover - protocol guard
-            outbox.put(("error", worker_id, -1, f"unknown message {kind!r}"))
+            results.send(("error", worker_id, -1, f"unknown message {kind!r}"))
             return
         _, seq, ops = message
         partials = []
@@ -95,9 +106,9 @@ def _worker_main(solution: KNNSolution, worker_id, inbox, outbox) -> None:
                 else:
                     solution.delete(op[1])
         except Exception as exc:
-            outbox.put(("error", worker_id, seq, repr(exc)))
+            results.send(("error", worker_id, seq, repr(exc)))
             return
-        outbox.put(("done", worker_id, seq, partials))
+        results.send(("done", worker_id, seq, partials))
 
 
 class _WorkerState:
@@ -115,6 +126,8 @@ class _WorkerState:
         self.failed: str | None = None
         self.process: mp.process.BaseProcess | None = None
         self.inbox = None
+        #: Parent-held read end of this worker's private result pipe.
+        self.reader = None
 
     def acknowledge(self, seq: int) -> bool:
         """Apply an ack: advance the durable cell past batch ``seq``.
@@ -153,10 +166,23 @@ class ProcessPoolService(MPRExecutor):
         sweep in ``benchmarks/bench_process_pool.py`` shows the
         trade-off.
     start_method:
-        ``multiprocessing`` start method (``fork`` shares the network
-        index copy-on-write; ``spawn`` pickles it).
+        ``multiprocessing`` start method.  Under ``fork`` workers
+        inherit the parent's memory copy-on-write; under ``spawn`` the
+        worker payload is pickled — which is why the pool publishes the
+        road network to shared memory first (see ``share_graph``).
+    share_graph:
+        When True (the default) and the solution exposes its
+        :class:`~repro.graph.road_network.RoadNetwork`, ``start()``
+        publishes the network's CSR arrays to a
+        ``multiprocessing.shared_memory`` segment
+        (:func:`repro.graph.shared.publish_shared_graph`).  Workers —
+        including respawned ones — then attach the same segment
+        zero-copy during unpickling; the graph itself is never pickled
+        per worker.  ``close()`` unlinks the segment.  If the network
+        was already published by an outer owner, the pool borrows that
+        segment and leaves its lifecycle alone.
     health_check_interval:
-        How long one result-queue wait may block before the supervisor
+        How long one result-pipe wait may block before the supervisor
         re-checks worker liveness (seconds).
     max_respawns:
         Per-worker crash budget; exceeding it raises
@@ -175,6 +201,7 @@ class ProcessPoolService(MPRExecutor):
         *,
         batch_size: int = 16,
         start_method: str = "fork",
+        share_graph: bool = True,
         health_check_interval: float = 0.05,
         max_respawns: int = 3,
         metrics: PoolMetrics | None = None,
@@ -188,10 +215,11 @@ class ProcessPoolService(MPRExecutor):
         self._router = MPRRouter(config)
         self._batcher = RouteBatcher(self._router, batch_size)
         self._context = mp.get_context(start_method)
+        self._share_graph = share_graph
+        self._shared_graph = None  # owning handle, set by start()
         self._health_check_interval = health_check_interval
         self._max_respawns = max_respawns
         self.metrics = metrics if metrics is not None else PoolMetrics()
-        self._outbox = self._context.Queue()
         contents = self._router.preload_objects(objects)
         self._workers: dict[WorkerId, _WorkerState] = {
             worker_id: _WorkerState(worker_id, cell)
@@ -221,10 +249,29 @@ class ProcessPoolService(MPRExecutor):
         if self._closed:
             raise RuntimeError("pool is closed")
         if not self._started:
+            if self._share_graph:
+                self._publish_graph()
             for state in self._workers.values():
                 self._spawn(state)
             self._started = True
         return self
+
+    def _publish_graph(self) -> None:
+        """Put the solution's road network into shared memory, if any.
+
+        Every subsequent worker pickle — initial spawn and respawn alike
+        — then ships a ~100-byte attach token instead of the CSR arrays.
+        Networks already published by an outer owner are borrowed as-is
+        (their token is inherited by the pickles; lifecycle untouched).
+        """
+        network = getattr(self._solution, "network", None)
+        if network is None:
+            network = getattr(self._solution, "_network", None)
+        if network is None or getattr(network, "_shared_meta", None) is not None:
+            return
+        from ..graph.shared import publish_shared_graph
+
+        self._shared_graph = publish_shared_graph(network)
 
     def __enter__(self) -> "ProcessPoolService":
         return self.start()
@@ -243,6 +290,7 @@ class ProcessPoolService(MPRExecutor):
             return
         self._closed = True
         if not self._started:
+            self._unpublish_graph()
             return
         live = {
             state.worker_id: state
@@ -260,16 +308,20 @@ class ProcessPoolService(MPRExecutor):
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 break
-            try:
-                message = self._outbox.get(timeout=min(remaining, 0.1))
-            except queue_module.Empty:
+            readers = self._live_readers()
+            if not readers:
+                break
+            ready = mp_connection.wait(readers, timeout=min(remaining, 0.1))
+            if not ready:
                 pending = {
                     worker_id for worker_id in pending
                     if self._workers[worker_id].process.is_alive()
                 }
                 continue
-            if message[0] == "stopped":
-                pending.discard(message[1])
+            for reader in ready:
+                message = self._receive(reader)
+                if message is not None and message[0] == "stopped":
+                    pending.discard(message[1])
         for state in self._workers.values():
             process = state.process
             if process is None:
@@ -278,6 +330,16 @@ class ProcessPoolService(MPRExecutor):
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
+        for state in self._workers.values():
+            self._retire_reader(state)
+        # Only after every worker is down: no process can still be
+        # mid-attach, so unlinking the segment cannot race a respawn.
+        self._unpublish_graph()
+
+    def _unpublish_graph(self) -> None:
+        if self._shared_graph is not None:
+            self._shared_graph.close()
+            self._shared_graph = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -296,7 +358,7 @@ class ProcessPoolService(MPRExecutor):
         else:
             self.metrics.updates_submitted += 1
         self._send_batches(ready)
-        # Opportunistically drain acks so the result queue stays short.
+        # Opportunistically drain acks so the result pipes stay short.
         self._collect_ready()
 
     def flush(self) -> None:
@@ -340,16 +402,24 @@ class ProcessPoolService(MPRExecutor):
                     f"({self._outstanding()} batches outstanding)"
                 )
             with self.metrics.timed("wait", events=0):
-                try:
-                    message = self._outbox.get(
-                        timeout=self._health_check_interval
+                readers = self._live_readers()
+                if readers:
+                    ready = mp_connection.wait(
+                        readers, timeout=self._health_check_interval
                     )
-                except queue_module.Empty:
-                    message = None
-            if message is None:
+                else:  # every worker dead: wait out one interval
+                    time.sleep(self._health_check_interval)
+                    ready = []
+            messages = [
+                message
+                for reader in ready
+                if (message := self._receive(reader)) is not None
+            ]
+            if not messages:
                 self._check_health()
                 continue
-            self._handle(message)
+            for message in messages:
+                self._handle(message)
         return self._finish_answers()
 
     def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
@@ -370,13 +440,52 @@ class ProcessPoolService(MPRExecutor):
     def _outstanding(self) -> int:
         return sum(len(state.unacked) for state in self._workers.values())
 
+    def _live_readers(self) -> list:
+        return [
+            state.reader
+            for state in self._workers.values()
+            if state.reader is not None
+        ]
+
+    def _receive(self, reader):
+        """Read one message off a result pipe; retire it on EOF.
+
+        EOF means the writing worker is gone (its buffered messages
+        stay readable until then, so no surviving ack is lost); the
+        reader is dropped from the wait set until a respawn replaces
+        it.  Returns the message, or None for a retired reader.
+        """
+        try:
+            return reader.recv()
+        except (EOFError, OSError):
+            for state in self._workers.values():
+                if state.reader is reader:
+                    self._retire_reader(state)
+                    break
+            return None
+
+    @staticmethod
+    def _retire_reader(state: _WorkerState) -> None:
+        if state.reader is None:
+            return
+        try:
+            state.reader.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        state.reader = None
+
     def _collect_ready(self) -> None:
         while True:
-            try:
-                message = self._outbox.get_nowait()
-            except queue_module.Empty:
+            readers = self._live_readers()
+            if not readers:
                 return
-            self._handle(message)
+            ready = mp_connection.wait(readers, timeout=0)
+            if not ready:
+                return
+            for reader in ready:
+                message = self._receive(reader)
+                if message is not None:
+                    self._handle(message)
 
     def _handle(self, message: tuple) -> None:
         kind = message[0]
@@ -442,23 +551,29 @@ class ProcessPoolService(MPRExecutor):
 
     def _spawn(self, state: _WorkerState) -> None:
         state.inbox = self._context.Queue()
+        reader, writer = self._context.Pipe(duplex=False)
+        state.reader = reader
         state.process = self._context.Process(
             target=_worker_main,
             args=(
                 self._solution.spawn(dict(state.cell)),
                 state.worker_id,
                 state.inbox,
-                self._outbox,
+                writer,
             ),
             daemon=True,
         )
         state.process.start()
+        # Drop the parent's writer copy *before* any later fork: the
+        # worker must be the pipe's only writer so its death raises EOF
+        # on our end (and no sibling inherits a stray write fd).
+        writer.close()
 
     def _respawn(self, state: _WorkerState) -> None:
         """Rebuild a dead worker from its replica cell; replay its log.
 
         A death can race with its last ack (the ack may be sitting in
-        the result queue), so pending acks are consumed first — replays
+        its result pipe), so pending acks are consumed first — replays
         of batches whose ack did survive are then skipped or, if
         already re-sent, deduplicated downstream.
         """
@@ -468,6 +583,7 @@ class ProcessPoolService(MPRExecutor):
             # poison surfaces as WorkerCrash instead of a replay loop.
             state.process.join(timeout=1.0)
         self._collect_ready()
+        self._retire_reader(state)  # residual acks were drained above
         state.respawns += 1
         self.metrics.respawns += 1
         self.metrics.batches_replayed += len(state.unacked)

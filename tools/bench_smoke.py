@@ -1,0 +1,65 @@
+"""Smoke-check that the vectorized kernel path is actually taken.
+
+A 60-second-safety version of the kernel sweep: builds a small network,
+runs every kernel-backed entry point once, and asserts via the
+``KERNEL_CALLS`` diagnostic counters that the array kernels — not the
+``heapq`` fallbacks — served them, with answers matching the reference
+engines.  Run it after touching the graph layer:
+
+    PYTHONPATH=src python tools/bench_smoke.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graph import KERNEL_CALLS, dijkstra_heapq, grid_network
+from repro.graph.shortest_path import KERNEL_MIN_NODES, dijkstra
+from repro.knn import DijkstraKNN, IERKNN
+
+
+def main() -> None:
+    start = time.perf_counter()
+    rng = random.Random(3)
+    network = grid_network(48, 48, seed=9, name="smoke")
+    assert network.num_nodes >= KERNEL_MIN_NODES, (
+        "smoke network must be large enough for free-function delegation"
+    )
+    objects = {i: rng.randrange(network.num_nodes) for i in range(64)}
+
+    before = dict(KERNEL_CALLS)
+
+    result = dijkstra(network, 0, max_distance=3000.0)
+    assert result == dijkstra_heapq(network, 0, max_distance=3000.0)
+
+    knn = DijkstraKNN(network, dict(objects))
+    answer = knn.query(7, 5)
+    assert len(answer) == 5
+
+    ier = IERKNN(network, dict(objects))
+    assert [n.object_id for n in ier.query(7, 5)] == [
+        n.object_id for n in answer
+    ]
+
+    for counter, entry_points in {
+        "sssp": ("dijkstra free function",),
+        "topk": ("DijkstraKNN.query",),
+        "expander": ("IERKNN.query",),
+    }.items():
+        taken = KERNEL_CALLS[counter] - before.get(counter, 0)
+        assert taken > 0, (
+            f"kernel path {counter!r} was not taken by {entry_points}"
+        )
+        print(f"kernel {counter:<8} calls: +{taken}")
+
+    elapsed = time.perf_counter() - start
+    print(f"bench-smoke OK ({network.num_nodes} nodes, {elapsed:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,8 @@ sys.path.insert(0, str(ROOT / "src"))
 PACKAGES = [
     "repro",
     "repro.graph",
+    "repro.graph.kernels",
+    "repro.graph.shared",
     "repro.objects",
     "repro.knn",
     "repro.mpr",
@@ -28,6 +30,60 @@ PACKAGES = [
     "repro.workload",
     "repro.harness",
     "repro.cli",
+]
+
+#: Hand-authored guide sections emitted before the generated reference.
+GUIDES = [
+    (
+        "The array graph layer",
+        """\
+`RoadNetwork` keeps its adjacency in two synchronized forms: contiguous
+numpy CSR arrays (`csr_arrays` → `indptr`/`indices`/`weights`, plus
+`coord_arrays`) built once at construction, and the classic per-node
+Python lists, materialized lazily for the `heapq` reference engines.
+The arrays are the source of truth — they are what the vectorized
+kernels traverse, what shared memory publishes, and what
+`from_csr_arrays` adopts zero-copy.
+
+`repro.graph.kernels` holds the bucketed (delta-stepping) Dijkstra
+kernels over those arrays: single-source (`sssp`), bounded, multi-source
+with owner tie-breaking (`sssp_multi`), early-terminating top-k
+(`topk_objects`), and the resumable `IncrementalSSSP` expander IER uses.
+Results are **bit-for-bit identical** to the `heapq` engines
+(`tests/test_kernels.py` pins this property); large-graph speedups are
+recorded in `benchmarks/results/knn_kernels.txt`.  The free functions
+`dijkstra`/`multi_source_dijkstra` delegate to the kernels automatically
+at `KERNEL_MIN_NODES` and above; `DijkstraKNN` and `IERKNN` always use
+them.  `KERNEL_CALLS` counts kernel entries so tests and
+`tools/bench_smoke.py` can assert the fast path is actually taken.
+
+**Buffer-reuse contract**: a `CSRKernels` instance preallocates its
+distance/owner buffers once and reuses them across calls, so an
+instance is *not thread-safe*.  Use `RoadNetwork.kernels`, which caches
+one instance per thread over the same shared arrays; returned arrays
+are always fresh copies, never views into the buffers.
+""",
+    ),
+    (
+        "Shared-memory graph lifecycle",
+        """\
+`publish_shared_graph(network)` copies the CSR arrays once into a
+`multiprocessing.shared_memory` segment and stamps the network with a
+small attach token; from then on pickling the network (or any solution
+holding it) ships the ~100-byte token instead of the arrays.
+`attach_shared_graph(meta)` — run implicitly during unpickling in
+worker processes — maps the segment read-only and wraps it via
+`RoadNetwork.from_csr_arrays` with zero copies.
+
+`ProcessPoolService` owns the lifecycle by default (`share_graph=True`):
+`start()` publishes, every worker (initial, `fork`, `spawn`, and
+SIGKILL-respawned alike) attaches, and `close()` unlinks only after all
+workers are down.  A network already published by an outer owner is
+borrowed, not re-published, and its segment is left alone.  The owning
+`SharedGraph` handle unlinks exactly once; a `weakref.finalize` guard
+prevents leaked `/dev/shm` segments if the owner crashes.
+""",
+    ),
 ]
 
 
@@ -97,6 +153,8 @@ def main() -> None:
         "_Generated by `python tools/gen_api_docs.py`; do not edit by hand._",
         "",
     ]
+    for title, text in GUIDES:
+        lines.extend([f"## {title}", "", text.rstrip(), ""])
     for package in PACKAGES:
         lines.extend(describe_module(package))
     out = ROOT / "docs" / "API.md"
