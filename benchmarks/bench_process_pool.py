@@ -28,7 +28,7 @@ from repro.harness import (
     save_pool_records,
 )
 from repro.knn import DijkstraKNN
-from repro.mpr import MPRConfig, ProcessPoolService
+from repro.mpr import MPRConfig, build_executor
 from repro.objects import QueryTask
 from repro.sim import machine_spec_from_pool, measured_tau_prime
 
@@ -56,9 +56,9 @@ def run_sweep():
     reference = None
     for batch_size in BATCH_SIZES:
         metrics = PoolMetrics()
-        with ProcessPoolService(
-            prototype, config, objects,
-            batch_size=batch_size, metrics=metrics,
+        with build_executor(
+            config, prototype, objects,
+            mode="process", batch_size=batch_size, metrics=metrics,
         ) as pool:
             start = time.perf_counter()
             answers = pool.run(tasks)

@@ -19,8 +19,8 @@ from repro.knn import VTreeKNN, paper_profile
 from repro.mpr import (
     MachineSpec,
     Scheme,
-    ThreadedMPRExecutor,
     Workload,
+    build_executor,
     configure_all_schemes,
     run_serial_reference,
 )
@@ -50,16 +50,14 @@ def functional_demo() -> None:
         insert_sites=pois,
     )
     game_index = VTreeKNN(network)
-    executor = ThreadedMPRExecutor(
-        game_index,
-        configure_all_schemes(
-            Workload(60.0, 60.0), paper_profile("V-tree", "NW"),
-            MachineSpec(total_cores=8),
-        )[Scheme.MPR].config,
-        workload.initial_objects,
-        check_invariants=True,
-    )
-    answers = executor.run(workload.tasks)
+    config = configure_all_schemes(
+        Workload(60.0, 60.0), paper_profile("V-tree", "NW"),
+        MachineSpec(total_cores=8),
+    )[Scheme.MPR].config
+    with build_executor(
+        config, game_index, workload.initial_objects, check_invariants=True
+    ) as executor:
+        answers = executor.run(workload.tasks)
     reference = run_serial_reference(
         game_index, workload.initial_objects, workload.tasks
     )

@@ -17,8 +17,8 @@ from repro.knn import DijkstraKNN, GTreeKNN, ToainKNN, VTreeKNN, measure_profile
 from repro.mpr import (
     MachineSpec,
     Scheme,
-    ThreadedMPRExecutor,
     Workload,
+    build_executor,
     configure_scheme,
     run_serial_reference,
 )
@@ -75,11 +75,12 @@ def main() -> None:
         network, num_objects=80, lambda_q=100.0, lambda_u=200.0,
         duration=1.0, mode=UpdateMode.RANDOM, k=5, seed=3,
     )
-    executor = ThreadedMPRExecutor(
-        solution, choice.config, workload.initial_objects,
+    executor = build_executor(
+        choice.config, solution, workload.initial_objects,
         check_invariants=True,
     )
     answers = executor.run(workload.tasks)
+    executor.close()
     reference = run_serial_reference(
         solution, workload.initial_objects, workload.tasks
     )

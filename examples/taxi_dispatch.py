@@ -25,8 +25,8 @@ from repro.knn import ToainKNN, paper_profile
 from repro.mpr import (
     MachineSpec,
     Scheme,
-    ThreadedMPRExecutor,
     Workload,
+    build_executor,
     configure_all_schemes,
 )
 from repro.sim import measure_response_time
@@ -50,14 +50,12 @@ def dispatch_demo() -> None:
         f"delete+insert pairs)"
     )
     fleet = ToainKNN(network)
-    executor = ThreadedMPRExecutor(
-        fleet, configure_all_schemes(
-            Workload(40.0, 160.0), paper_profile("TOAIN", "BJ"),
-            MachineSpec(total_cores=8),
-        )[Scheme.MPR].config,
-        workload.initial_objects,
-    )
-    dispatches = executor.run(workload.tasks)
+    config = configure_all_schemes(
+        Workload(40.0, 160.0), paper_profile("TOAIN", "BJ"),
+        MachineSpec(total_cores=8),
+    )[Scheme.MPR].config
+    with build_executor(config, fleet, workload.initial_objects) as executor:
+        dispatches = executor.run(workload.tasks)
     served = sum(1 for result in dispatches.values() if result)
     sample_id = next(iter(sorted(dispatches)))
     sample = dispatches[sample_id]

@@ -8,6 +8,8 @@ Gives the headline experiments and utilities a no-pytest entry point:
 * ``profile``         — measure (tq, Vq, tu, Vu) of a solution on a replica
 * ``plan``            — pick an MPR configuration for a given workload
 * ``pool``            — run a workload through the real process pool
+* ``stats``           — run a workload with telemetry and report
+                        per-stage p50/p95/p99 from real traces
 """
 
 from __future__ import annotations
@@ -222,7 +224,7 @@ def _pool(args: argparse.Namespace) -> int:
 
     from .graph import grid_network
     from .harness import format_duration
-    from .mpr import MPRConfig, ProcessPoolService
+    from .mpr import MPRConfig, build_executor
     from .sim import machine_spec_from_pool, measured_tau_prime
     from .workload import generate_workload
 
@@ -242,9 +244,9 @@ def _pool(args: argparse.Namespace) -> int:
     config = MPRConfig(args.x, args.y, args.z)
     prototype = solution_cls(network)
     start = time.perf_counter()
-    with ProcessPoolService(
-        prototype, config, workload.initial_objects,
-        batch_size=args.batch_size,
+    with build_executor(
+        config, prototype, workload.initial_objects,
+        mode="process", batch_size=args.batch_size,
     ) as pool:
         answers = pool.run(workload.tasks)
         wall = time.perf_counter() - start
@@ -279,6 +281,68 @@ def _pool(args: argparse.Namespace) -> int:
         f"merge={spec.merge_time*1e6:.1f} us, "
         f"dispatch={spec.dispatch_time*1e6:.1f} us"
     )
+    return 0
+
+
+def _stats(args: argparse.Namespace) -> int:
+    from .graph import grid_network
+    from .knn import profile_from_telemetry
+    from .mpr import MPRConfig, MPRSystem, Workload, response_time
+    from .sim import machine_spec_from_telemetry
+    from .workload import generate_workload
+
+    try:
+        solution_cls = SOLUTIONS[args.solution]
+    except KeyError:
+        known = ", ".join(sorted(SOLUTIONS))
+        print(f"unknown solution {args.solution!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    network = grid_network(args.grid, args.grid, seed=args.seed)
+    workload = generate_workload(
+        network, num_objects=args.objects, lambda_q=args.lambda_q,
+        lambda_u=args.lambda_u, duration=args.duration, seed=args.seed,
+        k=args.k,
+    )
+    config = MPRConfig(args.x, args.y, args.z)
+    options = {"batch_size": args.batch_size} if args.mode == "process" else {}
+    with MPRSystem(
+        config, solution_cls(network), workload.initial_objects,
+        mode=args.mode, **options,
+    ) as system:
+        answers = system.run(workload.tasks)
+    telemetry = system.telemetry
+    print(
+        f"{args.mode} executor {config.describe()} answered "
+        f"{len(answers)} queries on grid {args.grid}x{args.grid}"
+    )
+    print()
+    print(system.report())
+    spec = machine_spec_from_telemetry(telemetry, total_cores=args.cores)
+    print()
+    print(
+        f"calibrated machine model: τ'={spec.queue_write_time*1e6:.1f} us, "
+        f"merge={spec.merge_time*1e6:.1f} us, "
+        f"dispatch={spec.dispatch_time*1e6:.1f} us"
+    )
+    try:
+        profile = profile_from_telemetry(telemetry, name=args.solution)
+    except ValueError:
+        return 0
+    print(
+        f"measured profile: tq={profile.tq*1e6:,.1f} us (γq="
+        f"{profile.gamma_q:.2f}), tu={profile.tu*1e6:,.2f} us "
+        f"(γu={profile.gamma_u:.2f})"
+    )
+    predicted = response_time(
+        config, Workload(args.lambda_q, args.lambda_u), profile, spec
+    )
+    observed = telemetry.stage_stats("response")
+    if observed and not math.isinf(predicted):
+        print(
+            f"model Rq from measured profile: {predicted*1e6:,.0f} us; "
+            f"observed end-to-end p50: {observed['p50']*1e6:,.0f} us"
+        )
     return 0
 
 
@@ -357,6 +421,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="core budget of the calibrated machine model")
     pool.add_argument("--seed", type=int, default=0)
     pool.set_defaults(func=_pool)
+
+    stats = sub.add_parser(
+        "stats", help="per-stage latency percentiles from a traced run"
+    )
+    stats.add_argument("--mode", choices=("thread", "process"),
+                       default="process")
+    stats.add_argument("--solution", default="Dijkstra")
+    stats.add_argument("--grid", type=int, default=12,
+                       help="grid network side length")
+    stats.add_argument("--x", type=int, default=2)
+    stats.add_argument("--y", type=int, default=2)
+    stats.add_argument("--z", type=int, default=1)
+    stats.add_argument("--batch-size", type=int, default=16)
+    stats.add_argument("--objects", type=int, default=30)
+    stats.add_argument("--lambda-q", type=float, default=200.0)
+    stats.add_argument("--lambda-u", type=float, default=100.0)
+    stats.add_argument("--duration", type=float, default=1.0)
+    stats.add_argument("--k", type=int, default=5)
+    stats.add_argument("--cores", type=int, default=19,
+                       help="core budget of the calibrated machine model")
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=_stats)
     return parser
 
 

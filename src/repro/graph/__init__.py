@@ -1,4 +1,11 @@
-"""Road-network substrate: graph store, generators, I/O, search, partitioning."""
+"""Road-network substrate: graph store, generators, I/O, search, partitioning.
+
+The package top level re-exports the *public* surface only.  Kernel
+internals — the vectorized CSR kernels, the heapq reference searches
+they are validated against, and their activation threshold — live in
+:mod:`repro.graph.kernels` and :mod:`repro.graph.shortest_path`; import
+them from those modules directly.
+"""
 
 from .road_network import Edge, RoadNetwork
 from .generators import (
@@ -12,7 +19,6 @@ from .generators import (
     scaled_replica,
 )
 from .io import FormatError, load_dimacs, load_edge_list, save_dimacs
-from .kernels import KERNEL_CALLS, CSRKernels, IncrementalSSSP, dial_delta
 from .shared import (
     SharedGraph,
     SharedGraphMeta,
@@ -31,14 +37,11 @@ from .routing import Route, detour_factor, route_length, routes_to_neighbors, sh
 from .spatial import NodeLocator
 from .shortest_path import (
     INFINITY,
-    KERNEL_MIN_NODES,
     astar_distance,
     dijkstra,
     dijkstra_expansion,
-    dijkstra_heapq,
     dijkstra_with_paths,
     multi_source_dijkstra,
-    multi_source_dijkstra_heapq,
     pairwise_distances,
     reconstruct_path,
     shortest_path_distance,
@@ -59,10 +62,6 @@ __all__ = [
     "load_dimacs",
     "load_edge_list",
     "save_dimacs",
-    "KERNEL_CALLS",
-    "CSRKernels",
-    "IncrementalSSSP",
-    "dial_delta",
     "SharedGraph",
     "SharedGraphMeta",
     "attach_shared_graph",
@@ -83,14 +82,11 @@ __all__ = [
     "part_sizes",
     "partition_graph",
     "INFINITY",
-    "KERNEL_MIN_NODES",
     "astar_distance",
     "dijkstra",
     "dijkstra_expansion",
-    "dijkstra_heapq",
     "dijkstra_with_paths",
     "multi_source_dijkstra",
-    "multi_source_dijkstra_heapq",
     "pairwise_distances",
     "reconstruct_path",
     "shortest_path_distance",

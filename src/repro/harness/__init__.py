@@ -17,6 +17,7 @@ from .report import (
     format_rate,
     format_series,
     format_table,
+    telemetry_report,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "format_rate",
     "format_series",
     "format_table",
+    "telemetry_report",
 ]

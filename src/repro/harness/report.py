@@ -93,6 +93,50 @@ def ascii_bar_chart(
     return "\n".join(lines)
 
 
+def telemetry_report(telemetry) -> str:
+    """Render a telemetry handle as per-stage latency + counter tables.
+
+    Duck-typed against :class:`repro.obs.Telemetry` (``iter_stage_rows``,
+    ``counters``, ``summary``) so the harness keeps zero imports from
+    the observability layer.
+    """
+    rows = []
+    for stage, stats in telemetry.iter_stage_rows():
+        if not stats:
+            continue
+        rows.append([
+            stage,
+            stats["count"],
+            format_duration(stats["mean"]),
+            format_duration(stats["p50"]),
+            format_duration(stats["p95"]),
+            format_duration(stats["p99"]),
+            format_duration(stats["max"]),
+        ])
+    sections = []
+    if rows:
+        sections.append(format_table(
+            ["stage", "count", "mean", "p50", "p95", "p99", "max"],
+            rows,
+            title="Per-stage latency",
+        ))
+    else:
+        sections.append("Per-stage latency\n(no samples recorded)")
+    counters = telemetry.counters
+    if counters:
+        sections.append(format_table(
+            ["counter", "value"],
+            [[name, counters[name]] for name in sorted(counters)],
+            title="Counters",
+        ))
+    traces = telemetry.summary()["traces"]
+    sections.append(
+        f"Traces: {traces['retained']} retained "
+        f"({traces['complete']} complete, {traces['dropped']} dropped)"
+    )
+    return "\n\n".join(sections)
+
+
 def _stringify(value: object) -> str:
     if isinstance(value, float):
         if math.isinf(value) or math.isnan(value):

@@ -1,7 +1,12 @@
 """Single-threaded kNN solutions and their profiling."""
 
 from .base import KNNSolution, Neighbor, canonical_knn, merge_partial_results
-from .calibration import AlgorithmProfile, measure_profile, paper_profile
+from .calibration import (
+    AlgorithmProfile,
+    measure_profile,
+    paper_profile,
+    profile_from_telemetry,
+)
 from .dijkstra_knn import DijkstraKNN
 from .gtree import GTreeIndex, GTreeKNN
 from .ier import IERKNN
@@ -34,6 +39,7 @@ __all__ = [
     "AlgorithmProfile",
     "measure_profile",
     "paper_profile",
+    "profile_from_telemetry",
     "DijkstraKNN",
     "GTreeIndex",
     "GTreeKNN",

@@ -122,6 +122,35 @@ def measure_profile(
     )
 
 
+def profile_from_telemetry(
+    telemetry, name: str = "measured"
+) -> AlgorithmProfile:
+    """Derive ``(tq, Vq, tu, Vu)`` from a run's recorded telemetry.
+
+    The live-system counterpart of :func:`measure_profile`: instead of
+    an isolated empirical study, the profile comes from the ``execute``
+    (query service times) and ``update`` stage histograms an executor
+    recorded through its :class:`repro.obs.Telemetry` while serving
+    real traffic — closing the loop from observation back into the
+    optimizer.  Raises ``ValueError`` if the run recorded no query
+    executions; a run with no updates yields ``tu = vu = 0``.
+    """
+    execute = telemetry.histogram("execute")
+    if execute is None or execute.count == 0:
+        raise ValueError(
+            "telemetry holds no 'execute' samples; run queries through "
+            "an executor with telemetry enabled first"
+        )
+    update = telemetry.histogram("update")
+    return AlgorithmProfile(
+        name=name,
+        tq=execute.mean,
+        vq=execute.variance,
+        tu=update.mean if update is not None and update.count else 0.0,
+        vu=update.variance if update is not None and update.count else 0.0,
+    )
+
+
 # ----------------------------------------------------------------------
 # Paper-parity profiles
 # ----------------------------------------------------------------------

@@ -1,5 +1,11 @@
-"""The MPR framework: core matrices, analytical models, schemes, executor."""
+"""The MPR framework: core matrices, analytical models, schemes, executor.
 
+Executor construction goes through :mod:`repro.mpr.api` —
+:func:`build_executor` / :class:`MPRSystem` — which is re-exported
+here; the per-class constructors are deprecation shims.
+"""
+
+from .api import MPRSystem, build_executor
 from .analysis import (
     MachineSpec,
     OptimizationResult,
@@ -72,6 +78,8 @@ from .schemes import (
 )
 
 __all__ = [
+    "MPRSystem",
+    "build_executor",
     "MachineSpec",
     "OptimizationResult",
     "Workload",

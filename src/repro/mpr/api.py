@@ -1,0 +1,186 @@
+"""The unified executor API: one entry point for every MPR substrate.
+
+Historically each executor had its own constructor with its own
+argument order (solution-first) and its own lifecycle quirks; callers
+picked a class, not a configuration.  This module inverts that:
+
+* :func:`build_executor` — the one construction path.  Takes the
+  arrangement first (``config`` is the decision MPR's optimizer makes;
+  the substrate is an implementation detail), picks the substrate via
+  ``mode``, and threads a :class:`repro.obs.Telemetry` through every
+  layer it builds.  The legacy constructors remain as deprecation
+  shims that forward here conceptually (they warn; this path does
+  not).
+* :class:`MPRSystem` — a convenience wrapper owning an executor plus a
+  default-enabled telemetry handle, for scripts and notebooks that
+  want answers *and* a latency report without wiring either.
+
+Every executor built here satisfies the :class:`repro.mpr.executor.
+MPRExecutor` contract: ``start()``/``submit()``/``flush()``/
+``drain()``/``run()``/``close()`` plus the context-manager form, with
+serial-equivalent answers across substrates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..knn.base import KNNSolution, Neighbor
+from ..objects.tasks import Task
+from ..obs import Telemetry
+from .config import MPRConfig
+from .executor import MPRExecutor, ThreadedMPRExecutor
+
+__all__ = ["MPRSystem", "build_executor"]
+
+#: The substrates ``build_executor`` knows how to realize.
+EXECUTOR_MODES = ("thread", "process")
+
+
+def build_executor(
+    config: MPRConfig,
+    solution: KNNSolution,
+    objects: Mapping[int, int] | None = None,
+    *,
+    mode: str = "thread",
+    telemetry: Telemetry | None = None,
+    check_invariants: bool = False,
+    batch_size: int = 16,
+    start_method: str = "fork",
+    share_graph: bool = True,
+    health_check_interval: float = 0.05,
+    max_respawns: int = 3,
+    metrics: Any | None = None,
+) -> MPRExecutor:
+    """Build an executor realizing ``config`` over the chosen substrate.
+
+    Parameters
+    ----------
+    config:
+        The ``(x, y, z)`` core-matrix arrangement to realize.
+    solution:
+        Prototype kNN solution; each worker gets ``solution.spawn``-ed
+        onto its object cell.
+    objects:
+        Initial object placements ``object_id -> node`` (default: start
+        empty and build state through insert tasks).
+    mode:
+        ``"thread"`` — in-process worker threads (functional semantics,
+        GIL-bound); ``"process"`` — the persistent fault-tolerant
+        process pool (real parallelism).
+    telemetry:
+        A :class:`repro.obs.Telemetry` recorded into by every layer
+        (router, batcher, workers).  Default: the shared disabled
+        handle, which keeps the hot path a single branch.
+    check_invariants:
+        Thread mode only: assert the Section IV-A partition/replication
+        invariants after every ``run()``.
+    batch_size, start_method, share_graph, health_check_interval, \
+max_respawns, metrics:
+        Process mode only: forwarded to the pool (see
+        :class:`repro.mpr.process_executor.ProcessPoolService`).
+
+    Returns
+    -------
+    MPRExecutor
+        Unstarted; call ``start()`` or use the context-manager form.
+    """
+    if objects is None:
+        objects = {}
+    if mode == "thread":
+        return ThreadedMPRExecutor._create(
+            solution, config, objects,
+            check_invariants=check_invariants, telemetry=telemetry,
+        )
+    if mode == "process":
+        if check_invariants:
+            raise ValueError(
+                "check_invariants is only supported in thread mode"
+            )
+        from .process_executor import ProcessPoolService
+
+        return ProcessPoolService._create(
+            solution, config, objects,
+            batch_size=batch_size,
+            start_method=start_method,
+            share_graph=share_graph,
+            health_check_interval=health_check_interval,
+            max_respawns=max_respawns,
+            metrics=metrics,
+            telemetry=telemetry,
+        )
+    raise ValueError(
+        f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"
+    )
+
+
+class MPRSystem:
+    """An executor bundled with always-on telemetry and reporting.
+
+    The two-line serving setup::
+
+        with MPRSystem(config, solution, objects, mode="process") as system:
+            answers = system.run(tasks)
+            print(system.report())
+
+    Accepts the same arguments as :func:`build_executor` but defaults
+    ``telemetry`` to a fresh *enabled* handle — the wrapper exists to
+    make the traced path the easy path.  All executor lifecycle methods
+    delegate; :meth:`stats` and :meth:`report` expose the telemetry.
+    """
+
+    def __init__(
+        self,
+        config: MPRConfig,
+        solution: KNNSolution,
+        objects: Mapping[int, int] | None = None,
+        *,
+        mode: str = "thread",
+        telemetry: Telemetry | None = None,
+        **options: Any,
+    ) -> None:
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.executor = build_executor(
+            config, solution, objects,
+            mode=mode, telemetry=self.telemetry, **options,
+        )
+        self.mode = mode
+
+    @property
+    def config(self) -> MPRConfig:
+        return self.executor.config
+
+    def start(self) -> "MPRSystem":
+        self.executor.start()
+        return self
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def submit(self, task: Task) -> None:
+        self.executor.submit(task)
+
+    def flush(self) -> None:
+        self.executor.flush()
+
+    def drain(self) -> dict[int, list[Neighbor]]:
+        return self.executor.drain()
+
+    def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
+        return self.executor.run(tasks)
+
+    def __enter__(self) -> "MPRSystem":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready telemetry snapshot (stages, counters, traces)."""
+        return self.telemetry.summary()
+
+    def report(self) -> str:
+        """Human-readable per-stage latency table."""
+        from ..harness.report import telemetry_report
+
+        return telemetry_report(self.telemetry)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..objects.tasks import DeleteTask, InsertTask, QueryTask, Task, TaskKind
+from ..obs import NULL_TELEMETRY, Telemetry
 from .config import MPRConfig
 
 WorkerId = tuple[int, int, int]  # (layer, row, column)
@@ -97,8 +98,11 @@ class MPRRouter:
     picks/looks up the column independently).
     """
 
-    def __init__(self, config: MPRConfig) -> None:
+    def __init__(
+        self, config: MPRConfig, *, telemetry: Telemetry | None = None
+    ) -> None:
         self._config = config
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._schedulers = [LayerScheduler(config, layer) for layer in range(config.z)]
         self._next_layer = 0
 
@@ -150,6 +154,9 @@ class MPRRouter:
         if task.kind is TaskKind.QUERY:
             layer = self._next_layer
             self._next_layer = (self._next_layer + 1) % self._config.z
+            if self._telemetry.enabled:
+                self._telemetry.count("router.queries")
+                self._telemetry.count(f"router.queries.layer{layer}")
             return self._schedulers[layer].route_query(task)
         columns = []
         workers: list[WorkerId] = []
@@ -160,6 +167,8 @@ class MPRRouter:
                 column = scheduler.route_delete(task)
             columns.append(column)
             workers.extend(scheduler.column_workers(column))
+        if self._telemetry.enabled:
+            self._telemetry.count("router.updates")
         return UpdateRoute(tuple(columns), tuple(workers))
 
     def all_workers(self) -> list[WorkerId]:
@@ -203,11 +212,18 @@ class RouteBatcher:
     partial batches immediately.
     """
 
-    def __init__(self, router: MPRRouter, batch_size: int) -> None:
+    def __init__(
+        self,
+        router: MPRRouter,
+        batch_size: int,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._router = router
         self._batch_size = batch_size
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._pending: dict[WorkerId, list[WorkerOp]] = {
             worker: [] for worker in router.all_workers()
         }
@@ -234,6 +250,8 @@ class RouteBatcher:
             if len(pending) >= self._batch_size:
                 ready.append((worker_id, tuple(pending)))
                 pending.clear()
+        if ready and self._telemetry.enabled:
+            self._telemetry.count("batcher.full_batches", len(ready))
         return route, ready
 
     def flush(self) -> list[WorkerBatch]:
@@ -244,6 +262,8 @@ class RouteBatcher:
             if pending:
                 ready.append((worker_id, tuple(pending)))
                 pending.clear()
+        if ready and self._telemetry.enabled:
+            self._telemetry.count("batcher.partial_batches", len(ready))
         return ready
 
 

@@ -12,18 +12,27 @@ discrete-event model of the 19-core machine — DESIGN.md substitution
 #1).  What it *does* demonstrate, and what the tests pin down, is the
 paper's semantic claims: every scheme returns exactly the answers of a
 serial execution in arrival order, for any solution and configuration.
+
+Construction goes through :func:`repro.mpr.api.build_executor` (the
+direct constructor is a deprecation shim); the lifecycle —
+``start()``/``submit()``/``flush()``/``drain()``/``close()`` plus the
+context-manager form — is shared verbatim with the process pool, so the
+two substrates are drop-in interchangeable.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..knn.base import KNNSolution, Neighbor, merge_partial_results
 from ..objects.tasks import Task, TaskKind
+from ..obs import NULL_TELEMETRY, Telemetry
 from .config import MPRConfig
 from .core_matrix import MPRRouter, QueryRoute, WorkerId, check_matrix_invariants
 
@@ -37,10 +46,16 @@ class MPRExecutor(ABC):
     (threads, processes, a simulator) and runs task streams through it.
     The contract — shared by :class:`ThreadedMPRExecutor` and
     :class:`repro.mpr.process_executor.ProcessPoolService`, and pinned
-    by ``tests/test_executor_equivalence.py`` — is *serial
-    equivalence*: ``run(tasks)`` returns exactly the answers of a
-    single-threaded execution in arrival order (Section III), so
-    executors are interchangeable wherever one is accepted.
+    by ``tests/test_executor_equivalence.py`` — has two halves:
+
+    * *serial equivalence*: ``run(tasks)`` returns exactly the answers
+      of a single-threaded execution in arrival order (Section III), so
+      executors are interchangeable wherever one is accepted;
+    * *one lifecycle*: ``start()`` → any number of ``submit()`` /
+      ``flush()`` / ``drain()`` / ``run()`` calls → ``close()``, with
+      the context-manager form doing start/close automatically and
+      ``close()`` idempotent.  ``telemetry`` exposes the
+      :class:`repro.obs.Telemetry` handle the executor records into.
     """
 
     @property
@@ -48,9 +63,43 @@ class MPRExecutor(ABC):
     def config(self) -> MPRConfig:
         """The realized core-matrix arrangement."""
 
+    @property
     @abstractmethod
+    def telemetry(self) -> Telemetry:
+        """The telemetry handle (``NULL_TELEMETRY`` when disabled)."""
+
+    @abstractmethod
+    def start(self) -> "MPRExecutor":
+        """Bring workers up (idempotent); return ``self``."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear workers down; idempotent and safe without ``start()``."""
+
+    @abstractmethod
+    def submit(self, task: Task) -> None:
+        """Route one task into the matrix (starts workers on demand)."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Release any buffered dispatch (latency over amortization)."""
+
+    @abstractmethod
+    def drain(self) -> dict[int, list[Neighbor]]:
+        """Quiesce and return answers of queries since the last drain."""
+
     def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
         """Execute a task stream; return ``query_id -> aggregated kNN``."""
+        self.start()
+        for task in tasks:
+            self.submit(task)
+        return self.drain()
+
+    def __enter__(self) -> "MPRExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass
@@ -58,32 +107,56 @@ class _QueryOp:
     query_id: int
     location: int
     k: int
+    enqueued: float = 0.0
 
 
 @dataclass
 class _InsertOp:
     object_id: int
     location: int
+    enqueued: float = 0.0
 
 
 @dataclass
 class _DeleteOp:
     object_id: int
+    enqueued: float = 0.0
+
+
+class _Barrier:
+    """A quiesce marker: the worker sets the event when it dequeues it,
+    proving everything enqueued before it has been executed.  Costs
+    O(workers) per drain instead of per-op ``task_done()`` accounting,
+    keeping the hot loop at seed cost."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
 
 
 class _Worker:
-    """One w-core: a thread draining a FCFS queue into a solution."""
+    """One w-core: a thread draining a FCFS queue into a solution.
+
+    The parent quiesces by enqueueing a :class:`_Barrier` and waiting
+    on its event, so the loop itself carries no per-op accounting.
+    After the first error the loop keeps consuming without executing
+    (barriers still fire), and the stored exception surfaces on the
+    next ``drain()``.
+    """
 
     def __init__(
         self,
         worker_id: WorkerId,
         solution: KNNSolution,
-        results: "queue.Queue[tuple[int, WorkerId, list[Neighbor]]]",
+        results: "queue.Queue[tuple]",
+        telemetry: Telemetry,
     ) -> None:
         self.worker_id = worker_id
         self.solution = solution
         self.tasks: "queue.Queue[object]" = queue.Queue()
         self._results = results
+        self._telemetry = telemetry
         self.thread = threading.Thread(
             target=self._loop, name=f"w-core-{worker_id}", daemon=True
         )
@@ -93,24 +166,53 @@ class _Worker:
         self.thread.start()
 
     def _loop(self) -> None:
-        try:
-            while True:
-                op = self.tasks.get()
-                if op is _SENTINEL:
-                    return
-                if isinstance(op, _QueryOp):
+        telemetry = self._telemetry
+        while True:
+            op = self.tasks.get()
+            if op is _SENTINEL:
+                return
+            if type(op) is _Barrier:
+                op.event.set()
+                continue
+            if self.error is not None:
+                continue  # drain without executing after a failure
+            try:
+                if telemetry.enabled:
+                    dequeued = time.monotonic()
+                    if isinstance(op, _QueryOp):
+                        started = time.monotonic()
+                        partial = self.solution.query(op.location, op.k)
+                        finished = time.monotonic()
+                        self._results.put((
+                            "partial", op.query_id, self.worker_id, partial,
+                            (op.enqueued, dequeued, started, finished),
+                        ))
+                    else:
+                        started = time.monotonic()
+                        if isinstance(op, _InsertOp):
+                            self.solution.insert(op.object_id, op.location)
+                        else:
+                            self.solution.delete(op.object_id)
+                        finished = time.monotonic()
+                        self._results.put((
+                            "update", self.worker_id,
+                            (op.enqueued, dequeued, started, finished),
+                        ))
+                elif isinstance(op, _QueryOp):
                     partial = self.solution.query(op.location, op.k)
-                    self._results.put((op.query_id, self.worker_id, partial))
+                    self._results.put(
+                        ("partial", op.query_id, self.worker_id, partial, None)
+                    )
                 elif isinstance(op, _InsertOp):
                     self.solution.insert(op.object_id, op.location)
                 else:
                     self.solution.delete(op.object_id)
-        except BaseException as exc:  # surfaced by join()
-            self.error = exc
+            except BaseException as exc:  # surfaced by drain()
+                self.error = exc
 
 
 class ThreadedMPRExecutor(MPRExecutor):
-    """Run a task stream through a real multi-threaded core matrix.
+    """Run task streams through a real multi-threaded core matrix.
 
     Parameters
     ----------
@@ -122,7 +224,18 @@ class ThreadedMPRExecutor(MPRExecutor):
         Initial object placements (partitioned round-robin by column).
     check_invariants:
         When True, the partition/replication invariants of Section IV-A
-        are asserted on the final worker contents.
+        are asserted on the worker contents after every :meth:`run`.
+    telemetry:
+        A :class:`repro.obs.Telemetry` to record spans into (default:
+        the shared disabled handle — zero overhead).
+
+    Workers are persistent: :meth:`start` spawns the threads once and
+    any number of :meth:`submit`/:meth:`drain`/:meth:`run` calls reuse
+    them until :meth:`close`.  ``flush()`` is a no-op — the threaded
+    path dispatches per task, there is nothing buffered.
+
+    .. deprecated:: construct via
+       :func:`repro.mpr.api.build_executor` (``mode="thread"``).
     """
 
     def __init__(
@@ -131,80 +244,224 @@ class ThreadedMPRExecutor(MPRExecutor):
         config: MPRConfig,
         objects: Mapping[int, int],
         check_invariants: bool = False,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        warnings.warn(
+            "Constructing ThreadedMPRExecutor directly is deprecated; use "
+            "repro.mpr.api.build_executor(config, solution, objects, "
+            "mode='thread')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(
+            solution, config, objects,
+            check_invariants=check_invariants, telemetry=telemetry,
+        )
+
+    @classmethod
+    def _create(cls, *args, **kwargs) -> "ThreadedMPRExecutor":
+        """Warning-free construction path used by the facade."""
+        self = cls.__new__(cls)
+        self._init(*args, **kwargs)
+        return self
+
+    def _init(
+        self,
+        solution: KNNSolution,
+        config: MPRConfig,
+        objects: Mapping[int, int],
+        check_invariants: bool = False,
+        *,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._config = config
-        self._router = MPRRouter(config)
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._router = MPRRouter(config, telemetry=self._telemetry)
         self._check_invariants = check_invariants
         contents = self._router.preload_objects(objects)
-        self._results: "queue.Queue[tuple[int, WorkerId, list[Neighbor]]]" = (
-            queue.Queue()
-        )
+        self._results: "queue.Queue[tuple]" = queue.Queue()
         self._workers: dict[WorkerId, _Worker] = {
-            worker_id: _Worker(worker_id, solution.spawn(cell), self._results)
+            worker_id: _Worker(
+                worker_id, solution.spawn(cell), self._results, self._telemetry
+            )
             for worker_id, cell in contents.items()
         }
+        #: Pending query bookkeeping since the last drain.
+        self._expected: dict[int, int] = {}
+        self._ks: dict[int, int] = {}
+        self._started = False
+        self._closed = False
+        self._running = False  # fast flag for the per-submit start check
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     @property
     def config(self) -> MPRConfig:
         return self._config
 
-    def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
-        """Execute the stream; return ``query_id -> aggregated kNN``."""
-        expected: dict[int, int] = {}
-        ks: dict[int, int] = {}
-        for worker in self._workers.values():
-            worker.start()
-        for task in tasks:
-            route = self._router.route(task)
-            if task.kind is TaskKind.QUERY:
-                assert isinstance(route, QueryRoute)
-                expected[task.query_id] = len(route.workers)
-                ks[task.query_id] = task.k
-                op = _QueryOp(task.query_id, task.location, task.k)
-                for worker_id in route.workers:
-                    self._workers[worker_id].tasks.put(op)
-            elif task.kind is TaskKind.INSERT:
-                op = _InsertOp(task.object_id, task.location)
-                for worker_id in route.workers:
-                    self._workers[worker_id].tasks.put(op)
-            else:
-                op = _DeleteOp(task.object_id)
-                for worker_id in route.workers:
-                    self._workers[worker_id].tasks.put(op)
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry
 
+    @property
+    def running(self) -> bool:
+        return self._started and not self._closed
+
+    def start(self) -> "ThreadedMPRExecutor":
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if not self._started:
+            for worker in self._workers.values():
+                worker.start()
+            self._started = True
+            self._running = True
+        return self
+
+    def close(self) -> None:
+        """Stop every worker thread (idempotent, usable un-started)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._running = False
+        if not self._started:
+            return
         for worker in self._workers.values():
             worker.tasks.put(_SENTINEL)
         for worker in self._workers.values():
             worker.thread.join()
+
+    # ------------------------------------------------------------------
+    # Dispatch and collection
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """Route one task to its workers' FCFS queues."""
+        if not self._running:
+            self.start()
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            dispatch_start = time.monotonic()
+        route = self._router.route(task)
+        if task.kind is TaskKind.QUERY:
+            assert isinstance(route, QueryRoute)
+            self._expected[task.query_id] = len(route.workers)
+            self._ks[task.query_id] = task.k
+            op = _QueryOp(task.query_id, task.location, task.k)
+        elif task.kind is TaskKind.INSERT:
+            op = _InsertOp(task.object_id, task.location)
+        else:
+            op = _DeleteOp(task.object_id)
+        if telemetry.enabled:
+            op.enqueued = time.monotonic()
+            if task.kind is TaskKind.QUERY:
+                telemetry.begin_trace(task.query_id, route.workers)
+        for worker_id in route.workers:
+            self._workers[worker_id].tasks.put(op)
+        if telemetry.enabled:
+            query_id = task.query_id if task.kind is TaskKind.QUERY else None
+            telemetry.record(
+                "dispatch",
+                time.monotonic() - dispatch_start,
+                start=dispatch_start,
+                query_id=query_id,
+            )
+
+    def flush(self) -> None:
+        """No-op: the threaded path dispatches per task, unbuffered."""
+
+    def drain(self) -> dict[int, list[Neighbor]]:
+        """Wait for every queue to empty; merge and return the answers."""
+        self.start()
+        barriers: list[_Barrier] = []
+        for worker in self._workers.values():
+            barrier = _Barrier()
+            worker.tasks.put(barrier)
+            barriers.append(barrier)
+        for barrier in barriers:
+            barrier.event.wait()
+        for worker in self._workers.values():
             if worker.error is not None:
                 raise RuntimeError(
                     f"worker {worker.worker_id} failed"
                 ) from worker.error
 
-        # Aggregation (the a-core's job, done after the fact here).
+        telemetry = self._telemetry
         partials: dict[int, list[list[Neighbor]]] = {}
         while not self._results.empty():
-            query_id, _worker_id, partial = self._results.get_nowait()
-            partials.setdefault(query_id, []).append(partial)
+            message = self._results.get_nowait()
+            if message[0] == "partial":
+                _, query_id, worker_id, partial, stamps = message
+                partials.setdefault(query_id, []).append(partial)
+                if telemetry.enabled and stamps is not None:
+                    self._record_stamps(query_id, worker_id, stamps)
+            elif telemetry.enabled:  # ("update", worker_id, stamps)
+                _, worker_id, stamps = message
+                enqueued, dequeued, started, finished = stamps
+                telemetry.record(
+                    "queue_wait", dequeued - enqueued,
+                    start=enqueued, worker=worker_id,
+                )
+                telemetry.record(
+                    "update", finished - started,
+                    start=started, worker=worker_id,
+                )
+
         answers: dict[int, list[Neighbor]] = {}
         for query_id, parts in partials.items():
-            if len(parts) != expected[query_id]:
+            if len(parts) != self._expected[query_id]:
                 raise RuntimeError(
                     f"query {query_id}: {len(parts)} partials, "
-                    f"expected {expected[query_id]}"
+                    f"expected {self._expected[query_id]}"
                 )
-            answers[query_id] = merge_partial_results(parts, ks[query_id])
+            if telemetry.enabled:
+                merge_start = time.monotonic()
+                answers[query_id] = merge_partial_results(
+                    parts, self._ks[query_id]
+                )
+                telemetry.record(
+                    "merge", time.monotonic() - merge_start,
+                    start=merge_start, query_id=query_id,
+                )
+                trace = telemetry.trace(query_id)
+                if trace is not None:
+                    telemetry.record("response", trace.response_time)
+            else:
+                answers[query_id] = merge_partial_results(
+                    parts, self._ks[query_id]
+                )
+        self._expected.clear()
+        self._ks.clear()
+        return answers
 
+    def _record_stamps(
+        self, query_id: int, worker_id: WorkerId, stamps: tuple
+    ) -> None:
+        """Stitch one worker's query timing tuple into the trace."""
+        telemetry = self._telemetry
+        enqueued, dequeued, started, finished = stamps
+        telemetry.record(
+            "queue_wait", dequeued - enqueued,
+            start=enqueued, query_id=query_id, worker=worker_id,
+        )
+        telemetry.record(
+            "execute", finished - started,
+            start=started, query_id=query_id, worker=worker_id,
+        )
+        telemetry.record(
+            "ack", time.monotonic() - finished,
+            start=finished, query_id=query_id, worker=worker_id,
+        )
+
+    def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
+        """Execute the stream; return ``query_id -> aggregated kNN``."""
+        answers = super().run(tasks)
         if self._check_invariants:
-            contents = {
-                worker_id: worker.solution.object_locations()
-                for worker_id, worker in self._workers.items()
-            }
-            check_matrix_invariants(contents, self._config)
+            check_matrix_invariants(self.worker_contents(), self._config)
         return answers
 
     def worker_contents(self) -> dict[WorkerId, dict[int, int]]:
-        """Final object placements per worker (after :meth:`run`)."""
+        """Object placements per worker (valid after a drain)."""
         return {
             worker_id: worker.solution.object_locations()
             for worker_id, worker in self._workers.items()

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+import warnings
 from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -62,6 +63,7 @@ from typing import Mapping, Sequence
 from ..harness.metrics import PoolMetrics
 from ..knn.base import KNNSolution, Neighbor, merge_partial_results
 from ..objects.tasks import Task, TaskKind
+from ..obs import NULL_TELEMETRY, Telemetry
 from .config import MPRConfig
 from .core_matrix import (
     MPRRouter,
@@ -75,7 +77,9 @@ from .executor import MPRExecutor
 _STOP = ("stop",)
 
 
-def _worker_main(solution: KNNSolution, worker_id, inbox, results) -> None:
+def _worker_main(
+    solution: KNNSolution, worker_id, inbox, results, stamp_timings: bool = False
+) -> None:
     """Child process: serve batches until told to stop.
 
     One ``("batch", seq, ops)`` message is acknowledged by one
@@ -84,9 +88,18 @@ def _worker_main(solution: KNNSolution, worker_id, inbox, results) -> None:
     the return path is batch-amortized too.  ``results`` is this
     worker's private pipe end: no lock is shared with sibling workers,
     so this process dying mid-send cannot wedge anyone else.
+
+    With ``stamp_timings`` (telemetry enabled in the parent) the ack
+    grows a compact timing tuple — ``(t_recv, t_ack_send,
+    per-op timings)`` in the shared ``time.monotonic`` clock — from
+    which the parent stitches ``queue_wait``/``execute``/``ack`` spans.
+    Per-op entries are ``("q", query_id, t0, t1)`` for queries and
+    ``("u", t0, t1)`` for updates.
     """
+    monotonic = time.monotonic
     while True:
         message = inbox.get()
+        received = monotonic() if stamp_timings else 0.0
         kind = message[0]
         if kind == "stop":
             results.send(("stopped", worker_id))
@@ -96,19 +109,40 @@ def _worker_main(solution: KNNSolution, worker_id, inbox, results) -> None:
             return
         _, seq, ops = message
         partials = []
+        op_timings: list[tuple] = []
         try:
-            for op in ops:
-                if op[0] == "query":
-                    _, query_id, location, k = op
-                    partials.append((query_id, solution.query(location, k)))
-                elif op[0] == "insert":
-                    solution.insert(op[1], op[2])
-                else:
-                    solution.delete(op[1])
+            if stamp_timings:
+                for op in ops:
+                    started = monotonic()
+                    if op[0] == "query":
+                        _, query_id, location, k = op
+                        partials.append((query_id, solution.query(location, k)))
+                        op_timings.append(("q", query_id, started, monotonic()))
+                    elif op[0] == "insert":
+                        solution.insert(op[1], op[2])
+                        op_timings.append(("u", started, monotonic()))
+                    else:
+                        solution.delete(op[1])
+                        op_timings.append(("u", started, monotonic()))
+            else:
+                for op in ops:
+                    if op[0] == "query":
+                        _, query_id, location, k = op
+                        partials.append((query_id, solution.query(location, k)))
+                    elif op[0] == "insert":
+                        solution.insert(op[1], op[2])
+                    else:
+                        solution.delete(op[1])
         except Exception as exc:
             results.send(("error", worker_id, seq, repr(exc)))
             return
-        results.send(("done", worker_id, seq, partials))
+        if stamp_timings:
+            results.send((
+                "done", worker_id, seq, partials,
+                (received, monotonic(), op_timings),
+            ))
+        else:
+            results.send(("done", worker_id, seq, partials))
 
 
 class _WorkerState:
@@ -121,6 +155,8 @@ class _WorkerState:
         self.cell: dict[int, int] = dict(cell)
         #: Dispatched-but-unacknowledged batches, in seq order.
         self.unacked: dict[int, tuple] = {}
+        #: Monotonic send stamp per in-flight batch (telemetry only).
+        self.sent_at: dict[int, float] = {}
         self.next_seq = 0
         self.respawns = 0
         self.failed: str | None = None
@@ -188,12 +224,39 @@ class ProcessPoolService(MPRExecutor):
         Per-worker crash budget; exceeding it raises
         :class:`WorkerCrash` instead of looping on a poison batch.
 
+    telemetry:
+        A :class:`repro.obs.Telemetry` handle.  When enabled, workers
+        stamp monotonic timings into their acks and the parent stitches
+        per-query ``dispatch``/``queue_wait``/``execute``/``merge``/
+        ``ack`` traces; when disabled (the default) the wire protocol
+        and hot path are identical to the untraced pool.
+
     Lifecycle: ``start()`` → any number of ``submit()``/``flush()``/
     ``drain()``/``run()`` calls → ``close()``.  The context manager
     form does start/close automatically; ``close()`` is idempotent.
+
+    .. deprecated:: construct via
+       :func:`repro.mpr.api.build_executor` (``mode="process"``).
     """
 
-    def __init__(
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "Constructing ProcessPoolService directly is deprecated; use "
+            "repro.mpr.api.build_executor(config, solution, objects, "
+            "mode='process')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(*args, **kwargs)
+
+    @classmethod
+    def _create(cls, *args, **kwargs) -> "ProcessPoolService":
+        """Warning-free construction path used by the facade."""
+        self = cls.__new__(cls)
+        self._init(*args, **kwargs)
+        return self
+
+    def _init(
         self,
         solution: KNNSolution,
         config: MPRConfig,
@@ -205,6 +268,7 @@ class ProcessPoolService(MPRExecutor):
         health_check_interval: float = 0.05,
         max_respawns: int = 3,
         metrics: PoolMetrics | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if health_check_interval <= 0:
             raise ValueError("health_check_interval must be positive")
@@ -212,8 +276,11 @@ class ProcessPoolService(MPRExecutor):
             raise ValueError("max_respawns must be >= 0")
         self._solution = solution
         self._config = config
-        self._router = MPRRouter(config)
-        self._batcher = RouteBatcher(self._router, batch_size)
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._router = MPRRouter(config, telemetry=self._telemetry)
+        self._batcher = RouteBatcher(
+            self._router, batch_size, telemetry=self._telemetry
+        )
         self._context = mp.get_context(start_method)
         self._share_graph = share_graph
         self._shared_graph = None  # owning handle, set by start()
@@ -239,6 +306,10 @@ class ProcessPoolService(MPRExecutor):
     @property
     def config(self) -> MPRConfig:
         return self._config
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry
 
     @property
     def running(self) -> bool:
@@ -348,6 +419,8 @@ class ProcessPoolService(MPRExecutor):
         """Route one task; full batches are dispatched immediately."""
         self.start()
         self.metrics.tasks_submitted += 1
+        stamping = self._telemetry.enabled
+        t0 = time.monotonic() if stamping else 0.0
         with self.metrics.timed("dispatch", events=0):
             route, ready = self._batcher.add(task)
         if task.kind is TaskKind.QUERY:
@@ -355,9 +428,16 @@ class ProcessPoolService(MPRExecutor):
             self.metrics.queries_submitted += 1
             self._expected[task.query_id] = len(route.workers)
             self._ks[task.query_id] = task.k
+            if stamping:
+                self._telemetry.begin_trace(task.query_id, route.workers)
         else:
             self.metrics.updates_submitted += 1
         self._send_batches(ready)
+        if stamping:
+            query_id = task.query_id if task.kind is TaskKind.QUERY else None
+            self._telemetry.record(
+                "dispatch", time.monotonic() - t0, start=t0, query_id=query_id
+            )
         # Opportunistically drain acks so the result pipes stay short.
         self._collect_ready()
 
@@ -370,12 +450,15 @@ class ProcessPoolService(MPRExecutor):
         self._send_batches(ready)
 
     def _send_batches(self, batches: Sequence[WorkerBatch]) -> None:
+        stamping = self._telemetry.enabled
         for worker_id, ops in batches:
             state = self._workers[worker_id]
             self._ensure_alive(state)
             seq = state.next_seq
             state.next_seq += 1
             state.unacked[seq] = ops
+            if stamping:
+                state.sent_at[seq] = time.monotonic()
             with self.metrics.timed("dispatch"):
                 state.inbox.put(("batch", seq, ops))
             self.metrics.batches_sent += 1
@@ -490,9 +573,16 @@ class ProcessPoolService(MPRExecutor):
     def _handle(self, message: tuple) -> None:
         kind = message[0]
         if kind == "done":
-            _, worker_id, seq, partials = message
+            if len(message) == 5:
+                _, worker_id, seq, partials, stamps = message
+            else:
+                _, worker_id, seq, partials = message
+                stamps = None
             state = self._workers[worker_id]
+            if stamps is not None and self._telemetry.enabled:
+                self._record_batch_stamps(state, seq, stamps)
             state.acknowledge(seq)
+            state.sent_at.pop(seq, None)
             for query_id, partial in partials:
                 self.metrics.partials_received += 1
                 self._partials.setdefault(query_id, {})[worker_id] = partial
@@ -507,7 +597,56 @@ class ProcessPoolService(MPRExecutor):
         else:  # pragma: no cover - protocol guard
             raise RuntimeError(f"unknown pool message {message!r}")
 
+    def _record_batch_stamps(
+        self, state: _WorkerState, seq: int, stamps: tuple
+    ) -> None:
+        """Stitch one stamped ack into spans and stage histograms.
+
+        ``stamps`` is the worker's ``(t_recv, t_ack_send, op_timings)``;
+        combined with the parent's send stamp this yields one
+        ``queue_wait`` span for the batch (attributed to every query in
+        it), an ``execute`` span per query op, an ``update`` histogram
+        sample per update op, and one ``ack`` span (pipe transit,
+        measured at read time).  Replayed batches restamp the same
+        ``(stage, worker)`` slots; last report wins inside the trace.
+        """
+        t_recv, t_ack_send, op_timings = stamps
+        telemetry = self._telemetry
+        worker_id = state.worker_id
+        sent = state.sent_at.get(seq)
+        ack_wait = time.monotonic() - t_ack_send
+        queue_wait = max(t_recv - sent, 0.0) if sent is not None else None
+        query_ids = [entry[1] for entry in op_timings if entry[0] == "q"]
+        if queue_wait is not None:
+            if query_ids:
+                for query_id in query_ids:
+                    telemetry.record(
+                        "queue_wait", queue_wait,
+                        start=sent, query_id=query_id, worker=worker_id,
+                    )
+            else:  # pure-update batch: histogram only, once
+                telemetry.record("queue_wait", queue_wait, start=sent)
+        for entry in op_timings:
+            if entry[0] == "q":
+                _, query_id, t0, t1 = entry
+                telemetry.record(
+                    "execute", t1 - t0,
+                    start=t0, query_id=query_id, worker=worker_id,
+                )
+            else:
+                _, t0, t1 = entry
+                telemetry.record("update", t1 - t0, start=t0)
+        if query_ids:
+            for query_id in query_ids:
+                telemetry.record(
+                    "ack", ack_wait,
+                    start=t_ack_send, query_id=query_id, worker=worker_id,
+                )
+        else:
+            telemetry.record("ack", ack_wait, start=t_ack_send)
+
     def _finish_answers(self) -> dict[int, list[Neighbor]]:
+        stamping = self._telemetry.enabled
         with self.metrics.timed("aggregate", events=len(self._expected)):
             answers: dict[int, list[Neighbor]] = {}
             for query_id, expected in self._expected.items():
@@ -517,9 +656,20 @@ class ProcessPoolService(MPRExecutor):
                         f"query {query_id}: {len(parts)} partials, "
                         f"expected {expected}"
                     )
-                answers[query_id] = merge_partial_results(
-                    list(parts.values()), self._ks[query_id]
-                )
+                if stamping:
+                    with self._telemetry.span("merge", query_id=query_id):
+                        answers[query_id] = merge_partial_results(
+                            list(parts.values()), self._ks[query_id]
+                        )
+                else:
+                    answers[query_id] = merge_partial_results(
+                        list(parts.values()), self._ks[query_id]
+                    )
+        if stamping:
+            for query_id in self._expected:
+                trace = self._telemetry.trace(query_id)
+                if trace is not None and trace.spans:
+                    self._telemetry.record("response", trace.response_time)
         self._expected.clear()
         self._ks.clear()
         self._partials.clear()
@@ -560,6 +710,7 @@ class ProcessPoolService(MPRExecutor):
                 state.worker_id,
                 state.inbox,
                 writer,
+                self._telemetry.enabled,
             ),
             daemon=True,
         )
@@ -587,8 +738,16 @@ class ProcessPoolService(MPRExecutor):
         state.respawns += 1
         self.metrics.respawns += 1
         self.metrics.batches_replayed += len(state.unacked)
+        if self._telemetry.enabled:
+            self._telemetry.count("pool.respawns")
         self._spawn(state)
+        stamping = self._telemetry.enabled
         for seq in sorted(state.unacked):
+            if stamping:
+                # Replays restamp their queue_wait from the re-send, so
+                # the stitched trace reflects the run that produced the
+                # surviving ack.
+                state.sent_at[seq] = time.monotonic()
             state.inbox.put(("batch", seq, state.unacked[seq]))
             self.metrics.messages_sent += 1
 
@@ -597,28 +756,71 @@ class ProcessMPRExecutor(MPRExecutor):
     """One-shot batch wrapper over :class:`ProcessPoolService`.
 
     Preserved for compatibility with the original executor: workers are
-    spawned for a single :meth:`run` and torn down afterwards, with
-    per-task dispatch (``batch_size=1``).  New code should hold a
-    :class:`ProcessPoolService` instead.
+    spawned per :meth:`run` and torn down afterwards, with per-task
+    dispatch (``batch_size=1``).  New code should hold a process-mode
+    executor from :func:`repro.mpr.api.build_executor` instead.
+
+    .. deprecated:: construct via
+       :func:`repro.mpr.api.build_executor` (``mode="process"``).
     """
 
-    def __init__(
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "Constructing ProcessMPRExecutor directly is deprecated; use "
+            "repro.mpr.api.build_executor(config, solution, objects, "
+            "mode='process')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(*args, **kwargs)
+
+    @classmethod
+    def _create(cls, *args, **kwargs) -> "ProcessMPRExecutor":
+        """Warning-free construction path used by the facade."""
+        self = cls.__new__(cls)
+        self._init(*args, **kwargs)
+        return self
+
+    def _init(
         self,
         solution: KNNSolution,
         config: MPRConfig,
         objects: Mapping[int, int],
         start_method: str = "fork",
+        *,
+        telemetry: Telemetry | None = None,
     ) -> None:
-        self._service = ProcessPoolService(
+        self._service = ProcessPoolService._create(
             solution, config, objects,
-            batch_size=1, start_method=start_method,
+            batch_size=1, start_method=start_method, telemetry=telemetry,
         )
 
     @property
     def config(self) -> MPRConfig:
         return self._service.config
 
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._service.telemetry
+
+    def start(self) -> "ProcessMPRExecutor":
+        self._service.start()
+        return self
+
+    def close(self) -> None:
+        self._service.close()
+
+    def submit(self, task: Task) -> None:
+        self._service.submit(task)
+
+    def flush(self) -> None:
+        self._service.flush()
+
+    def drain(self) -> dict[int, list[Neighbor]]:
+        return self._service.drain()
+
     def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
+        """One-shot: spawn workers, run the batch, tear them down."""
         with self._service as pool:
             return pool.run(tasks)
 
@@ -667,7 +869,7 @@ def run_batch_speedup(
 
     def timed_run(num_workers: int) -> float:
         config = MPRConfig(1, num_workers, 1)
-        with ProcessPoolService(
+        with ProcessPoolService._create(
             solution, config, dict(objects),
             batch_size=batch_size, start_method=start_method,
         ) as pool:

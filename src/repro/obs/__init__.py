@@ -1,0 +1,22 @@
+"""repro.obs — per-query tracing and per-stage latency metrics.
+
+The observability layer of the reproduction: executors record
+``dispatch → queue_wait → execute → merge → ack`` spans into a
+:class:`Telemetry` handle (near-zero-cost when disabled), which stitches
+them into per-query :class:`QueryTrace` trees and aggregates fixed-
+bucket log-scale :class:`LogHistogram`\\ s with p50/p95/p99 export.
+Standalone by design: this package imports nothing from the rest of
+``repro``, so any layer may depend on it.
+"""
+
+from .histogram import LogHistogram
+from .telemetry import NULL_TELEMETRY, TRACE_STAGES, QueryTrace, Span, Telemetry
+
+__all__ = [
+    "LogHistogram",
+    "NULL_TELEMETRY",
+    "QueryTrace",
+    "Span",
+    "TRACE_STAGES",
+    "Telemetry",
+]

@@ -1,0 +1,206 @@
+"""Fixed-bucket log-scale latency histograms.
+
+Per-stage latencies span five orders of magnitude (sub-μs no-op spans
+to multi-second drains), so equal-width bins are useless and exact
+sample retention is too heavy for a telemetry hot path.  A
+:class:`LogHistogram` keeps a *fixed* array of geometrically spaced
+buckets — constant memory regardless of sample count, O(1) recording —
+plus exact count/sum/sum-of-squares moments, which is everything the
+calibration feedback (mean, variance) and the SLO reporting
+(p50/p95/p99) need.
+
+The layout mirrors what serving systems export to their metrics
+pipelines (Prometheus-style exponential buckets): ``buckets_per_decade``
+buckets per power of ten between ``lo`` and ``hi`` seconds, with
+underflow/overflow buckets at the ends.  Percentiles interpolate
+geometrically inside the winning bucket and are clamped to the observed
+``[min, max]`` so tiny sample counts never report a bucket edge wider
+than reality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["LogHistogram"]
+
+
+class LogHistogram:
+    """Log-scale histogram of non-negative durations (seconds).
+
+    Parameters
+    ----------
+    lo, hi:
+        Bucketed range.  Samples below ``lo`` land in the underflow
+        bucket, above ``hi`` in the overflow bucket; both still count
+        toward the exact moments.
+    buckets_per_decade:
+        Resolution: relative bucket width is ``10 ** (1/n)`` (~33% for
+        the default 8), plenty for percentile reporting.
+    """
+
+    __slots__ = (
+        "_lo", "_hi", "_bpd", "_log_lo", "_num_buckets", "_counts",
+        "count", "total", "sum_squares", "min_value", "max_value",
+    )
+
+    def __init__(
+        self,
+        lo: float = 1e-7,
+        hi: float = 1e3,
+        buckets_per_decade: int = 8,
+    ) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self._lo = lo
+        self._hi = hi
+        self._bpd = buckets_per_decade
+        self._log_lo = math.log10(lo)
+        decades = math.log10(hi) - self._log_lo
+        self._num_buckets = int(math.ceil(decades * buckets_per_decade))
+        # [0] underflow, [1 .. n] bucketed range, [n + 1] overflow.
+        self._counts = [0] * (self._num_buckets + 2)
+        self.count = 0
+        self.total = 0.0
+        self.sum_squares = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: float, count: int = 1) -> None:
+        """Add ``count`` observations of ``value`` seconds."""
+        if count < 1:
+            return
+        self.count += count
+        self.total += value * count
+        self.sum_squares += value * value * count
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        self._counts[self._index(value)] += count
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def _index(self, value: float) -> int:
+        if value < self._lo:
+            return 0
+        if value >= self._hi:
+            return self._num_buckets + 1
+        index = int((math.log10(value) - self._log_lo) * self._bpd) + 1
+        # Guard float edge cases at bucket boundaries.
+        return min(max(index, 1), self._num_buckets)
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram with the same layout into this one."""
+        if (other._lo, other._hi, other._bpd) != (self._lo, self._hi, self._bpd):
+            raise ValueError("cannot merge histograms with different layouts")
+        self.count += other.count
+        self.total += other.total
+        self.sum_squares += other.sum_squares
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the recorded samples (exact)."""
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(self.sum_squares / self.count - mean * mean, 0.0)
+
+    def _edges(self, index: int) -> tuple[float, float]:
+        """(low, high) bounds of bucket ``index`` in the bucketed range."""
+        low = 10.0 ** (self._log_lo + (index - 1) / self._bpd)
+        high = 10.0 ** (self._log_lo + index / self._bpd)
+        return low, high
+
+    def percentile(self, quantile: float) -> float:
+        """Approximate quantile in seconds (``0 <= quantile <= 1``)."""
+        return self.percentiles((quantile,))[0]
+
+    def percentiles(self, quantiles: Sequence[float]) -> list[float]:
+        """Approximate several quantiles in one cumulative pass."""
+        for quantile in quantiles:
+            if not 0.0 <= quantile <= 1.0:
+                raise ValueError(f"quantile {quantile} outside [0, 1]")
+        if self.count == 0:
+            return [0.0] * len(quantiles)
+        order = sorted(range(len(quantiles)), key=lambda i: quantiles[i])
+        results = [0.0] * len(quantiles)
+        cumulative = 0
+        position = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            while position < len(order):
+                slot = order[position]
+                rank = quantiles[slot] * self.count
+                if rank > cumulative:
+                    break
+                results[slot] = self._bucket_value(index)
+                position += 1
+            if position == len(order):
+                break
+        return results
+
+    def _bucket_value(self, index: int) -> float:
+        """Representative value of a bucket, clamped to observed range."""
+        if index == 0:
+            value = self._lo
+        elif index == self._num_buckets + 1:
+            value = self._hi
+        else:
+            low, high = self._edges(index)
+            value = math.sqrt(low * high)  # geometric midpoint
+        return min(max(value, self.min_value), self.max_value)
+
+    def nonzero_buckets(self) -> list[tuple[float, int]]:
+        """(bucket upper edge, count) for every populated bucket."""
+        rows: list[tuple[float, int]] = []
+        for index, bucket_count in enumerate(self._counts):
+            if not bucket_count:
+                continue
+            if index == 0:
+                edge = self._lo
+            elif index == self._num_buckets + 1:
+                edge = math.inf
+            else:
+                edge = self._edges(index)[1]
+            rows.append((edge, bucket_count))
+        return rows
+
+    def to_dict(self) -> dict[str, float | int]:
+        """JSON-ready summary (counts, moments, headline percentiles)."""
+        p50, p95, p99 = self.percentiles((0.50, 0.95, 0.99))
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "variance": self.variance,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogHistogram(count={self.count}, mean={self.mean:.3g}, "
+            f"p99={self.percentile(0.99):.3g})"
+        )

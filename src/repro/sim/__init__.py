@@ -6,6 +6,7 @@ from .measurement import (
     Measurement,
     find_max_throughput,
     machine_spec_from_pool,
+    machine_spec_from_telemetry,
     measure_response_time,
     measured_tau_prime,
     summarize,
@@ -33,6 +34,7 @@ __all__ = [
     "Measurement",
     "find_max_throughput",
     "machine_spec_from_pool",
+    "machine_spec_from_telemetry",
     "measure_response_time",
     "measured_tau_prime",
     "summarize",

@@ -28,6 +28,7 @@ from ..mpr.analysis import MachineSpec
 from ..mpr.config import MPRConfig
 from ..mpr.core_matrix import MPRRouter, QueryRoute, WorkerId
 from ..objects.tasks import Task, TaskKind
+from ..obs import Telemetry
 from .des import FCFSServer
 
 
@@ -59,6 +60,7 @@ def simulate_with_execution(
     objects: Mapping[int, int],
     tasks: Sequence[Task],
     horizon: float,
+    telemetry: Telemetry | None = None,
 ) -> InLoopResult:
     """Execute a stream on real solution instances with simulated cores.
 
@@ -68,8 +70,19 @@ def simulate_with_execution(
     Lindley server at the task's (simulated) arrival time.  Query
     completion follows the same dataflow as the profile-driven
     simulator (scheduler writes, worker max, aggregator merges).
+
+    With ``telemetry``, the run records the same stage histograms the
+    real executors do — ``dispatch``/``queue_wait``/``merge`` carry the
+    *simulated* machine costs and waits, ``execute``/``update`` the
+    *measured* wall times of the real operations — so the same
+    calibration helpers (:func:`repro.sim.measurement.
+    machine_spec_from_telemetry`, :func:`repro.knn.calibration.
+    profile_from_telemetry`) work on simulated and real runs alike.
+    Span ``start`` stamps for simulated stages live on the simulated
+    clock, not ``time.monotonic``.
     """
-    router = MPRRouter(config)
+    stamping = telemetry is not None and telemetry.enabled
+    router = MPRRouter(config, telemetry=telemetry)
     contents = router.preload_objects(objects)
     workers: dict[WorkerId, KNNSolution] = {
         worker_id: solution.spawn(cell) for worker_id, cell in contents.items()
@@ -97,6 +110,12 @@ def simulate_with_execution(
             t_sched = schedulers[route.layer].serve(
                 t, machine.queue_write_time * config.x
             )
+            if stamping:
+                telemetry.begin_trace(task.query_id, route.workers)
+                telemetry.record(
+                    "dispatch", t_sched - task.arrival_time,
+                    start=task.arrival_time, query_id=task.query_id,
+                )
             partials: list[list[Neighbor]] = []
             worker_done_max = 0.0
             query_index = len(query_meta)
@@ -105,6 +124,17 @@ def simulate_with_execution(
                 partial = workers[worker_id].query(task.location, task.k)
                 service = time.perf_counter() - start
                 done = servers[worker_id].serve(t_sched, service)
+                if stamping:
+                    telemetry.record(
+                        "queue_wait", max(done - service - t_sched, 0.0),
+                        start=t_sched, query_id=task.query_id,
+                        worker=worker_id,
+                    )
+                    telemetry.record(
+                        "execute", service,
+                        start=done - service, query_id=task.query_id,
+                        worker=worker_id,
+                    )
                 partials.append(partial)
                 if config.x > 1:
                     pending[route.layer].append((done, seq, query_index))
@@ -128,6 +158,11 @@ def simulate_with_execution(
                         workers[worker_id].delete(task.object_id)
                     service = time.perf_counter() - start
                     servers[worker_id].serve(t_sched, service)
+                    if stamping:
+                        telemetry.record(
+                            "update", service,
+                            start=t_sched, worker=worker_id,
+                        )
 
     # Aggregator post-pass (FCFS in partial-arrival order per layer).
     completion = {
@@ -144,8 +179,20 @@ def simulate_with_execution(
                 remaining[query_id] -= 1
                 if remaining[query_id] == 0:
                     completion[query_id] = done
+                    if stamping:
+                        telemetry.record(
+                            "merge", done - arrival,
+                            start=arrival, query_id=query_id,
+                        )
+    elif stamping:
+        for query_id, _, worker_done in query_meta:
+            telemetry.record(
+                "merge", 0.0, start=worker_done, query_id=query_id
+            )
     for query_id, arrival, _ in query_meta:
         response_times[query_id] = completion[query_id] - arrival
+        if stamping:
+            telemetry.record("response", response_times[query_id])
 
     return InLoopResult(
         answers=answers,

@@ -171,6 +171,40 @@ def machine_spec_from_pool(
     )
 
 
+def machine_spec_from_telemetry(
+    telemetry, total_cores: int = 19
+) -> MachineSpec:
+    """Calibrate a :class:`MachineSpec` from recorded stage histograms.
+
+    The telemetry counterpart of :func:`machine_spec_from_pool`, usable
+    with any executor (thread, process, or measured-in-the-loop sim)
+    that recorded through a :class:`repro.obs.Telemetry`:
+
+    * ``queue_write_time`` (the paper's τ') ← mean of the ``dispatch``
+      stage — the parent-side routing + enqueue cost per task;
+    * ``merge_time`` ← mean of the ``merge`` stage;
+    * ``dispatch_time`` ← mean of the ``ack`` stage (one cross-worker
+      message transit, the closest observable to a d-core hand-off).
+
+    Stages the run never recorded keep the :class:`MachineSpec`
+    defaults, so an empty handle reproduces ``MachineSpec()``.
+    """
+    defaults = MachineSpec(total_cores=total_cores)
+
+    def stage_mean(stage: str, fallback: float) -> float:
+        histogram = telemetry.histogram(stage)
+        if histogram is None or histogram.count == 0:
+            return fallback
+        return histogram.mean
+
+    return MachineSpec(
+        total_cores=total_cores,
+        queue_write_time=stage_mean("dispatch", defaults.queue_write_time),
+        merge_time=stage_mean("merge", defaults.merge_time),
+        dispatch_time=stage_mean("ack", defaults.dispatch_time),
+    )
+
+
 def summarize(stats: SystemStats, warmup: float = 0.0) -> Measurement:
     """Reduce raw simulation stats to the paper's reported quantities."""
     overloaded = stats.max_utilization >= OVERLOAD_UTILIZATION or any(

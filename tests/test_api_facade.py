@@ -1,0 +1,214 @@
+"""The unified construction API: build_executor, MPRSystem, shims.
+
+Pins the redesign's contract: one entry point builds every substrate,
+the facade path is warning-free, every legacy constructor warns, and
+telemetry threads through whichever substrate is chosen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knn import DijkstraKNN
+from repro.mpr import (
+    MPRConfig,
+    MPRSystem,
+    ProcessPoolService,
+    ThreadedMPRExecutor,
+    build_executor,
+    run_serial_reference,
+)
+from repro.mpr.api import EXECUTOR_MODES
+from repro.mpr.process_executor import ProcessMPRExecutor
+from repro.obs import NULL_TELEMETRY, TRACE_STAGES, Telemetry
+from repro.workload import UpdateMode, generate_workload
+
+CONFIG = MPRConfig(2, 2, 1)
+
+
+def make_workload(network, seed=11):
+    return generate_workload(
+        network, num_objects=12, lambda_q=40.0, lambda_u=50.0,
+        duration=0.6, mode=UpdateMode.RANDOM, k=4, seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# build_executor
+# ----------------------------------------------------------------------
+@pytest.mark.filterwarnings("error::DeprecationWarning")
+def test_facade_builds_thread_executor_without_warning(small_grid) -> None:
+    executor = build_executor(CONFIG, DijkstraKNN(small_grid))
+    assert isinstance(executor, ThreadedMPRExecutor)
+    assert executor.config == CONFIG
+    assert executor.telemetry is NULL_TELEMETRY
+    executor.close()
+
+
+@pytest.mark.filterwarnings("error::DeprecationWarning")
+def test_facade_builds_process_executor_without_warning(small_grid) -> None:
+    executor = build_executor(
+        CONFIG, DijkstraKNN(small_grid), mode="process", batch_size=4
+    )
+    assert isinstance(executor, ProcessPoolService)
+    assert executor.config == CONFIG
+    assert executor.telemetry is NULL_TELEMETRY
+    executor.close()  # never started; close is safe and idempotent
+
+
+def test_facade_threads_telemetry_through(small_grid) -> None:
+    telemetry = Telemetry()
+    executor = build_executor(
+        CONFIG, DijkstraKNN(small_grid), telemetry=telemetry
+    )
+    assert executor.telemetry is telemetry
+    executor.close()
+
+
+def test_facade_rejects_unknown_mode(small_grid) -> None:
+    with pytest.raises(ValueError, match="unknown executor mode"):
+        build_executor(CONFIG, DijkstraKNN(small_grid), mode="quantum")
+    assert EXECUTOR_MODES == ("thread", "process")
+
+
+def test_facade_rejects_invariants_in_process_mode(small_grid) -> None:
+    with pytest.raises(ValueError, match="thread mode"):
+        build_executor(
+            CONFIG, DijkstraKNN(small_grid),
+            mode="process", check_invariants=True,
+        )
+
+
+def test_thread_executor_via_facade_matches_oracle(small_grid) -> None:
+    workload = make_workload(small_grid)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    with build_executor(
+        CONFIG, DijkstraKNN(small_grid), workload.initial_objects,
+        check_invariants=True,
+    ) as executor:
+        assert executor.run(workload.tasks) == oracle
+
+
+@pytest.mark.slow
+def test_process_executor_via_facade_matches_oracle(small_grid) -> None:
+    workload = make_workload(small_grid)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    with build_executor(
+        CONFIG, DijkstraKNN(small_grid), workload.initial_objects,
+        mode="process", batch_size=4,
+    ) as pool:
+        assert pool.run(workload.tasks) == oracle
+
+
+# ----------------------------------------------------------------------
+# Legacy constructors are deprecation shims
+# ----------------------------------------------------------------------
+def test_threaded_constructor_warns(small_grid) -> None:
+    with pytest.deprecated_call():
+        executor = ThreadedMPRExecutor(DijkstraKNN(small_grid), CONFIG, {})
+    executor.close()
+
+
+def test_pool_constructor_warns(small_grid) -> None:
+    with pytest.deprecated_call():
+        pool = ProcessPoolService(DijkstraKNN(small_grid), CONFIG, {})
+    pool.close()  # never started
+
+
+def test_process_executor_constructor_warns(small_grid) -> None:
+    with pytest.deprecated_call():
+        executor = ProcessMPRExecutor(DijkstraKNN(small_grid), CONFIG, {})
+    executor.close()
+
+
+def test_shim_still_behaves_like_the_facade_product(small_grid) -> None:
+    """The shims deprecate the *spelling*, not the object: a directly
+    constructed executor still answers identically."""
+    workload = make_workload(small_grid, seed=23)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    with pytest.deprecated_call():
+        executor = ThreadedMPRExecutor(
+            DijkstraKNN(small_grid), CONFIG, workload.initial_objects
+        )
+    with executor:
+        assert executor.run(workload.tasks) == oracle
+
+
+# ----------------------------------------------------------------------
+# MPRSystem
+# ----------------------------------------------------------------------
+def test_mpr_system_defaults_to_enabled_telemetry(small_grid) -> None:
+    workload = make_workload(small_grid)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    with MPRSystem(
+        CONFIG, DijkstraKNN(small_grid), workload.initial_objects
+    ) as system:
+        answers = system.run(workload.tasks)
+    assert answers == oracle
+    assert system.telemetry.enabled
+    assert system.config == CONFIG
+
+    stats = system.stats()
+    assert set(TRACE_STAGES) <= set(stats["stages"])
+    assert stats["traces"]["retained"] == workload.num_queries
+    assert stats["traces"]["complete"] == workload.num_queries
+
+    report = system.report()
+    for column in ("stage", "p50", "p95", "p99"):
+        assert column in report
+    for stage in TRACE_STAGES:
+        assert stage in report
+
+
+def test_mpr_system_accepts_external_telemetry(small_grid) -> None:
+    telemetry = Telemetry(max_traces=4)
+    system = MPRSystem(
+        CONFIG, DijkstraKNN(small_grid), telemetry=telemetry
+    )
+    assert system.telemetry is telemetry
+    assert system.executor.telemetry is telemetry
+    system.close()
+
+
+def test_mpr_system_streaming_lifecycle(small_grid) -> None:
+    workload = make_workload(small_grid, seed=31)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    system = MPRSystem(
+        CONFIG, DijkstraKNN(small_grid), workload.initial_objects
+    )
+    system.start()
+    answers = {}
+    for task in workload.tasks:
+        system.submit(task)
+    system.flush()
+    answers.update(system.drain())
+    system.close()
+    assert answers == oracle
+
+
+# ----------------------------------------------------------------------
+# repro.cli stats
+# ----------------------------------------------------------------------
+def test_cli_stats_prints_percentiles(capsys) -> None:
+    from repro.cli import main
+
+    code = main([
+        "stats", "--mode", "thread", "--grid", "8", "--objects", "15",
+        "--lambda-q", "60", "--lambda-u", "60", "--duration", "0.5",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    for column in ("p50", "p95", "p99"):
+        assert column in out
+    for stage in TRACE_STAGES:
+        assert stage in out

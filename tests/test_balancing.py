@@ -107,7 +107,7 @@ class TestRouterIntegration:
 
     def test_rate_balanced_preload_end_to_end(self, small_grid) -> None:
         from repro.knn import DijkstraKNN
-        from repro.mpr import ThreadedMPRExecutor, run_serial_reference
+        from repro.mpr import build_executor, run_serial_reference
         from repro.workload import generate_workload
 
         workload = generate_workload(
@@ -116,8 +116,8 @@ class TestRouterIntegration:
         rates = {obj: float(obj % 5 + 1) for obj in workload.initial_objects}
         assignment = balance_by_update_rate(rates, 2)
         prototype = DijkstraKNN(small_grid)
-        executor = ThreadedMPRExecutor(
-            prototype, MPRConfig(2, 2, 1), workload.initial_objects
+        executor = build_executor(
+            MPRConfig(2, 2, 1), prototype, workload.initial_objects
         )
         # Re-preload with the custom assignment through the router API.
         router_contents = MPRRouter(MPRConfig(2, 2, 1)).preload_objects(

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.knn import DijkstraKNN, GTreeKNN, ToainKNN, VTreeKNN
-from repro.mpr import MPRConfig, ThreadedMPRExecutor, run_serial_reference
+from repro.mpr import MPRConfig, build_executor, run_serial_reference
 from repro.workload import UpdateMode, generate_workload
 
 CONFIGS = [
@@ -44,8 +44,8 @@ def test_equivalent_to_serial_ru(medium_grid, workload, config, solution_cls):
     reference = run_serial_reference(
         prototype, workload.initial_objects, workload.tasks
     )
-    executor = ThreadedMPRExecutor(
-        prototype, config, workload.initial_objects, check_invariants=True
+    executor = build_executor(
+        config, prototype, workload.initial_objects, check_invariants=True
     )
     answers = executor.run(workload.tasks)
     assert canonical(answers) == canonical(reference)
@@ -57,8 +57,8 @@ def test_equivalent_to_serial_indexed_solutions(medium_grid, workload, solution_
     reference = run_serial_reference(
         prototype, workload.initial_objects, workload.tasks
     )
-    executor = ThreadedMPRExecutor(
-        prototype, MPRConfig(2, 2, 2), workload.initial_objects
+    executor = build_executor(
+        MPRConfig(2, 2, 2), prototype, workload.initial_objects
     )
     assert canonical(executor.run(workload.tasks)) == canonical(reference)
 
@@ -68,8 +68,8 @@ def test_equivalent_to_serial_th_mode(medium_grid, th_workload):
     reference = run_serial_reference(
         prototype, th_workload.initial_objects, th_workload.tasks
     )
-    executor = ThreadedMPRExecutor(
-        prototype, MPRConfig(3, 2, 1), th_workload.initial_objects,
+    executor = build_executor(
+        MPRConfig(3, 2, 1), prototype, th_workload.initial_objects,
         check_invariants=True,
     )
     assert canonical(executor.run(th_workload.tasks)) == canonical(reference)
@@ -83,8 +83,8 @@ def test_final_contents_union_matches_serial(medium_grid, workload):
             serial.insert(task.object_id, task.location)
         elif task.kind.value == "delete":
             serial.delete(task.object_id)
-    executor = ThreadedMPRExecutor(
-        prototype, MPRConfig(3, 2, 1), workload.initial_objects
+    executor = build_executor(
+        MPRConfig(3, 2, 1), prototype, workload.initial_objects
     )
     executor.run(workload.tasks)
     contents = executor.worker_contents()
@@ -95,8 +95,8 @@ def test_final_contents_union_matches_serial(medium_grid, workload):
 
 
 def test_empty_stream(medium_grid):
-    executor = ThreadedMPRExecutor(
-        DijkstraKNN(medium_grid), MPRConfig(2, 2, 1), {1: 0}
+    executor = build_executor(
+        MPRConfig(2, 2, 1), DijkstraKNN(medium_grid), {1: 0}
     )
     assert executor.run([]) == {}
 
@@ -104,8 +104,8 @@ def test_empty_stream(medium_grid):
 def test_worker_error_is_propagated(medium_grid):
     from repro.objects import DeleteTask
 
-    executor = ThreadedMPRExecutor(
-        DijkstraKNN(medium_grid), MPRConfig(1, 1, 1), {1: 0}
+    executor = build_executor(
+        MPRConfig(1, 1, 1), DijkstraKNN(medium_grid), {1: 0}
     )
     # Force an inconsistent stream past the router by preloading the
     # router hash but not the worker: delete twice at the worker level

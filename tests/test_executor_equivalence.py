@@ -5,8 +5,9 @@ Section III's correctness requirement — every scheme's execution is
 the contract of :class:`repro.mpr.MPRExecutor`.  This suite pins it
 across every executor substrate at once: randomized seeded task
 streams (queries + inserts + deletes) must produce *identical* answers
-from the single-threaded oracle, :class:`ThreadedMPRExecutor`, and the
-persistent :class:`ProcessPoolService`, for several ``(x, y, z)``
+from the single-threaded oracle, the threaded executor, and the
+persistent process pool — all built through
+:func:`repro.mpr.api.build_executor` — for several ``(x, y, z)``
 arrangements and batch sizes.
 
 Process-spawning cases are marked ``slow`` (see pyproject/ROADMAP for
@@ -21,8 +22,7 @@ from repro.knn import DijkstraKNN
 from repro.mpr import (
     MPRConfig,
     MPRExecutor,
-    ProcessPoolService,
-    ThreadedMPRExecutor,
+    build_executor,
     run_serial_reference,
 )
 from repro.workload import UpdateMode, generate_workload
@@ -58,8 +58,8 @@ def oracle(small_grid, stream):
 
 @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"{c.x}x{c.y}x{c.z}")
 def test_threaded_matches_oracle(small_grid, stream, oracle, config) -> None:
-    executor: MPRExecutor = ThreadedMPRExecutor(
-        DijkstraKNN(small_grid), config, stream.initial_objects
+    executor: MPRExecutor = build_executor(
+        config, DijkstraKNN(small_grid), stream.initial_objects
     )
     assert executor.run(stream.tasks) == oracle
 
@@ -67,9 +67,9 @@ def test_threaded_matches_oracle(small_grid, stream, oracle, config) -> None:
 @pytest.mark.slow
 @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"{c.x}x{c.y}x{c.z}")
 def test_process_pool_matches_oracle(small_grid, stream, oracle, config) -> None:
-    with ProcessPoolService(
-        DijkstraKNN(small_grid), config, stream.initial_objects,
-        batch_size=8,
+    with build_executor(
+        config, DijkstraKNN(small_grid), stream.initial_objects,
+        mode="process", batch_size=8,
     ) as pool:
         assert pool.run(stream.tasks) == oracle
 
@@ -82,9 +82,9 @@ def test_process_pool_batch_size_is_transparent(
     """Answers are independent of how dispatch is batched — batch_size
     1 (per-task), a size that splits streams mid-batch, and one larger
     than the whole stream (everything rides on the final flush)."""
-    with ProcessPoolService(
-        DijkstraKNN(small_grid), MPRConfig(2, 2, 1),
-        stream.initial_objects, batch_size=batch_size,
+    with build_executor(
+        MPRConfig(2, 2, 1), DijkstraKNN(small_grid),
+        stream.initial_objects, mode="process", batch_size=batch_size,
     ) as pool:
         assert pool.run(stream.tasks) == oracle
 
@@ -104,9 +104,9 @@ def test_persistent_pool_serves_many_runs(small_grid) -> None:
         workload.tasks[2 * third:],
     ]
     answers = {}
-    with ProcessPoolService(
-        DijkstraKNN(small_grid), MPRConfig(2, 2, 1),
-        workload.initial_objects, batch_size=5,
+    with build_executor(
+        MPRConfig(2, 2, 1), DijkstraKNN(small_grid),
+        workload.initial_objects, mode="process", batch_size=5,
     ) as pool:
         pids_before = pool.worker_pids()
         for chunk in chunks:
@@ -121,9 +121,9 @@ def test_process_pool_taxi_hailing_mode(small_grid) -> None:
     oracle = run_serial_reference(
         DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
     )
-    with ProcessPoolService(
-        DijkstraKNN(small_grid), MPRConfig(2, 2, 1),
-        workload.initial_objects, batch_size=6,
+    with build_executor(
+        MPRConfig(2, 2, 1), DijkstraKNN(small_grid),
+        workload.initial_objects, mode="process", batch_size=6,
     ) as pool:
         assert pool.run(workload.tasks) == oracle
 
@@ -136,9 +136,9 @@ def test_flush_mid_stream_preserves_answers(small_grid) -> None:
     oracle = run_serial_reference(
         DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
     )
-    with ProcessPoolService(
-        DijkstraKNN(small_grid), MPRConfig(2, 1, 1),
-        workload.initial_objects, batch_size=50,
+    with build_executor(
+        MPRConfig(2, 1, 1), DijkstraKNN(small_grid),
+        workload.initial_objects, mode="process", batch_size=50,
     ) as pool:
         for position, task in enumerate(workload.tasks):
             pool.submit(task)

@@ -19,8 +19,8 @@ from repro.mpr import (
     Workload,
     configure_all_schemes,
     configure_scheme,
+    build_executor,
     run_serial_reference,
-    ThreadedMPRExecutor,
 )
 from repro.sim import find_max_throughput, measure_response_time
 from repro.workload import CASE_STUDY, materialize
@@ -47,8 +47,8 @@ def test_full_pipeline_functional_equivalence(instance):
     reference = run_serial_reference(
         prototype, instance.workload.initial_objects, instance.workload.tasks
     )
-    executor = ThreadedMPRExecutor(
-        prototype, choice.config, instance.workload.initial_objects,
+    executor = build_executor(
+        choice.config, prototype, instance.workload.initial_objects,
         check_invariants=True,
     )
     answers = executor.run(instance.workload.tasks)

@@ -19,15 +19,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import (
-    KERNEL_CALLS,
-    CSRKernels,
-    RoadNetwork,
-    dial_delta,
+from repro.graph import RoadNetwork
+from repro.graph.kernels import KERNEL_CALLS, CSRKernels, dial_delta
+from repro.graph.shortest_path import (
+    KERNEL_MIN_NODES,
+    dijkstra,
+    dijkstra_expansion,
     dijkstra_heapq,
     multi_source_dijkstra_heapq,
 )
-from repro.graph.shortest_path import KERNEL_MIN_NODES, dijkstra, dijkstra_expansion
 from repro.knn import DijkstraKNN
 from tests.conftest import place_objects
 

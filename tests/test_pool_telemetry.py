@@ -1,0 +1,96 @@
+"""Distributed tracing through the process pool, faults included.
+
+Workers stamp monotonic timings into their result pipes; the parent
+stitches them into per-query span trees.  These tests pin the two
+strong claims: every query's trace is *complete* (dispatch + merge +
+queue_wait/execute/ack from every serving worker), and completeness
+survives a SIGKILL mid-flight — replayed batches overwrite their
+``(stage, worker)`` slots instead of duplicating spans.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.graph import grid_network
+from repro.knn import DijkstraKNN
+from repro.mpr import MPRConfig, build_executor, run_serial_reference
+from repro.obs import Telemetry
+from repro.workload import generate_workload
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(10, 10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workload(network):
+    return generate_workload(
+        network, num_objects=15, lambda_q=120.0, lambda_u=80.0,
+        duration=1.0, seed=13, k=4,
+    )
+
+
+def assert_traces_complete(telemetry: Telemetry, num_queries: int) -> None:
+    traces = telemetry.traces()
+    assert len(traces) == num_queries
+    incomplete = [t.query_id for t in traces if not t.is_complete()]
+    assert not incomplete, f"incomplete traces: {incomplete}"
+    for trace in traces:
+        # Slot-replacement keeps exactly one span per (stage, worker).
+        assert len(trace.stage_spans("dispatch")) == 1
+        assert len(trace.stage_spans("merge")) == 1
+        for stage in ("queue_wait", "execute", "ack"):
+            assert len(trace.stage_spans(stage)) == len(trace.expected_workers)
+        assert trace.response_time > 0.0
+
+
+def test_pool_traces_are_complete(network, workload) -> None:
+    telemetry = Telemetry(max_traces=4096)
+    oracle = run_serial_reference(
+        DijkstraKNN(network), workload.initial_objects, workload.tasks
+    )
+    with build_executor(
+        MPRConfig(2, 2, 1), DijkstraKNN(network), workload.initial_objects,
+        mode="process", batch_size=4, telemetry=telemetry,
+    ) as pool:
+        assert pool.run(workload.tasks) == oracle
+    assert_traces_complete(telemetry, workload.num_queries)
+    # Queries fan out to x=2 partitions: every expected worker stamped.
+    assert all(len(t.expected_workers) == 2 for t in telemetry.traces())
+    assert telemetry.histogram("response").count == workload.num_queries
+    assert telemetry.histogram("update").count > 0
+    assert telemetry.counters.get("pool.respawns", 0) == 0
+
+
+def test_traces_survive_worker_respawn(network, workload) -> None:
+    """SIGKILL a worker with batches in flight: the replayed batches
+    re-report spans into the same slots, so every trace is still
+    complete and duplicate-free — and the answers still match the
+    fault-free oracle."""
+    telemetry = Telemetry(max_traces=4096)
+    oracle = run_serial_reference(
+        DijkstraKNN(network), workload.initial_objects, workload.tasks
+    )
+    pool = build_executor(
+        MPRConfig(2, 1, 1), DijkstraKNN(network), workload.initial_objects,
+        mode="process", batch_size=8, health_check_interval=0.02,
+        telemetry=telemetry,
+    )
+    with pool:
+        for task in workload.tasks:
+            pool.submit(task)
+        pool.flush()
+        victim_pid = next(iter(pool.worker_pids().values()))
+        os.kill(victim_pid, signal.SIGKILL)
+        answers = pool.drain()
+        assert pool.metrics.respawns >= 1
+    assert answers == oracle
+    assert telemetry.counters["pool.respawns"] >= 1
+    assert_traces_complete(telemetry, workload.num_queries)

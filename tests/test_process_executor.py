@@ -14,7 +14,7 @@ from repro.graph import grid_network
 from repro.knn import DijkstraKNN, GTreeKNN
 from repro.mpr import (
     MPRConfig,
-    ProcessMPRExecutor,
+    build_executor,
     run_batch_speedup,
     run_serial_reference,
 )
@@ -39,10 +39,11 @@ def test_process_executor_matches_serial(small_grid, workload, config) -> None:
     reference = run_serial_reference(
         prototype, workload.initial_objects, workload.tasks
     )
-    executor = ProcessMPRExecutor(
-        prototype, config, workload.initial_objects
-    )
-    assert executor.run(workload.tasks) == reference
+    with build_executor(
+        config, prototype, workload.initial_objects,
+        mode="process", batch_size=1,
+    ) as executor:
+        assert executor.run(workload.tasks) == reference
 
 
 def test_process_executor_with_indexed_solution(small_grid, workload) -> None:
@@ -50,17 +51,19 @@ def test_process_executor_with_indexed_solution(small_grid, workload) -> None:
     reference = run_serial_reference(
         prototype, workload.initial_objects, workload.tasks
     )
-    executor = ProcessMPRExecutor(
-        prototype, MPRConfig(2, 1, 1), workload.initial_objects
-    )
-    assert executor.run(workload.tasks) == reference
+    with build_executor(
+        MPRConfig(2, 1, 1), prototype, workload.initial_objects,
+        mode="process", batch_size=1,
+    ) as executor:
+        assert executor.run(workload.tasks) == reference
 
 
 def test_empty_stream(small_grid) -> None:
-    executor = ProcessMPRExecutor(
-        DijkstraKNN(small_grid), MPRConfig(1, 1, 1), {1: 0}
-    )
-    assert executor.run([]) == {}
+    with build_executor(
+        MPRConfig(1, 1, 1), DijkstraKNN(small_grid), {1: 0},
+        mode="process", batch_size=1,
+    ) as executor:
+        assert executor.run([]) == {}
 
 
 class TestBatchSpeedup:

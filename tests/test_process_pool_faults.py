@@ -21,8 +21,8 @@ from repro.graph import grid_network
 from repro.knn import DijkstraKNN
 from repro.mpr import (
     MPRConfig,
-    ProcessPoolService,
     WorkerCrash,
+    build_executor,
     run_serial_reference,
 )
 from repro.workload import generate_workload
@@ -69,9 +69,9 @@ def test_sigkill_between_drains_is_invisible(network, workload, oracle) -> None:
     """Kill a quiesced worker; the next dispatch notices and respawns
     it from the replica cell — final answers equal the oracle's."""
     half = len(workload.tasks) // 2
-    pool = ProcessPoolService(
-        DijkstraKNN(network), MPRConfig(2, 1, 1),
-        workload.initial_objects, batch_size=4,
+    pool = build_executor(
+        MPRConfig(2, 1, 1), DijkstraKNN(network),
+        workload.initial_objects, mode="process", batch_size=4,
         health_check_interval=0.02,
     )
     with pool:
@@ -93,9 +93,9 @@ def test_sigkill_with_batches_in_flight_replays(network, workload, oracle) -> No
     """Kill a worker *while its batches are outstanding*: the
     supervisor must replay the unacknowledged suffix and the answers
     must still be identical to the fault-free oracle."""
-    pool = ProcessPoolService(
-        DijkstraKNN(network), MPRConfig(2, 1, 1),
-        workload.initial_objects, batch_size=8,
+    pool = build_executor(
+        MPRConfig(2, 1, 1), DijkstraKNN(network),
+        workload.initial_objects, mode="process", batch_size=8,
         health_check_interval=0.02,
     )
     with pool:
@@ -114,9 +114,9 @@ def test_every_worker_killed_once(network, workload, oracle) -> None:
     """Serially kill *each* worker of a replicated matrix; every cell
     must be reconstructible (y-row replication has no single point of
     failure)."""
-    pool = ProcessPoolService(
-        DijkstraKNN(network), MPRConfig(2, 2, 1),
-        workload.initial_objects, batch_size=4,
+    pool = build_executor(
+        MPRConfig(2, 2, 1), DijkstraKNN(network),
+        workload.initial_objects, mode="process", batch_size=4,
         health_check_interval=0.02,
     )
     chunk = max(1, len(workload.tasks) // 5)
@@ -139,8 +139,9 @@ def test_every_worker_killed_once(network, workload, oracle) -> None:
 def test_close_times_out_on_dead_worker_and_is_idempotent(network) -> None:
     """A worker that cannot ack the stop message (SIGKILLed) must not
     hang close(); a second close() is a no-op."""
-    pool = ProcessPoolService(
-        DijkstraKNN(network), MPRConfig(1, 2, 1), {1: 0}, batch_size=2
+    pool = build_executor(
+        MPRConfig(1, 2, 1), DijkstraKNN(network), {1: 0},
+        mode="process", batch_size=2,
     )
     pool.start()
     victim_pid = next(iter(pool.worker_pids().values()))
@@ -155,12 +156,12 @@ def test_close_times_out_on_dead_worker_and_is_idempotent(network) -> None:
 
 
 def test_close_before_start_and_empty_drain(network) -> None:
-    pool = ProcessPoolService(
-        DijkstraKNN(network), MPRConfig(1, 1, 1), {1: 0}
+    pool = build_executor(
+        MPRConfig(1, 1, 1), DijkstraKNN(network), {1: 0}, mode="process"
     )
     pool.close()  # never started: still safe
-    with ProcessPoolService(
-        DijkstraKNN(network), MPRConfig(1, 1, 1), {1: 0}
+    with build_executor(
+        MPRConfig(1, 1, 1), DijkstraKNN(network), {1: 0}, mode="process"
     ) as fresh:
         assert fresh.drain() == {}
         assert fresh.run([]) == {}
@@ -171,9 +172,9 @@ def test_poison_task_raises_instead_of_respawn_loop(network, workload) -> None:
     it must surface as WorkerCrash, not burn the respawn budget."""
     from repro.objects.tasks import QueryTask
 
-    pool = ProcessPoolService(
-        PoisonableKNN(network), MPRConfig(1, 1, 1),
-        workload.initial_objects, batch_size=1,
+    pool = build_executor(
+        MPRConfig(1, 1, 1), PoisonableKNN(network),
+        workload.initial_objects, mode="process", batch_size=1,
         health_check_interval=0.02,
     )
     with pool:

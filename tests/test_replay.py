@@ -84,7 +84,7 @@ class TestReplay:
 
     def test_runs_through_executor(self, medium_grid) -> None:
         from repro.knn import DijkstraKNN
-        from repro.mpr import MPRConfig, ThreadedMPRExecutor, run_serial_reference
+        from repro.mpr import MPRConfig, build_executor, run_serial_reference
 
         fleet = FleetSpec(num_taxis=12, report_period=(0.3, 0.5))
         workload = replay_fleet(medium_grid, fleet, lambda_q=40.0, duration=1.0, seed=3)
@@ -92,8 +92,8 @@ class TestReplay:
         reference = run_serial_reference(
             prototype, workload.initial_objects, workload.tasks
         )
-        executor = ThreadedMPRExecutor(
-            prototype, MPRConfig(2, 2, 1), workload.initial_objects,
+        executor = build_executor(
+            MPRConfig(2, 2, 1), prototype, workload.initial_objects,
             check_invariants=True,
         )
         answers = executor.run(workload.tasks)

@@ -24,12 +24,12 @@ import pytest
 from repro.graph import (
     RoadNetwork,
     attach_shared_graph,
-    dijkstra_heapq,
     grid_network,
     publish_shared_graph,
 )
+from repro.graph.shortest_path import dijkstra_heapq
 from repro.knn import DijkstraKNN
-from repro.mpr import MPRConfig, ProcessPoolService, run_serial_reference
+from repro.mpr import MPRConfig, build_executor, run_serial_reference
 from repro.workload import generate_workload
 
 
@@ -121,8 +121,9 @@ class TestWorkerPayloadBound:
         solution = DijkstraKNN(network, workload.initial_objects)
         baseline = len(pickle.dumps(solution))
 
-        pool = ProcessPoolService(
-            solution, MPRConfig(1, 1, 1), workload.initial_objects
+        pool = build_executor(
+            MPRConfig(1, 1, 1), solution, workload.initial_objects,
+            mode="process",
         )
         try:
             pool._publish_graph()
@@ -139,9 +140,9 @@ class TestWorkerPayloadBound:
 
     def test_share_graph_false_pickles_by_value(self, network, workload) -> None:
         solution = DijkstraKNN(network, workload.initial_objects)
-        pool = ProcessPoolService(
-            solution, MPRConfig(1, 1, 1), workload.initial_objects,
-            share_graph=False,
+        pool = build_executor(
+            MPRConfig(1, 1, 1), solution, workload.initial_objects,
+            mode="process", share_graph=False,
         )
         try:
             pool._publish_graph  # attribute exists but is never invoked
@@ -160,9 +161,9 @@ class TestWorkerPayloadBound:
 def test_pool_equivalence_with_shared_graph(
     network, workload, oracle, start_method
 ) -> None:
-    with ProcessPoolService(
-        DijkstraKNN(network), MPRConfig(2, 2, 1), workload.initial_objects,
-        batch_size=8, start_method=start_method,
+    with build_executor(
+        MPRConfig(2, 2, 1), DijkstraKNN(network), workload.initial_objects,
+        mode="process", batch_size=8, start_method=start_method,
     ) as pool:
         assert pool._shared_graph is not None  # pool owns the segment
         assert pool.run(workload.tasks) == oracle
@@ -178,9 +179,9 @@ def test_respawned_worker_reattaches_shared_graph(
     again, which must re-attach the shared segment (not re-ship the
     graph) and still produce oracle-identical answers."""
     half = len(workload.tasks) // 2
-    pool = ProcessPoolService(
-        DijkstraKNN(network), MPRConfig(2, 1, 1), workload.initial_objects,
-        batch_size=4, start_method=start_method,
+    pool = build_executor(
+        MPRConfig(2, 1, 1), DijkstraKNN(network), workload.initial_objects,
+        mode="process", batch_size=4, start_method=start_method,
         health_check_interval=0.02,
     )
     with pool:
@@ -207,9 +208,9 @@ def test_borrowed_segment_left_alone(network, workload, oracle) -> None:
     segment and leave its lifecycle to the outer owner."""
     handle = publish_shared_graph(network)
     try:
-        with ProcessPoolService(
-            DijkstraKNN(network), MPRConfig(1, 2, 1),
-            workload.initial_objects, batch_size=8,
+        with build_executor(
+            MPRConfig(1, 2, 1), DijkstraKNN(network),
+            workload.initial_objects, mode="process", batch_size=8,
         ) as pool:
             assert pool._shared_graph is None  # borrowed, not owned
             assert pool.run(workload.tasks) == oracle

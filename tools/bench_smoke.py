@@ -18,8 +18,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.graph import KERNEL_CALLS, dijkstra_heapq, grid_network
-from repro.graph.shortest_path import KERNEL_MIN_NODES, dijkstra
+from repro.graph import grid_network
+from repro.graph.kernels import KERNEL_CALLS
+from repro.graph.shortest_path import KERNEL_MIN_NODES, dijkstra, dijkstra_heapq
 from repro.knn import DijkstraKNN, IERKNN
 
 

@@ -2,8 +2,9 @@
 
 Walks every ``repro`` subpackage, collects the names exported via
 ``__all__``, and emits one markdown section per module with each
-public item's signature and docstring summary.  Re-run after changing
-the public API:
+public item's signature and docstring summary, plus a machine-readable
+snapshot of the surface in ``docs/api_surface.json`` (checked by
+``tools/check_api_surface.py``).  Re-run after changing the public API:
 
     python tools/gen_api_docs.py
 """
@@ -12,6 +13,7 @@ from __future__ import annotations
 
 import importlib
 import inspect
+import json
 import sys
 from pathlib import Path
 
@@ -25,7 +27,9 @@ PACKAGES = [
     "repro.graph.shared",
     "repro.objects",
     "repro.knn",
+    "repro.obs",
     "repro.mpr",
+    "repro.mpr.api",
     "repro.sim",
     "repro.workload",
     "repro.harness",
@@ -82,6 +86,49 @@ workers are down.  A network already published by an outer owner is
 borrowed, not re-published, and its segment is left alone.  The owning
 `SharedGraph` handle unlinks exactly once; a `weakref.finalize` guard
 prevents leaked `/dev/shm` segments if the owner crashes.
+""",
+    ),
+    (
+        "Telemetry and the unified executor API",
+        """\
+`repro.obs` is the per-query observability layer.  A `Telemetry` handle
+collects three things: a fixed-bucket log-scale `LogHistogram` per
+pipeline stage (p50/p95/p99 export), named counters, and up to
+`max_traces` per-query `QueryTrace` span trees.  The canonical stages
+(`TRACE_STAGES`) follow one query through the system: `dispatch`
+(parent-side routing), `queue_wait` (sitting in a w-queue), `execute`
+(the solution's `A.Q` on a worker), `merge` (the a-core's aggregation),
+and `ack` (the result's trip back to the parent).  In the process pool
+the workers stamp `time.monotonic()` timings into their result pipes
+and the parent stitches them — `CLOCK_MONOTONIC` is system-wide, so the
+clocks are directly comparable.  Histogram-only stages (`update`,
+`response`) and counters (`router.*`, `batcher.*`, `pool.respawns`)
+ride along.  Disabled telemetry (the default `NULL_TELEMETRY`) costs
+one branch per call site; `tests/test_telemetry_overhead.py` pins the
+executor's disabled-path overhead against a frozen copy of the
+pre-telemetry hot path.
+
+Executors are constructed through **one entry point**,
+`repro.mpr.api.build_executor(config, solution, objects, ...)` — the
+arrangement first, the substrate chosen by `mode`, telemetry threaded
+through every layer.  All executors share one lifecycle (`start()` /
+`submit()` / `flush()` / `drain()` / `run()` / `close()`, plus the
+context-manager form) and serial-equivalent answers.  `MPRSystem`
+wraps an executor with a default-*enabled* telemetry handle and
+`stats()`/`report()` accessors; `repro.cli stats` is the command-line
+face of the same loop, and `machine_spec_from_telemetry` /
+`profile_from_telemetry` feed measured `(tq, tu, τ)` back into the
+optimizer.  The legacy constructors remain as `DeprecationWarning`
+shims:
+
+| Before (deprecated) | After |
+| --- | --- |
+| `ThreadedMPRExecutor(solution, config, objects, check_invariants=True)` | `build_executor(config, solution, objects, check_invariants=True)` |
+| `ProcessPoolService(solution, config, objects, batch_size=8)` | `build_executor(config, solution, objects, mode="process", batch_size=8)` |
+| `ProcessMPRExecutor(solution, config, objects, start_method="fork")` | `build_executor(config, solution, objects, mode="process", batch_size=1, start_method="fork")` |
+
+Note the argument-order flip: the legacy constructors took the solution
+first; `build_executor` takes the `MPRConfig` first.
 """,
     ),
 ]
@@ -146,6 +193,18 @@ def describe_module(module_name: str) -> list[str]:
     return lines
 
 
+def collect_surface() -> dict[str, list[str]]:
+    """The public surface: module -> sorted exported names."""
+    surface: dict[str, list[str]] = {}
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            exported = [n for n in dir(module) if not n.startswith("_")]
+        surface[package] = sorted(exported)
+    return surface
+
+
 def main() -> None:
     lines = [
         "# API reference",
@@ -161,6 +220,10 @@ def main() -> None:
     out.parent.mkdir(exist_ok=True)
     out.write_text("\n".join(lines) + "\n")
     print(f"wrote {out} ({len(lines)} lines)")
+
+    surface_out = ROOT / "docs" / "api_surface.json"
+    surface_out.write_text(json.dumps(collect_surface(), indent=2) + "\n")
+    print(f"wrote {surface_out}")
 
 
 if __name__ == "__main__":
