@@ -1,0 +1,106 @@
+"""Batched vs per-query kNN kernel throughput on the 102k-node grid.
+
+The acceptance bar for the batched execution path
+(:meth:`repro.graph.kernels.CSRKernels.knn_batch` via
+``DijkstraKNN.query_batch``): at batch size >= 32 on the >=100k-node
+network, batched execution must deliver at least 2x the throughput of
+the per-query kernel path, with answers identical query for query.
+The sweep varies the batch size and the object density — sparse
+objects force deep expansions where the shared sweep amortizes most;
+dense objects terminate within a few buckets and bound the win.
+Results land in ``benchmarks/results/batch_knn.{json,txt}``.
+"""
+
+import json
+import random
+import time
+
+from common import RESULTS_DIR, publish
+
+from repro.graph import grid_network
+from repro.harness import format_table
+from repro.knn import DijkstraKNN
+
+NETWORK = grid_network(
+    320, 320, seed=11, diagonal_fraction=0.1, name="batch-sweep-100k"
+)
+RNG = random.Random(5)
+NUM_QUERIES = 64
+K = 10
+BATCH_SIZES = [8, 32, 64]
+OBJECT_COUNTS = [200, 1000]
+#: The acceptance workload: m = 1000 (the paper-scale object density
+#: where both paths terminate early), batch >= 32.
+REQUIRED_SPEEDUP = 2.0
+
+
+def test_batch_vs_per_query_sweep(benchmark) -> None:
+    queries = [RNG.randrange(NETWORK.num_nodes) for _ in range(NUM_QUERIES)]
+
+    def run():
+        rows = []
+        for num_objects in OBJECT_COUNTS:
+            objects = {
+                i: RNG.randrange(NETWORK.num_nodes)
+                for i in range(num_objects)
+            }
+            solution = DijkstraKNN(NETWORK, dict(objects))
+            solution.query(queries[0], K)  # warm the kernel buffers
+
+            start = time.perf_counter()
+            reference = [solution.query(q, K) for q in queries]
+            per_query_s = time.perf_counter() - start
+
+            for batch_size in BATCH_SIZES:
+                start = time.perf_counter()
+                answers = []
+                for offset in range(0, NUM_QUERIES, batch_size):
+                    chunk = queries[offset:offset + batch_size]
+                    answers.extend(
+                        solution.query_batch(chunk, [K] * len(chunk))
+                    )
+                batched_s = time.perf_counter() - start
+                assert answers == reference  # bit-identical, ties included
+                rows.append({
+                    "num_objects": num_objects,
+                    "batch_size": batch_size,
+                    "per_query_ms": per_query_s * 1e3,
+                    "batched_ms": batched_s * 1e3,
+                    "speedup": per_query_s / batched_s,
+                })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["m", "batch", "per-query (ms)", "batched (ms)", "speedup"],
+        [
+            [
+                str(row["num_objects"]),
+                str(row["batch_size"]),
+                f"{row['per_query_ms']:.1f}",
+                f"{row['batched_ms']:.1f}",
+                f"{row['speedup']:.2f}x",
+            ]
+            for row in rows
+        ],
+    )
+    publish(
+        "batch_knn",
+        f"{NETWORK.num_nodes} nodes, {NUM_QUERIES} queries, k={K}\n"
+        + table,
+    )
+    (RESULTS_DIR / "batch_knn.json").write_text(
+        json.dumps(rows, indent=2) + "\n"
+    )
+
+    acceptance = [
+        row for row in rows
+        if row["num_objects"] == 1000 and row["batch_size"] >= 32
+    ]
+    assert acceptance, "acceptance workload missing from sweep"
+    for row in acceptance:
+        assert row["speedup"] >= REQUIRED_SPEEDUP, (
+            f"batch={row['batch_size']} m={row['num_objects']}: "
+            f"{row['speedup']:.2f}x < {REQUIRED_SPEEDUP}x"
+        )

@@ -134,6 +134,10 @@ class CSRKernels:
         self._dist = np.full(self._num_nodes, np.inf, dtype=np.float64)
         self._owner = None  # allocated on first multi-source call
         self._touched: np.ndarray | None = _EMPTY_I8
+        # Batch-query buffer: one distance row per grouped source over
+        # the flattened (row, node) product space; grown on demand.
+        self._batch_dist: np.ndarray | None = None
+        self._batch_touched: np.ndarray | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -209,6 +213,71 @@ class CSRKernels:
         )
         mask = object_counts[nodes] > 0
         return nodes[mask], dists[mask]
+
+    def knn_batch(
+        self,
+        sources: Sequence[int],
+        ks: Sequence[int],
+        object_counts: np.ndarray,
+        *,
+        group_size: int = 16,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Answer many top-k queries via shared multi-source sweeps.
+
+        The batch counterpart of :meth:`topk_objects`: ``sources[i]``
+        and ``ks[i]`` describe one query, and the return value is one
+        ``(nodes, dists)`` pair per query, aligned with the input.
+        Each pair has the same contract as :meth:`topk_objects` — the
+        settled object-bearing nodes, a superset of the true top-k
+        containing every object at distance <= the k-th distance, with
+        distances bit-identical to the per-query kernel — so canonical
+        ``(distance, object_id)`` sorting downstream reproduces the
+        per-query answers exactly.
+
+        Execution: duplicate sources collapse to one search (served
+        with the largest requested ``k``); the distinct sources are
+        sorted (node-id order is the locality proxy on our generated
+        networks) and chunked into groups of up to ``group_size``.
+        One group runs as a *single* delta-stepping sweep over the
+        flattened ``(row, node)`` product space — every bucket relaxes
+        the concatenated frontiers of all group members in the same
+        handful of numpy operations, amortizing the per-window
+        interpreter cost that dominates small per-query searches.
+        Each row keeps its own early-termination bound, so a finished
+        member stops contributing frontier work while its neighbours
+        keep expanding.
+
+        Queries sharing a source may receive the *same* array objects;
+        treat results as read-only.
+        """
+        KERNEL_CALLS["knn_batch"] += 1
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        src = np.asarray(sources, dtype=np.int64)
+        kreq = np.asarray(ks, dtype=np.int64)
+        if src.shape != kreq.shape or src.ndim != 1:
+            raise ValueError("sources and ks must be 1-D and equal length")
+        if src.size == 0:
+            return []
+        if src.size and (src.min() < 0 or src.max() >= self._num_nodes):
+            raise IndexError(
+                f"source out of range for graph with {self._num_nodes} nodes"
+            )
+        unique, inverse = np.unique(src, return_inverse=True)
+        kmax = np.zeros(unique.shape, dtype=np.int64)
+        np.maximum.at(kmax, inverse, kreq)
+        per_unique: list[tuple[np.ndarray, np.ndarray]] = [
+            (_EMPTY_I8, _EMPTY_F8)
+        ] * len(unique)
+        wanted = np.nonzero(kmax > 0)[0]
+        for start in range(0, len(wanted), group_size):
+            chunk = wanted[start:start + group_size]
+            answers = self._batch_topk(
+                unique[chunk], kmax[chunk], object_counts
+            )
+            for position, unique_index in enumerate(chunk.tolist()):
+                per_unique[unique_index] = answers[position]
+        return [per_unique[index] for index in inverse.tolist()]
 
     def expander(self, source: int) -> "IncrementalSSSP":
         """An incremental single-source search (IER's verification tool)."""
@@ -323,7 +392,8 @@ class CSRKernels:
                     )
             if not active_parts[0].size and len(active_parts) == 1:
                 break
-        # Duplicates are harmless in the reset scatter; skip dedup.\n        self._touched = np.concatenate(touched_parts)
+        # Duplicates are harmless in the reset scatter; skip dedup.
+        self._touched = np.concatenate(touched_parts)
         if settled_parts:
             nodes = np.concatenate(settled_parts)
             return nodes, dist[nodes].copy(), bound
@@ -366,6 +436,179 @@ class CSRKernels:
         if owner_changed.size == 0:
             return changed
         return _dedup(np.concatenate([changed, owner_changed]))
+
+    # ------------------------------------------------------------------
+    # Batched multi-query search (shared sweep over a source group)
+    # ------------------------------------------------------------------
+    def _batch_reset(self, size: int) -> np.ndarray:
+        """A clean flat distance buffer of at least ``size`` entries."""
+        dist = self._batch_dist
+        if dist is None or len(dist) < size:
+            dist = self._batch_dist = np.full(size, np.inf, dtype=np.float64)
+            self._batch_touched = None
+            return dist
+        touched = self._batch_touched
+        if touched is None or len(touched) * 8 > len(dist):
+            dist.fill(np.inf)
+        else:
+            dist[touched] = np.inf
+        self._batch_touched = None
+        return dist
+
+    def _batch_topk(
+        self,
+        sources: np.ndarray,
+        ks: np.ndarray,
+        object_counts: np.ndarray,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """One shared sweep answering ``len(sources)`` top-k queries.
+
+        Runs the bucket loop of :meth:`_search` over the flattened
+        ``(row, node)`` product space — row ``r`` owns flat ids
+        ``[r*n, (r+1)*n)`` and evolves exactly like an independent
+        :meth:`topk_objects` search, except that all rows share each
+        window's vectorized relaxation.  Windows are aligned to the
+        *global* minimum tentative distance, so a row may settle a few
+        more nodes than its solo run would have; settled distances are
+        bit-identical regardless (the window fixpoint argument is
+        per-row), which is all the top-k contract needs.
+        """
+        n = self._num_nodes
+        rows = len(sources)
+        dist = self._batch_reset(rows * n)
+        flat_src = np.arange(rows, dtype=np.int64) * n + sources
+        dist[flat_src] = 0.0
+        delta = self._delta
+        active_parts = [flat_src]
+        touched_parts = [flat_src]
+        found = np.zeros(rows, dtype=np.int64)
+        kth_bound = np.full(rows, np.inf, dtype=np.float64)
+        done = ks <= 0
+        #: Per row: settled object-bearing local node ids (duplicate-free
+        #: — a node settles in exactly one window).
+        row_objects: list[list[np.ndarray]] = [[] for _ in range(rows)]
+        row_dirty = np.zeros(rows, dtype=bool)
+        bound = 0.0
+        while active_parts:
+            active = (
+                active_parts[0]
+                if len(active_parts) == 1
+                else _dedup(np.concatenate(active_parts))
+            )
+            active_dist = dist[active]
+            live = active_dist >= bound
+            active, active_dist = active[live], active_dist[live]
+            if active.size and done.any():
+                keep = ~done[active // n]
+                active, active_dist = active[keep], active_dist[keep]
+            if active.size == 0:
+                break
+            # Per-row early termination, the batched analogue of the
+            # solo kernel's `pivot > kth_bound` break: a row is finished
+            # once its own minimum tentative distance clears its k-th
+            # candidate distance.
+            ready = found >= ks
+            if ready.any():
+                row_min = np.full(rows, np.inf, dtype=np.float64)
+                np.minimum.at(row_min, active // n, active_dist)
+                finished = ready & ~done & (row_min > kth_bound)
+                if finished.any():
+                    done |= finished
+                    if done.all():
+                        break
+                    keep = ~done[active // n]
+                    active, active_dist = active[keep], active_dist[keep]
+                    if active.size == 0:
+                        break
+            pivot = float(active_dist.min())
+            high = pivot + delta
+            in_window = active_dist < high
+            frontier = active[in_window]
+            active_parts = [active[~in_window]]
+            window_parts = [frontier]
+            while frontier.size:
+                changed = self._relax_flat(frontier, dist)
+                if changed.size == 0:
+                    break
+                touched_parts.append(changed)
+                inside = dist[changed] < high
+                frontier = changed[inside]
+                if frontier.size:
+                    window_parts.append(frontier)
+                spill = changed[~inside]
+                if spill.size:
+                    active_parts.append(spill)
+            window = (
+                window_parts[0]
+                if len(window_parts) == 1
+                else _dedup(np.concatenate(window_parts))
+            )
+            bound = high
+            if window.size:
+                window_rows = window // n
+                window_nodes = window - window_rows * n
+                window_counts = object_counts[window_nodes]
+                bearing = window_counts > 0
+                if bearing.any():
+                    bearing_rows = window_rows[bearing]
+                    np.add.at(found, bearing_rows, window_counts[bearing])
+                    bearing_nodes = window_nodes[bearing]
+                    for row in _dedup(bearing_rows).tolist():
+                        row_objects[row].append(
+                            bearing_nodes[bearing_rows == row]
+                        )
+                        row_dirty[row] = True
+                    refresh = np.nonzero(row_dirty & (found >= ks) & ~done)[0]
+                    for row in refresh.tolist():
+                        parts = row_objects[row]
+                        nodes = (
+                            parts[0] if len(parts) == 1
+                            else np.concatenate(parts)
+                        )
+                        row_objects[row] = [nodes]
+                        dists = dist[row * n + nodes]
+                        order = np.argsort(dists, kind="stable")
+                        cumulative = np.cumsum(object_counts[nodes][order])
+                        position = int(np.searchsorted(cumulative, ks[row]))
+                        kth_bound[row] = float(dists[order][position])
+                        row_dirty[row] = False
+            if not active_parts[0].size and len(active_parts) == 1:
+                break
+        self._batch_touched = np.concatenate(touched_parts)
+        results: list[tuple[np.ndarray, np.ndarray]] = []
+        for row in range(rows):
+            parts = row_objects[row]
+            if not parts:
+                results.append((_EMPTY_I8, _EMPTY_F8))
+                continue
+            nodes = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            results.append((nodes, dist[row * n + nodes].copy()))
+        return results
+
+    def _relax_flat(self, frontier: np.ndarray, dist: np.ndarray) -> np.ndarray:
+        """:meth:`_relax` over the flattened ``(row, node)`` space.
+
+        ``frontier`` holds flat ids ``row*n + node``; edges come from
+        the node part while candidates stay inside the row's slice, so
+        one scatter-min relaxes every group member's frontier at once.
+        """
+        indptr, indices, weights = self._indptr, self._indices, self._weights
+        n = self._num_nodes
+        nodes = frontier % n
+        starts = indptr[nodes]
+        counts = indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return _EMPTY_I8
+        cum = np.cumsum(counts)
+        edge_ids = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - (cum - counts), counts
+        )
+        targets = indices[edge_ids] + np.repeat(frontier - nodes, counts)
+        cand = np.repeat(dist[frontier], counts) + weights[edge_ids]
+        before = dist[targets]
+        np.minimum.at(dist, targets, cand)
+        return _dedup(targets[dist[targets] < before])
 
     @staticmethod
     def _kth_distance(

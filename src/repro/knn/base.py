@@ -100,6 +100,28 @@ class KNNSolution(ABC):
     def object_locations(self) -> dict[int, int]:
         """Current ``object -> node`` contents (diagnostics and tests)."""
 
+    # -- batched queries ------------------------------------------------
+    def query_batch(
+        self, locations: Sequence[int], ks: Sequence[int]
+    ) -> list[list[Neighbor]]:
+        """Answer many queries at once; results align with the inputs.
+
+        Semantically exactly ``[self.query(l, k) for l, k in zip(...)]``
+        — the batch sees one consistent object snapshot (queries never
+        mutate state, so batching any run of consecutive queries is
+        equivalence-preserving), answers are canonical, and result
+        ``i`` belongs to ``locations[i]`` regardless of any internal
+        reordering.  This default *is* that loop; solutions with a
+        vectorized substrate override it to answer the whole batch in
+        shared kernel sweeps (see :class:`~repro.knn.dijkstra_knn.
+        DijkstraKNN` and :class:`~repro.knn.ier.IERKNN`), which the
+        executors exploit by handing workers whole query runs.
+        """
+        return [
+            self.query(location, k)
+            for location, k in zip(locations, ks, strict=True)
+        ]
+
     # -- paper-style aliases --------------------------------------------
     def Q(self, l: int, k: int) -> list[Neighbor]:  # noqa: N802 - paper naming
         return self.query(l, k)

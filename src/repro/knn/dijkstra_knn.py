@@ -64,6 +64,30 @@ class DijkstraKNN(KNNSolution):
         found.sort()
         return found[:k]
 
+    def query_batch(self, locations, ks) -> list[list[Neighbor]]:
+        locations = list(locations)
+        ks = list(ks)
+        if len(locations) != len(ks):
+            raise ValueError("locations and ks must have equal length")
+        if not locations:
+            return []
+        batched = self._network.kernels.knn_batch(
+            locations, ks, self._object_counts()
+        )
+        answers: list[list[Neighbor]] = []
+        for k, (nodes, dists) in zip(ks, batched):
+            if k <= 0:
+                answers.append([])
+                continue
+            found = [
+                Neighbor(distance, object_id)
+                for node, distance in zip(nodes.tolist(), dists.tolist())
+                for object_id in self._objects.objects_at(node)
+            ]
+            found.sort()
+            answers.append(found[:k])
+        return answers
+
     def insert(self, object_id: int, location: int) -> None:
         self._objects.insert(object_id, location)
         if self._counts is not None:

@@ -19,6 +19,8 @@ import math
 from heapq import heappop, heappush
 from typing import Mapping
 
+import numpy as np
+
 from ..graph.road_network import RoadNetwork
 from .base import KNNSolution, Neighbor, canonical_knn
 
@@ -118,6 +120,9 @@ class IERKNN(KNNSolution):
             cell_size = self._default_cell_size(network)
         self._grid = _GridIndex(network, cell_size)
         self._location: dict[int, int] = {}
+        # Per-node object counts for the batch kernel; derived data,
+        # built lazily on the first query_batch and kept incremental.
+        self._counts: np.ndarray | None = None
         if objects:
             for object_id, node in objects.items():
                 self.insert(object_id, node)
@@ -157,20 +162,73 @@ class IERKNN(KNNSolution):
                 kth = sorted(exact.values())[k - 1]
         return canonical_knn(exact, k)
 
+    def query_batch(self, locations, ks) -> list[list[Neighbor]]:
+        """Batch queries via the shared top-k kernel sweep.
+
+        IER's per-query strength is the Euclidean early exit; for whole
+        batches the shared delta-stepping sweep amortizes better, and
+        both are exact — distances come from the same kernel relaxation
+        either way, so answers are identical to the per-query path.
+        """
+        locations = list(locations)
+        ks = list(ks)
+        if len(locations) != len(ks):
+            raise ValueError("locations and ks must have equal length")
+        if not locations:
+            return []
+        batched = self._network.kernels.knn_batch(
+            locations, ks, self._object_counts()
+        )
+        at_node: dict[int, list[int]] = {}
+        for object_id, node in self._location.items():
+            at_node.setdefault(node, []).append(object_id)
+        answers: list[list[Neighbor]] = []
+        for k, (nodes, dists) in zip(ks, batched):
+            if k <= 0:
+                answers.append([])
+                continue
+            found = [
+                Neighbor(distance, object_id)
+                for node, distance in zip(nodes.tolist(), dists.tolist())
+                for object_id in at_node.get(node, ())
+            ]
+            found.sort()
+            answers.append(found[:k])
+        return answers
+
+    def _object_counts(self) -> np.ndarray:
+        if self._counts is None:
+            counts = np.zeros(self._network.num_nodes, dtype=np.int32)
+            for node in self._location.values():
+                counts[node] += 1
+            self._counts = counts
+        return self._counts
+
     def insert(self, object_id: int, location: int) -> None:
         if object_id in self._location:
             raise KeyError(f"object {object_id} already present")
         self._location[object_id] = location
         self._grid.add(object_id, location)
+        if self._counts is not None:
+            self._counts[location] += 1
 
     def delete(self, object_id: int) -> None:
         if object_id not in self._location:
             raise KeyError(f"object {object_id} not present")
         self._grid.remove(object_id)
-        del self._location[object_id]
+        node = self._location.pop(object_id)
+        if self._counts is not None:
+            self._counts[node] -= 1
 
     def spawn(self, objects: Mapping[int, int]) -> "IERKNN":
         return IERKNN(self._network, objects, cell_size=self._grid._cell_size)
 
     def object_locations(self) -> dict[int, int]:
         return dict(self._location)
+
+    # Pickling: the counts vector is derived data (4 bytes/node); drop
+    # it so spawned workers ship only the grid + the graph token.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_counts"] = None
+        return state

@@ -45,6 +45,12 @@ from .core_matrix import (
     encode_op,
 )
 from .autotune import JointChoice, joint_tune
+from .batching import (
+    DEFAULT_BATCH_CANDIDATES,
+    BatchSizeController,
+    modeled_batch_rq,
+    recommend_batch_size,
+)
 from .balancing import (
     balance_by_update_rate,
     column_loads,
@@ -122,6 +128,10 @@ __all__ = [
     "run_batch_speedup",
     "JointChoice",
     "joint_tune",
+    "DEFAULT_BATCH_CANDIDATES",
+    "BatchSizeController",
+    "modeled_batch_rq",
+    "recommend_batch_size",
     "balance_by_update_rate",
     "column_loads",
     "hashed_columns",

@@ -175,6 +175,22 @@ class MPRSystem:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def retune_batch_size(self, arrival_rate: float) -> int:
+        """Adapt the pool's dispatch batch size to measured timings.
+
+        Process mode only (the threaded path dispatches unbuffered):
+        delegates to :meth:`ProcessPoolService.retune_batch_size
+        <repro.mpr.process_executor.ProcessPoolService.retune_batch_size>`
+        with this system's always-on telemetry, closing the
+        measure → model → retune loop in one call.
+        """
+        retune = getattr(self.executor, "retune_batch_size", None)
+        if retune is None:
+            raise ValueError(
+                f"executor mode {self.mode!r} has no batch size to tune"
+            )
+        return retune(arrival_rate)
+
     def stats(self) -> dict[str, Any]:
         """JSON-ready telemetry snapshot (stages, counters, traces)."""
         return self.telemetry.summary()

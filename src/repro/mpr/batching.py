@@ -1,0 +1,188 @@
+"""Adaptive batch sizing from measured per-stage timings.
+
+The pool's ``batch_size`` trades two costs the paper's Section IV-C
+model already names: a *larger* batch amortizes the per-message
+dispatch overhead (the τ' round-trip, magnified ~1000× by
+``multiprocessing``) over more ops, while a *smaller* batch fills
+faster — under a Poisson-ish arrival stream a query waits on average
+``(b - 1) / (2 λ)`` seconds for its batch's remaining arrivals before
+anything is even sent.  The modeled per-query response contribution is
+
+    Rq(b) = (b - 1) / (2 λ)            batch-fill wait
+          + queue_write_time           routing + enqueue per task (τ')
+          + dispatch_time / b          per-message transit, amortized
+          + execute_seconds            service time (b-independent)
+          + fanout * merge_time        one merge per partial (x partials)
+
+with every stage constant taken from a measured
+:class:`~repro.mpr.analysis.MachineSpec` — in practice calibrated live
+via :func:`repro.sim.measurement.machine_spec_from_telemetry` from the
+very telemetry the executor records while serving.  Minimizing this
+over a candidate grid closes the loop: measure → model → retune
+(:meth:`ProcessPoolService.retune_batch_size
+<repro.mpr.process_executor.ProcessPoolService.retune_batch_size>`).
+
+:class:`BatchSizeController` adds hysteresis so a running system does
+not thrash between adjacent batch sizes whose modeled costs differ by
+noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .analysis import MachineSpec
+
+__all__ = [
+    "DEFAULT_BATCH_CANDIDATES",
+    "BatchSizeController",
+    "modeled_batch_rq",
+    "recommend_batch_size",
+]
+
+#: Power-of-two grid the recommender searches; 1 = per-task dispatch.
+DEFAULT_BATCH_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def modeled_batch_rq(
+    batch_size: int,
+    arrival_rate: float,
+    machine: MachineSpec,
+    *,
+    execute_seconds: float = 0.0,
+    fanout: int = 1,
+) -> float:
+    """Modeled per-query response contribution at one batch size.
+
+    ``arrival_rate`` is the per-worker task arrival rate λ (tasks per
+    second).  A non-positive λ means the stream never fills a batch on
+    its own, so every ``batch_size > 1`` models as ``inf`` — only
+    per-task dispatch (b = 1) avoids waiting forever on arrivals that
+    are not coming.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if batch_size > 1:
+        if arrival_rate <= 0:
+            return math.inf
+        fill_wait = (batch_size - 1) / (2.0 * arrival_rate)
+    else:
+        fill_wait = 0.0
+    return (
+        fill_wait
+        + machine.queue_write_time
+        + machine.dispatch_time / batch_size
+        + execute_seconds
+        + fanout * machine.merge_time
+    )
+
+
+def recommend_batch_size(
+    telemetry,
+    arrival_rate: float,
+    *,
+    total_cores: int = 19,
+    candidates: tuple[int, ...] = DEFAULT_BATCH_CANDIDATES,
+    fanout: int = 1,
+) -> int:
+    """The candidate batch size minimizing modeled Rq for a telemetry.
+
+    Calibrates a :class:`~repro.mpr.analysis.MachineSpec` from the
+    handle's recorded stage histograms
+    (:func:`repro.sim.measurement.machine_spec_from_telemetry`), takes
+    the mean of the ``execute`` stage as the service time (0 if never
+    recorded), and evaluates :func:`modeled_batch_rq` over
+    ``candidates``.  Ties break toward the smaller batch (lower
+    latency variance for equal modeled mean).
+    """
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    from ..sim.measurement import machine_spec_from_telemetry
+
+    machine = machine_spec_from_telemetry(telemetry, total_cores=total_cores)
+    histogram = telemetry.histogram("execute")
+    execute = (
+        histogram.mean if histogram is not None and histogram.count else 0.0
+    )
+    best_size, best_rq = None, math.inf
+    for size in sorted(candidates):
+        rq = modeled_batch_rq(
+            size, arrival_rate, machine,
+            execute_seconds=execute, fanout=fanout,
+        )
+        if rq < best_rq:
+            best_size, best_rq = size, rq
+    assert best_size is not None  # candidates non-empty, rq finite at b=1
+    return best_size
+
+
+@dataclass
+class BatchSizeController:
+    """Hysteretic wrapper around :func:`recommend_batch_size`.
+
+    A recommendation replaces the current batch size only when its
+    modeled Rq improves on the current size's by more than
+    ``improvement_threshold`` (relative) — re-batching is cheap but a
+    system retuned every drain on histogram noise would oscillate
+    between adjacent powers of two.
+
+    >>> controller = BatchSizeController(current=16)
+    >>> controller.propose(telemetry, arrival_rate=500.0)  # doctest: +SKIP
+    64
+    """
+
+    current: int = 16
+    improvement_threshold: float = 0.1
+    total_cores: int = 19
+    candidates: tuple[int, ...] = DEFAULT_BATCH_CANDIDATES
+    #: (arrival_rate, current, candidate, accepted) per propose() call.
+    history: list[tuple[float, int, int, bool]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.current < 1:
+            raise ValueError(f"current must be >= 1, got {self.current}")
+        if self.improvement_threshold < 0:
+            raise ValueError("improvement_threshold must be >= 0")
+
+    def propose(
+        self, telemetry, arrival_rate: float, *, fanout: int = 1
+    ) -> int:
+        """The batch size to use now (new recommendation or current)."""
+        candidate = recommend_batch_size(
+            telemetry, arrival_rate,
+            total_cores=self.total_cores,
+            candidates=self.candidates,
+            fanout=fanout,
+        )
+        accepted = False
+        if candidate != self.current:
+            from ..sim.measurement import machine_spec_from_telemetry
+
+            machine = machine_spec_from_telemetry(
+                telemetry, total_cores=self.total_cores
+            )
+            histogram = telemetry.histogram("execute")
+            execute = (
+                histogram.mean
+                if histogram is not None and histogram.count else 0.0
+            )
+            now = modeled_batch_rq(
+                self.current, arrival_rate, machine,
+                execute_seconds=execute, fanout=fanout,
+            )
+            new = modeled_batch_rq(
+                candidate, arrival_rate, machine,
+                execute_seconds=execute, fanout=fanout,
+            )
+            if new < now * (1.0 - self.improvement_threshold) or (
+                math.isinf(now) and new < now
+            ):
+                self.current = candidate
+                accepted = True
+        self.history.append(
+            (arrival_rate, self.current, candidate, accepted)
+        )
+        return self.current

@@ -207,9 +207,20 @@ class RouteBatcher:
     The batcher accumulates each worker's consecutive ops and releases
     them as one message of up to ``batch_size`` ops, preserving the
     per-worker FCFS order the serial-equivalence argument rests on
-    (ops within a batch stay in arrival order; batches are released in
+    (updates keep their arrival position; batches are released in
     order).  Latency-sensitive callers use :meth:`flush` to release
     partial batches immediately.
+
+    With ``locality_group`` (the default), each *maximal run of
+    consecutive queries* in a released batch is sorted by ``(location,
+    query_id)``.  Queries never mutate worker state, so reordering a
+    query run is equivalence-preserving — answers are keyed by query id
+    and re-associated by the parent — while nearby sources land
+    adjacent, which is exactly the grouping the batched kNN kernel
+    (:meth:`repro.graph.kernels.CSRKernels.knn_batch`) exploits:
+    duplicate and near sources share one delta-stepping sweep.
+    Updates are barriers for the reorder; their relative order, and
+    their order relative to the queries around them, never changes.
     """
 
     def __init__(
@@ -218,12 +229,14 @@ class RouteBatcher:
         batch_size: int,
         *,
         telemetry: Telemetry | None = None,
+        locality_group: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._router = router
         self._batch_size = batch_size
         self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._locality_group = locality_group
         self._pending: dict[WorkerId, list[WorkerOp]] = {
             worker: [] for worker in router.all_workers()
         }
@@ -232,10 +245,43 @@ class RouteBatcher:
     def batch_size(self) -> int:
         return self._batch_size
 
+    def set_batch_size(self, batch_size: int) -> None:
+        """Retarget the release threshold (takes effect immediately).
+
+        Shrinking below a worker's current backlog does not release it
+        — the next :meth:`add` to that worker or :meth:`flush` does.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._batch_size = batch_size
+
     @property
     def pending_ops(self) -> int:
         """Ops routed but not yet released in a batch."""
         return sum(len(ops) for ops in self._pending.values())
+
+    def _release(self, pending: list[WorkerOp]) -> tuple[WorkerOp, ...]:
+        """Seal one batch, locality-sorting each consecutive query run."""
+        if self._locality_group and len(pending) > 1:
+            index = 0
+            total = len(pending)
+            while index < total:
+                if pending[index][0] != "query":
+                    index += 1
+                    continue
+                end = index + 1
+                while end < total and pending[end][0] == "query":
+                    end += 1
+                if end - index > 1:
+                    # op = ("query", query_id, location, k): sort the
+                    # run by (location, query_id) for kernel locality.
+                    pending[index:end] = sorted(
+                        pending[index:end], key=lambda op: (op[2], op[1])
+                    )
+                index = end
+        batch = tuple(pending)
+        pending.clear()
+        return batch
 
     def add(
         self, task: Task
@@ -248,8 +294,7 @@ class RouteBatcher:
             pending = self._pending[worker_id]
             pending.append(op)
             if len(pending) >= self._batch_size:
-                ready.append((worker_id, tuple(pending)))
-                pending.clear()
+                ready.append((worker_id, self._release(pending)))
         if ready and self._telemetry.enabled:
             self._telemetry.count("batcher.full_batches", len(ready))
         return route, ready
@@ -260,8 +305,7 @@ class RouteBatcher:
         for worker_id in sorted(self._pending):
             pending = self._pending[worker_id]
             if pending:
-                ready.append((worker_id, tuple(pending)))
-                pending.clear()
+                ready.append((worker_id, self._release(pending)))
         if ready and self._telemetry.enabled:
             self._telemetry.count("batcher.partial_batches", len(ready))
         return ready

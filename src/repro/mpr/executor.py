@@ -157,6 +157,14 @@ class _Worker:
         self.tasks: "queue.Queue[object]" = queue.Queue()
         self._results = results
         self._telemetry = telemetry
+        # Batch query runs only for solutions that override the default
+        # query_batch loop: the fallback *is* the per-query loop, so
+        # run collection would add queue probes and list building for
+        # zero kernel sharing (and the disabled-telemetry path is
+        # pinned to seed cost by test_telemetry_overhead.py).
+        self._batchable = (
+            type(solution).query_batch is not KNNSolution.query_batch
+        )
         self.thread = threading.Thread(
             target=self._loop, name=f"w-core-{worker_id}", daemon=True
         )
@@ -166,9 +174,27 @@ class _Worker:
         self.thread.start()
 
     def _loop(self) -> None:
+        """Drain the FCFS queue, batching runs of consecutive queries.
+
+        Each blocking ``get()`` is followed by an opportunistic
+        non-blocking drain: every immediately-available consecutive
+        query joins the current run, which executes as one
+        ``query_batch`` call — under load a worker answers its whole
+        backlog in a handful of kernel sweeps instead of one search per
+        op.  A non-query op ends the run (it is carried over and
+        handled next), so the per-worker serial order updates rely on
+        is untouched; queries never mutate state, so grouping a run of
+        them is equivalence-preserving.
+        """
         telemetry = self._telemetry
+        tasks = self.tasks
+        batchable = self._batchable
+        carry: object = None
         while True:
-            op = self.tasks.get()
+            if carry is not None:
+                op, carry = carry, None
+            else:
+                op = tasks.get()
             if op is _SENTINEL:
                 return
             if type(op) is _Barrier:
@@ -177,9 +203,25 @@ class _Worker:
             if self.error is not None:
                 continue  # drain without executing after a failure
             try:
-                if telemetry.enabled:
-                    dequeued = time.monotonic()
-                    if isinstance(op, _QueryOp):
+                if isinstance(op, _QueryOp):
+                    if batchable:
+                        run = [op]
+                        # The empty() pre-check keeps the unloaded hot
+                        # path at one cheap lock probe instead of a
+                        # raised queue.Empty per op.
+                        while not tasks.empty():
+                            try:
+                                upcoming = tasks.get_nowait()
+                            except queue.Empty:
+                                break
+                            if isinstance(upcoming, _QueryOp):
+                                run.append(upcoming)
+                            else:
+                                carry = upcoming
+                                break
+                        self._execute_queries(run)
+                    elif telemetry.enabled:
+                        dequeued = time.monotonic()
                         started = time.monotonic()
                         partial = self.solution.query(op.location, op.k)
                         finished = time.monotonic()
@@ -188,27 +230,81 @@ class _Worker:
                             (op.enqueued, dequeued, started, finished),
                         ))
                     else:
-                        started = time.monotonic()
-                        if isinstance(op, _InsertOp):
-                            self.solution.insert(op.object_id, op.location)
-                        else:
-                            self.solution.delete(op.object_id)
-                        finished = time.monotonic()
+                        partial = self.solution.query(op.location, op.k)
                         self._results.put((
-                            "update", self.worker_id,
-                            (op.enqueued, dequeued, started, finished),
+                            "partial", op.query_id, self.worker_id,
+                            partial, None,
                         ))
-                elif isinstance(op, _QueryOp):
-                    partial = self.solution.query(op.location, op.k)
-                    self._results.put(
-                        ("partial", op.query_id, self.worker_id, partial, None)
-                    )
+                elif telemetry.enabled:
+                    dequeued = time.monotonic()
+                    started = time.monotonic()
+                    if isinstance(op, _InsertOp):
+                        self.solution.insert(op.object_id, op.location)
+                    else:
+                        self.solution.delete(op.object_id)
+                    finished = time.monotonic()
+                    self._results.put((
+                        "update", self.worker_id,
+                        (op.enqueued, dequeued, started, finished),
+                    ))
                 elif isinstance(op, _InsertOp):
                     self.solution.insert(op.object_id, op.location)
                 else:
                     self.solution.delete(op.object_id)
             except BaseException as exc:  # surfaced by drain()
                 self.error = exc
+
+    def _execute_queries(self, run: list[_QueryOp]) -> None:
+        """Answer one run of consecutive queries (one batch call).
+
+        Singleton runs keep the exact per-query path and stamps.  For
+        real batches the worker records one ``execute_batch`` span plus
+        the queries-per-batch counters, and attributes each query an
+        equal share of the batch time so its trace stays complete.
+        """
+        telemetry = self._telemetry
+        solution = self.solution
+        results = self._results
+        if len(run) == 1:
+            op = run[0]
+            if telemetry.enabled:
+                dequeued = time.monotonic()
+                started = time.monotonic()
+                partial = solution.query(op.location, op.k)
+                finished = time.monotonic()
+                results.put((
+                    "partial", op.query_id, self.worker_id, partial,
+                    (op.enqueued, dequeued, started, finished),
+                ))
+            else:
+                partial = solution.query(op.location, op.k)
+                results.put(
+                    ("partial", op.query_id, self.worker_id, partial, None)
+                )
+            return
+        locations = [op.location for op in run]
+        ks = [op.k for op in run]
+        if telemetry.enabled:
+            dequeued = time.monotonic()
+            started = time.monotonic()
+            partials = solution.query_batch(locations, ks)
+            finished = time.monotonic()
+            telemetry.record("execute_batch", finished - started, start=started)
+            telemetry.count("exec.batches")
+            telemetry.count("exec.batch_queries", len(run))
+            share = (finished - started) / len(run)
+            for position, (op, partial) in enumerate(zip(run, partials)):
+                t0 = started + position * share
+                results.put((
+                    "partial", op.query_id, self.worker_id, partial,
+                    (op.enqueued, dequeued, t0, t0 + share),
+                ))
+        else:
+            partials = solution.query_batch(locations, ks)
+            for op, partial in zip(run, partials):
+                results.put(
+                    ("partial", op.query_id, self.worker_id, partial, None)
+                )
 
 
 class ThreadedMPRExecutor(MPRExecutor):

@@ -60,6 +60,7 @@ from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from ..graph.kernels import KERNEL_CALLS
 from ..harness.metrics import PoolMetrics
 from ..knn.base import KNNSolution, Neighbor, merge_partial_results
 from ..objects.tasks import Task, TaskKind
@@ -77,6 +78,57 @@ from .executor import MPRExecutor
 _STOP = ("stop",)
 
 
+def _run_ops(solution, ops, partials, op_timings, monotonic) -> None:
+    """Execute one batch's ops, grouping consecutive queries.
+
+    Maximal runs of back-to-back queries are answered by one
+    ``solution.query_batch`` call (shared kernel sweeps); updates and
+    singleton queries keep the per-op path.  Queries never mutate
+    state, so grouping a run preserves the batch's serial semantics —
+    updates still execute at exactly their FCFS position.
+
+    When ``op_timings`` is a list, timing entries are appended:
+    ``("q", query_id, t0, t1)`` for a singleton query, ``("qb",
+    (query_ids...), t0, t1)`` for a grouped run, ``("u", t0, t1)`` for
+    an update.  ``None`` skips all clock reads (telemetry disabled).
+    """
+    index = 0
+    total = len(ops)
+    while index < total:
+        op = ops[index]
+        if op[0] != "query":
+            started = monotonic() if op_timings is not None else 0.0
+            if op[0] == "insert":
+                solution.insert(op[1], op[2])
+            else:
+                solution.delete(op[1])
+            if op_timings is not None:
+                op_timings.append(("u", started, monotonic()))
+            index += 1
+            continue
+        end = index + 1
+        while end < total and ops[end][0] == "query":
+            end += 1
+        run = ops[index:end]
+        started = monotonic() if op_timings is not None else 0.0
+        if len(run) == 1:
+            _, query_id, location, k = run[0]
+            partials.append((query_id, solution.query(location, k)))
+            if op_timings is not None:
+                op_timings.append(("q", query_id, started, monotonic()))
+        else:
+            answers = solution.query_batch(
+                [op[2] for op in run], [op[3] for op in run]
+            )
+            for op, answer in zip(run, answers):
+                partials.append((op[1], answer))
+            if op_timings is not None:
+                op_timings.append(
+                    ("qb", tuple(op[1] for op in run), started, monotonic())
+                )
+        index = end
+
+
 def _worker_main(
     solution: KNNSolution, worker_id, inbox, results, stamp_timings: bool = False
 ) -> None:
@@ -85,16 +137,22 @@ def _worker_main(
     One ``("batch", seq, ops)`` message is acknowledged by one
     ``("done", worker_id, seq, partials)`` message carrying every query
     partial of the batch — the ack doubles as the result envelope, so
-    the return path is batch-amortized too.  ``results`` is this
-    worker's private pipe end: no lock is shared with sibling workers,
-    so this process dying mid-send cannot wedge anyone else.
+    the return path is batch-amortized too.  Runs of consecutive
+    queries inside a batch execute as one ``query_batch`` call (see
+    :func:`_run_ops`).  ``results`` is this worker's private pipe end:
+    no lock is shared with sibling workers, so this process dying
+    mid-send cannot wedge anyone else.
 
     With ``stamp_timings`` (telemetry enabled in the parent) the ack
-    grows a compact timing tuple — ``(t_recv, t_ack_send,
-    per-op timings)`` in the shared ``time.monotonic`` clock — from
-    which the parent stitches ``queue_wait``/``execute``/``ack`` spans.
-    Per-op entries are ``("q", query_id, t0, t1)`` for queries and
-    ``("u", t0, t1)`` for updates.
+    grows a compact timing tuple — ``(t_recv, t_ack_send, per-op
+    timings, kernel_delta)`` in the shared ``time.monotonic`` clock —
+    from which the parent stitches ``queue_wait``/``execute``/``ack``
+    spans.  Per-op entries are ``("q", query_id, t0, t1)`` for
+    singleton queries, ``("qb", (query_ids...), t0, t1)`` for grouped
+    query runs, and ``("u", t0, t1)`` for updates; ``kernel_delta`` is
+    this batch's increment to the child's ``KERNEL_CALLS`` diagnostic
+    counters, which the parent folds into its own copy (fork gives each
+    child separate counter memory).
     """
     monotonic = time.monotonic
     while True:
@@ -109,37 +167,25 @@ def _worker_main(
             return
         _, seq, ops = message
         partials = []
-        op_timings: list[tuple] = []
         try:
             if stamp_timings:
-                for op in ops:
-                    started = monotonic()
-                    if op[0] == "query":
-                        _, query_id, location, k = op
-                        partials.append((query_id, solution.query(location, k)))
-                        op_timings.append(("q", query_id, started, monotonic()))
-                    elif op[0] == "insert":
-                        solution.insert(op[1], op[2])
-                        op_timings.append(("u", started, monotonic()))
-                    else:
-                        solution.delete(op[1])
-                        op_timings.append(("u", started, monotonic()))
+                op_timings: list[tuple] = []
+                kernel_before = dict(KERNEL_CALLS)
+                _run_ops(solution, ops, partials, op_timings, monotonic)
+                kernel_delta = {
+                    name: count - kernel_before.get(name, 0)
+                    for name, count in KERNEL_CALLS.items()
+                    if count != kernel_before.get(name, 0)
+                }
             else:
-                for op in ops:
-                    if op[0] == "query":
-                        _, query_id, location, k = op
-                        partials.append((query_id, solution.query(location, k)))
-                    elif op[0] == "insert":
-                        solution.insert(op[1], op[2])
-                    else:
-                        solution.delete(op[1])
+                _run_ops(solution, ops, partials, None, monotonic)
         except Exception as exc:
             results.send(("error", worker_id, seq, repr(exc)))
             return
         if stamp_timings:
             results.send((
                 "done", worker_id, seq, partials,
-                (received, monotonic(), op_timings),
+                (received, monotonic(), op_timings, kernel_delta),
             ))
         else:
             results.send(("done", worker_id, seq, partials))
@@ -449,6 +495,50 @@ class ProcessPoolService(MPRExecutor):
             ready = self._batcher.flush()
         self._send_batches(ready)
 
+    @property
+    def batch_size(self) -> int:
+        return self._batcher.batch_size
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Change the dispatch batch size for subsequent submits.
+
+        Already-buffered ops are flushed first so no op waits on the
+        *old* threshold while the new one is in force — the switch is
+        FCFS-transparent.
+        """
+        self.flush()
+        self._batcher.set_batch_size(batch_size)
+
+    def retune_batch_size(
+        self, arrival_rate: float, *, candidates: tuple[int, ...] | None = None
+    ) -> int:
+        """Adapt ``batch_size`` to measured timings; return the choice.
+
+        Calibrates the stage-cost model from this pool's own telemetry
+        (:func:`repro.sim.measurement.machine_spec_from_telemetry`) and
+        picks the candidate minimizing modeled Rq at ``arrival_rate``
+        (per-worker tasks/second) with fanout ``x`` — one merge per
+        partial (see :mod:`repro.mpr.batching`).  With telemetry
+        disabled the model falls back to :class:`MachineSpec` defaults,
+        which still yields a sane size.  No-op if the choice matches
+        the current size.
+        """
+        from .batching import DEFAULT_BATCH_CANDIDATES, recommend_batch_size
+
+        choice = recommend_batch_size(
+            self._telemetry, arrival_rate,
+            candidates=(
+                candidates if candidates is not None
+                else DEFAULT_BATCH_CANDIDATES
+            ),
+            fanout=self._config.x,
+        )
+        if choice != self._batcher.batch_size:
+            self.set_batch_size(choice)
+            if self._telemetry.enabled:
+                self._telemetry.count("pool.batch_retunes")
+        return choice
+
     def _send_batches(self, batches: Sequence[WorkerBatch]) -> None:
         stamping = self._telemetry.enabled
         for worker_id, ops in batches:
@@ -602,21 +692,35 @@ class ProcessPoolService(MPRExecutor):
     ) -> None:
         """Stitch one stamped ack into spans and stage histograms.
 
-        ``stamps`` is the worker's ``(t_recv, t_ack_send, op_timings)``;
-        combined with the parent's send stamp this yields one
-        ``queue_wait`` span for the batch (attributed to every query in
-        it), an ``execute`` span per query op, an ``update`` histogram
-        sample per update op, and one ``ack`` span (pipe transit,
-        measured at read time).  Replayed batches restamp the same
-        ``(stage, worker)`` slots; last report wins inside the trace.
+        ``stamps`` is the worker's ``(t_recv, t_ack_send, op_timings,
+        kernel_delta)``; combined with the parent's send stamp this
+        yields one ``queue_wait`` span for the batch (attributed to
+        every query in it), an ``execute`` span per query, an
+        ``update`` histogram sample per update op, and one ``ack`` span
+        (pipe transit, measured at read time).  A grouped ``("qb", ...)``
+        run additionally records an ``execute_batch`` histogram span
+        plus the ``exec.batches``/``exec.batch_queries`` counters, and
+        each of its queries gets an equal *share* of the run as its
+        ``execute`` span — batched queries cannot be timed individually,
+        but their traces stay complete.  ``kernel_delta`` folds the
+        child's ``KERNEL_CALLS`` increments into the parent's counters.
+        Replayed batches restamp the same ``(stage, worker)`` slots;
+        last report wins inside the trace.
         """
-        t_recv, t_ack_send, op_timings = stamps
+        t_recv, t_ack_send, op_timings, kernel_delta = stamps
+        if kernel_delta:
+            KERNEL_CALLS.update(kernel_delta)
         telemetry = self._telemetry
         worker_id = state.worker_id
         sent = state.sent_at.get(seq)
         ack_wait = time.monotonic() - t_ack_send
         queue_wait = max(t_recv - sent, 0.0) if sent is not None else None
-        query_ids = [entry[1] for entry in op_timings if entry[0] == "q"]
+        query_ids: list[int] = []
+        for entry in op_timings:
+            if entry[0] == "q":
+                query_ids.append(entry[1])
+            elif entry[0] == "qb":
+                query_ids.extend(entry[1])
         if queue_wait is not None:
             if query_ids:
                 for query_id in query_ids:
@@ -633,6 +737,18 @@ class ProcessPoolService(MPRExecutor):
                     "execute", t1 - t0,
                     start=t0, query_id=query_id, worker=worker_id,
                 )
+            elif entry[0] == "qb":
+                _, run_ids, t0, t1 = entry
+                telemetry.record("execute_batch", t1 - t0, start=t0)
+                telemetry.count("exec.batches")
+                telemetry.count("exec.batch_queries", len(run_ids))
+                share = (t1 - t0) / len(run_ids)
+                for position, query_id in enumerate(run_ids):
+                    span_start = t0 + position * share
+                    telemetry.record(
+                        "execute", share,
+                        start=span_start, query_id=query_id, worker=worker_id,
+                    )
             else:
                 _, t0, t1 = entry
                 telemetry.record("update", t1 - t0, start=t0)

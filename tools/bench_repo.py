@@ -1,0 +1,123 @@
+"""Repo-level kNN benchmark: write ``BENCH_knn.json`` at the repo root.
+
+A fixed-seed, single-file snapshot of the repo's kNN serving speed,
+meant to be checked in and compared across PRs:
+
+    PYTHONPATH=src python tools/bench_repo.py
+
+Schema — one entry per operation::
+
+    { "<op>": {"p50_us": float, "p95_us": float, "qps": float}, ... }
+
+* ``query`` — one ``DijkstraKNN.query`` (the per-query kernel path);
+* ``query_batch32`` — ``DijkstraKNN.query_batch`` in batches of 32,
+  per-query cost (the batched kernel path this repo's executors take
+  under load);
+* ``ier_query`` — one ``IERKNN.query`` (Euclidean-restriction path);
+* ``update`` — one insert + delete pair.
+
+``p50_us``/``p95_us`` are per-operation latency percentiles in
+microseconds; ``qps`` is operations per wall-clock second over the
+whole run.  Everything is deterministic given the seeds; timings move
+with the host, so treat cross-PR deltas as indicative, not exact.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import random
+
+from repro.graph import grid_network
+from repro.knn import DijkstraKNN, IERKNN
+
+ROOT = Path(__file__).resolve().parent.parent
+SEED = 20250807
+SIDE = 128           # 16,384-node synthetic grid
+NUM_OBJECTS = 200
+K = 10
+NUM_QUERIES = 192
+BATCH = 32
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def summarize(samples_s: list[float]) -> dict[str, float]:
+    total = sum(samples_s)
+    return {
+        "p50_us": round(statistics.median(samples_s) * 1e6, 2),
+        "p95_us": round(percentile(samples_s, 0.95) * 1e6, 2),
+        "qps": round(len(samples_s) / total if total else 0.0, 1),
+    }
+
+
+def main() -> None:
+    rng = random.Random(SEED)
+    network = grid_network(SIDE, SIDE, seed=7, name="bench-repo")
+    objects = {
+        i: rng.randrange(network.num_nodes) for i in range(NUM_OBJECTS)
+    }
+    locations = [rng.randrange(network.num_nodes) for _ in range(NUM_QUERIES)]
+    perf = time.perf_counter
+
+    solution = DijkstraKNN(network, dict(objects))
+    solution.query(locations[0], K)  # warm buffers out of the timings
+
+    query_samples = []
+    for location in locations:
+        t0 = perf()
+        solution.query(location, K)
+        query_samples.append(perf() - t0)
+
+    batch_samples = []
+    for start in range(0, NUM_QUERIES, BATCH):
+        chunk = locations[start:start + BATCH]
+        t0 = perf()
+        solution.query_batch(chunk, [K] * len(chunk))
+        per_query = (perf() - t0) / len(chunk)
+        batch_samples.extend([per_query] * len(chunk))
+
+    ier = IERKNN(network, dict(objects))
+    ier.query(locations[0], K)
+    ier_samples = []
+    for location in locations:
+        t0 = perf()
+        ier.query(location, K)
+        ier_samples.append(perf() - t0)
+
+    update_samples = []
+    for i in range(NUM_QUERIES):
+        node = rng.randrange(network.num_nodes)
+        t0 = perf()
+        solution.insert(NUM_OBJECTS + i, node)
+        solution.delete(NUM_OBJECTS + i)
+        update_samples.append(perf() - t0)
+
+    report = {
+        "query": summarize(query_samples),
+        "query_batch32": summarize(batch_samples),
+        "ier_query": summarize(ier_samples),
+        "update": summarize(update_samples),
+    }
+    out = ROOT / "BENCH_knn.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for op, stats in report.items():
+        print(
+            f"{op:<14} p50 {stats['p50_us']:>9.2f} us   "
+            f"p95 {stats['p95_us']:>9.2f} us   {stats['qps']:>10.1f} qps"
+        )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

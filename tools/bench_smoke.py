@@ -22,6 +22,31 @@ from repro.graph import grid_network
 from repro.graph.kernels import KERNEL_CALLS
 from repro.graph.shortest_path import KERNEL_MIN_NODES, dijkstra, dijkstra_heapq
 from repro.knn import DijkstraKNN, IERKNN
+from repro.mpr import MPRConfig, build_executor
+from repro.objects.tasks import QueryTask
+from repro.obs import Telemetry
+
+
+def check_batch_path(network, objects, rng) -> int:
+    """Assert the process pool serves query runs via ``knn_batch``.
+
+    Workers increment their own (forked) copy of ``KERNEL_CALLS``; with
+    telemetry enabled each batch ack carries the child's counter delta
+    and the parent folds it back in, so the counter observed here
+    proves the batched kernel ran inside the worker processes.
+    """
+    before = KERNEL_CALLS["knn_batch"]
+    tasks = [
+        QueryTask(float(i), i, rng.randrange(network.num_nodes), 5)
+        for i in range(48)
+    ]
+    with build_executor(
+        MPRConfig(1, 1, 1), DijkstraKNN(network), dict(objects),
+        mode="process", batch_size=16, telemetry=Telemetry(),
+    ) as pool:
+        answers = pool.run(tasks)
+    assert len(answers) == len(tasks)
+    return KERNEL_CALLS["knn_batch"] - before
 
 
 def main() -> None:
@@ -42,21 +67,32 @@ def main() -> None:
     answer = knn.query(7, 5)
     assert len(answer) == 5
 
+    batch = knn.query_batch([7, 7, 9], [5, 5, 3])
+    assert batch[0] == answer and batch[1] == answer
+
     ier = IERKNN(network, dict(objects))
     assert [n.object_id for n in ier.query(7, 5)] == [
         n.object_id for n in answer
     ]
+    assert ier.query_batch([7], [5]) == [ier.query(7, 5)]
+
+    pool_batches = check_batch_path(network, objects, rng)
+    assert pool_batches > 0, (
+        "process pool did not take the knn_batch path (kernel deltas "
+        "missing from batch acks?)"
+    )
 
     for counter, entry_points in {
         "sssp": ("dijkstra free function",),
         "topk": ("DijkstraKNN.query",),
         "expander": ("IERKNN.query",),
+        "knn_batch": ("query_batch", "process-pool batched dispatch"),
     }.items():
         taken = KERNEL_CALLS[counter] - before.get(counter, 0)
         assert taken > 0, (
             f"kernel path {counter!r} was not taken by {entry_points}"
         )
-        print(f"kernel {counter:<8} calls: +{taken}")
+        print(f"kernel {counter:<9} calls: +{taken}")
 
     elapsed = time.perf_counter() - start
     print(f"bench-smoke OK ({network.num_nodes} nodes, {elapsed:.2f}s)")

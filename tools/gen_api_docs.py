@@ -131,6 +131,50 @@ Note the argument-order flip: the legacy constructors took the solution
 first; `build_executor` takes the `MPRConfig` first.
 """,
     ),
+    (
+        "Batched multi-query execution",
+        """\
+`KNNSolution.query_batch(locations, ks)` answers many queries at once.
+Its semantics are exactly `[query(l, k) for l, k in zip(locations, ks)]`
+— one consistent object snapshot (queries never mutate state), canonical
+`(distance, object_id)` answers, and result `i` always belonging to
+`locations[i]` no matter how the implementation reorders work
+internally.  The base class provides that loop as the default, so every
+solution is batchable; `DijkstraKNN` and `IERKNN` override it to answer
+the whole batch through `CSRKernels.knn_batch`, which deduplicates
+sources, sorts them for locality, and runs each group of up to
+`group_size` sources as a *single* delta-stepping sweep over the
+flattened `(row, node)` product space.  Per-query results are
+bit-identical to `topk_objects` (`tests/test_knn_batch.py` pins ≥200
+randomized cases); duplicate sources may share result arrays, so treat
+them as read-only.  `benchmarks/results/batch_knn.txt` records the
+speedup (≥2x at batch ≥32 on the 102k-node grid), and
+`tools/bench_repo.py` snapshots per-op latency into `BENCH_knn.json`.
+
+The executors feed this path end to end.  `RouteBatcher` (with
+`locality_group=True`, the default) sorts each maximal run of
+consecutive queries in a released batch by `(location, query_id)` —
+updates are reorder barriers, so per-worker serial equivalence is
+untouched.  Pool workers and threaded workers execute each consecutive
+query run with one `query_batch` call; with telemetry enabled the run
+records an `execute_batch` histogram span plus `exec.batches` /
+`exec.batch_queries` counters, and each query in the run gets an equal
+share of the run time as its `execute` span so `QueryTrace`s stay
+complete.  Worker processes also ship their `KERNEL_CALLS` delta back
+in each stamped ack, keeping the parent's counters truthful across
+`fork`.
+
+`repro.mpr.batching` closes the loop adaptively: `modeled_batch_rq`
+scores a batch size as fill-wait `(b-1)/(2λ)` + τ' + amortized
+dispatch + execute + fanout·merge, with stage costs calibrated from
+live telemetry via `machine_spec_from_telemetry`;
+`recommend_batch_size` minimizes it over a candidate grid, and
+`BatchSizeController` adds improvement-threshold hysteresis.
+`ProcessPoolService.set_batch_size` / `retune_batch_size` (and
+`MPRSystem.retune_batch_size`) apply the choice to a running pool,
+flushing buffered ops first so the switch is FCFS-transparent.
+""",
+    ),
 ]
 
 
