@@ -3,6 +3,7 @@
 Gives the headline experiments and utilities a no-pytest entry point:
 
 * ``case-study``      — Tables II & III (paper-parity simulation)
+* ``chaos``           — fault-injection scenarios against the pool
 * ``configs``         — Figure 4's configuration sweep
 * ``networks``        — Table I replica sizes + realism metrics
 * ``profile``         — measure (tq, Vq, tu, Vu) of a solution on a replica
@@ -219,12 +220,60 @@ def _plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .mpr.chaos import SCENARIOS, run_scenario
+
+    names = args.scenario if args.scenario else list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        known = ", ".join(SCENARIOS)
+        print(f"unknown scenario(s) {unknown}; known: {known}",
+              file=sys.stderr)
+        return 2
+    reports = []
+    for name in names:
+        reports.append(
+            run_scenario(
+                name, num_queries=args.queries, deadline=args.deadline,
+                drain_timeout=args.drain_timeout,
+            )
+        )
+    rows = [
+        [
+            report.scenario,
+            "ok" if report.ok else "FAIL",
+            str(report.plain), str(report.degraded), str(report.shed),
+            f"{report.miss_rate:.2f}",
+            f"{report.drain_seconds*1e3:,.0f} ms",
+            "; ".join(report.violations) or "-",
+        ]
+        for report in reports
+    ]
+    print(
+        format_table(
+            ["scenario", "verdict", "plain", "degraded", "shed",
+             "misses/query", "drain", "violations"],
+            rows,
+            title="Chaos scenarios against the resilient process pool",
+        )
+    )
+    if args.json:
+        payload = [report.to_dict() for report in reports]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"reports written to {args.json}")
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def _pool(args: argparse.Namespace) -> int:
     import time
 
     from .graph import grid_network
     from .harness import format_duration
-    from .mpr import MPRConfig, build_executor
+    from .mpr import MPRConfig, ResilienceConfig, build_executor
     from .sim import machine_spec_from_pool, measured_tau_prime
     from .workload import generate_workload
 
@@ -243,10 +292,17 @@ def _pool(args: argparse.Namespace) -> int:
     )
     config = MPRConfig(args.x, args.y, args.z)
     prototype = solution_cls(network)
+    resilience = None
+    if args.deadline is not None or args.max_outstanding is not None:
+        resilience = ResilienceConfig(
+            default_deadline=args.deadline,
+            max_outstanding=args.max_outstanding,
+        )
     start = time.perf_counter()
     with build_executor(
         config, prototype, workload.initial_objects,
         mode="process", batch_size=args.batch_size,
+        resilience=resilience,
     ) as pool:
         answers = pool.run(workload.tasks)
         wall = time.perf_counter() - start
@@ -266,6 +322,14 @@ def _pool(args: argparse.Namespace) -> int:
         ["aggregation", format_duration(metrics.aggregate.seconds)],
         ["measured τ' per task", format_duration(measured_tau_prime(metrics))],
     ]
+    if resilience is not None:
+        rows += [
+            ["hedged queries", str(metrics.hedges)],
+            ["shed queries", str(metrics.shed)],
+            ["degraded answers", str(metrics.degraded)],
+            ["breaker opens", str(metrics.breaker_opens)],
+            ["deadline misses", str(metrics.deadline_misses)],
+        ]
     print(
         format_table(
             ["metric", "value"], rows,
@@ -370,6 +434,21 @@ def build_parser() -> argparse.ArgumentParser:
     frontier.add_argument("--points", type=int, default=7)
     frontier.set_defaults(func=_frontier)
 
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection scenarios against the process pool"
+    )
+    chaos.add_argument(
+        "scenario", nargs="*",
+        help="scenario names (default: run every scenario)",
+    )
+    chaos.add_argument("--queries", type=int, default=24)
+    chaos.add_argument("--deadline", type=float, default=0.25,
+                       help="per-query SLO in seconds")
+    chaos.add_argument("--drain-timeout", type=float, default=60.0,
+                       help="hard wall bound on the drain (hang detector)")
+    chaos.add_argument("--json", help="also write reports to this JSON file")
+    chaos.set_defaults(func=_chaos)
+
     configs = sub.add_parser("configs", help="Figure 4 configuration space")
     configs.add_argument("--cores", type=int, default=19)
     configs.add_argument("--lambda-q", type=float, default=15_000.0)
@@ -420,6 +499,14 @@ def build_parser() -> argparse.ArgumentParser:
     pool.add_argument("--cores", type=int, default=19,
                       help="core budget of the calibrated machine model")
     pool.add_argument("--seed", type=int, default=0)
+    pool.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query SLO in seconds (enables the resilience layer)",
+    )
+    pool.add_argument(
+        "--max-outstanding", type=int, default=None,
+        help="admission bound per worker (enables the resilience layer)",
+    )
     pool.set_defaults(func=_pool)
 
     stats = sub.add_parser(

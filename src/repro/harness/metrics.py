@@ -48,7 +48,10 @@ class PoolMetrics:
     Counters separate *tasks* (logical work items) from *messages*
     (queue writes): their ratio is exactly the amortization batching
     buys.  ``respawns``/``batches_replayed`` count supervisor activity;
-    a fault-free run leaves both at zero.
+    a fault-free run leaves both at zero.  The ``hedges`` through
+    ``duplicate_acks`` block counts resilience-layer activity
+    (:mod:`repro.mpr.resilience`); all stay zero when the layer is
+    disabled *or* the run is fault-free and under its deadlines.
     """
 
     tasks_submitted: int = 0
@@ -60,6 +63,14 @@ class PoolMetrics:
     partials_received: int = 0
     respawns: int = 0
     batches_replayed: int = 0
+    hedges: int = 0
+    shed: int = 0
+    degraded: int = 0
+    breaker_opens: int = 0
+    stall_kills: int = 0
+    batches_quarantined: int = 0
+    deadline_misses: int = 0
+    duplicate_acks: int = 0
     dispatch: StageTimer = field(default_factory=StageTimer)
     wait: StageTimer = field(default_factory=StageTimer)
     aggregate: StageTimer = field(default_factory=StageTimer)
@@ -108,6 +119,14 @@ class PoolMetrics:
             "partials_received": self.partials_received,
             "respawns": self.respawns,
             "batches_replayed": self.batches_replayed,
+            "hedges": self.hedges,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "breaker_opens": self.breaker_opens,
+            "stall_kills": self.stall_kills,
+            "batches_quarantined": self.batches_quarantined,
+            "deadline_misses": self.deadline_misses,
+            "duplicate_acks": self.duplicate_acks,
             "messages_per_task": self.messages_per_task,
             "mean_batch_size": self.mean_batch_size,
             "dispatch_seconds": self.dispatch.seconds,

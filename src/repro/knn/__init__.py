@@ -1,6 +1,12 @@
 """Single-threaded kNN solutions and their profiling."""
 
-from .base import KNNSolution, Neighbor, canonical_knn, merge_partial_results
+from .base import (
+    KNNSolution,
+    Neighbor,
+    PartialResult,
+    canonical_knn,
+    merge_partial_results,
+)
 from .calibration import (
     AlgorithmProfile,
     measure_profile,
@@ -34,6 +40,7 @@ SOLUTIONS = {
 __all__ = [
     "KNNSolution",
     "Neighbor",
+    "PartialResult",
     "canonical_knn",
     "merge_partial_results",
     "AlgorithmProfile",

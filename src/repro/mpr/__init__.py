@@ -66,6 +66,16 @@ from .process_executor import (
     WorkerCrash,
     run_batch_speedup,
 )
+from .resilience import (
+    NULL_RESILIENCE,
+    RESILIENCE_COUNTERS,
+    AdmissionController,
+    CircuitBreaker,
+    Overloaded,
+    PartialResult,
+    ResilienceConfig,
+    ResiliencePolicy,
+)
 from .generic_grouping import (
     GenericGrouping,
     best_rectangular,
@@ -126,6 +136,14 @@ __all__ = [
     "SpeedupReport",
     "WorkerCrash",
     "run_batch_speedup",
+    "NULL_RESILIENCE",
+    "RESILIENCE_COUNTERS",
+    "AdmissionController",
+    "CircuitBreaker",
+    "Overloaded",
+    "PartialResult",
+    "ResilienceConfig",
+    "ResiliencePolicy",
     "JointChoice",
     "joint_tune",
     "DEFAULT_BATCH_CANDIDATES",

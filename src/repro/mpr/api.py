@@ -30,6 +30,7 @@ from ..objects.tasks import Task
 from ..obs import Telemetry
 from .config import MPRConfig
 from .executor import MPRExecutor, ThreadedMPRExecutor
+from .resilience import ResilienceConfig
 
 __all__ = ["MPRSystem", "build_executor"]
 
@@ -51,6 +52,7 @@ def build_executor(
     health_check_interval: float = 0.05,
     max_respawns: int = 3,
     metrics: Any | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> MPRExecutor:
     """Build an executor realizing ``config`` over the chosen substrate.
 
@@ -79,6 +81,15 @@ def build_executor(
 max_respawns, metrics:
         Process mode only: forwarded to the pool (see
         :class:`repro.mpr.process_executor.ProcessPoolService`).
+    resilience:
+        A :class:`repro.mpr.resilience.ResilienceConfig` enabling the
+        resilience layer (``None`` disables it entirely).  Process mode
+        gets the full behaviour — deadlines with hedged replica reads,
+        admission-controlled shedding, circuit breakers with
+        quarantine, a stall watchdog, and degraded
+        :class:`~repro.knn.base.PartialResult` answers; thread mode
+        realizes the subset that is meaningful without process faults
+        (shedding and deadline-miss accounting).
 
     Returns
     -------
@@ -91,6 +102,7 @@ max_respawns, metrics:
         return ThreadedMPRExecutor._create(
             solution, config, objects,
             check_invariants=check_invariants, telemetry=telemetry,
+            resilience=resilience,
         )
     if mode == "process":
         if check_invariants:
@@ -108,6 +120,7 @@ max_respawns, metrics:
             max_respawns=max_respawns,
             metrics=metrics,
             telemetry=telemetry,
+            resilience=resilience,
         )
     raise ValueError(
         f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"

@@ -230,6 +230,7 @@ class RouteBatcher:
         *,
         telemetry: Telemetry | None = None,
         locality_group: bool = True,
+        admission=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -237,6 +238,9 @@ class RouteBatcher:
         self._batch_size = batch_size
         self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._locality_group = locality_group
+        #: Optional :class:`repro.mpr.resilience.AdmissionController`
+        #: consulted by :meth:`offer`; :meth:`add` never sheds.
+        self.admission = admission
         self._pending: dict[WorkerId, list[WorkerOp]] = {
             worker: [] for worker in router.all_workers()
         }
@@ -298,6 +302,39 @@ class RouteBatcher:
         if ready and self._telemetry.enabled:
             self._telemetry.count("batcher.full_batches", len(ready))
         return route, ready
+
+    def offer(
+        self, task: Task
+    ) -> tuple[QueryRoute | UpdateRoute, list[WorkerBatch], int | None]:
+        """Admission-controlled :meth:`add`.
+
+        Routes ``task`` and consults the attached admission controller:
+        a query whose route would land on a worker already at the
+        outstanding-work bound is *shed* — nothing is buffered or
+        dispatched, and the triggering backlog is returned as the third
+        element (``None`` means admitted).  Updates are never shed:
+        dropping one would silently fork a replica cell's state away
+        from its row siblings.  Admitted ops are counted against every
+        target worker; the executor releases them on acknowledgement.
+        """
+        route = self._router.route(task)
+        admission = self.admission
+        if admission is not None and task.kind is TaskKind.QUERY:
+            backlog = admission.should_shed(route.workers)
+            if backlog is not None:
+                return route, [], backlog
+        op = encode_op(task)
+        ready: list[WorkerBatch] = []
+        for worker_id in route.workers:
+            pending = self._pending[worker_id]
+            pending.append(op)
+            if len(pending) >= self._batch_size:
+                ready.append((worker_id, self._release(pending)))
+        if admission is not None:
+            admission.dispatched(route.workers)
+        if ready and self._telemetry.enabled:
+            self._telemetry.count("batcher.full_batches", len(ready))
+        return route, ready, None
 
     def flush(self) -> list[WorkerBatch]:
         """Release every partial batch (deterministic worker order)."""

@@ -35,6 +35,12 @@ from ..objects.tasks import Task, TaskKind
 from ..obs import NULL_TELEMETRY, Telemetry
 from .config import MPRConfig
 from .core_matrix import MPRRouter, QueryRoute, WorkerId, check_matrix_invariants
+from .resilience import (
+    NULL_RESILIENCE,
+    Overloaded,
+    ResilienceConfig,
+    ResiliencePolicy,
+)
 
 _SENTINEL = None
 
@@ -370,9 +376,24 @@ class ThreadedMPRExecutor(MPRExecutor):
         check_invariants: bool = False,
         *,
         telemetry: Telemetry | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self._config = config
         self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Threads neither crash nor stall the way processes do, so the
+        # threaded realization of the resilience layer is admission
+        # control (shed on deep worker queues) plus deadline-miss
+        # accounting; hedges/breakers/degraded answers live in the
+        # process pool, whose replicas actually fail independently.
+        self._resilience = (
+            ResiliencePolicy(resilience)
+            if resilience is not None
+            else NULL_RESILIENCE
+        )
+        self._shed: dict[int, Overloaded] = {}
+        self._armed: dict[int, tuple[float, float]] = {}
+        #: Queries that finished past their SLO (resilience only).
+        self.deadline_misses = 0
         self._router = MPRRouter(config, telemetry=self._telemetry)
         self._check_invariants = check_invariants
         contents = self._router.preload_objects(objects)
@@ -441,6 +462,8 @@ class ThreadedMPRExecutor(MPRExecutor):
         route = self._router.route(task)
         if task.kind is TaskKind.QUERY:
             assert isinstance(route, QueryRoute)
+            if self._resilience.enabled and self._admit(task, route) is False:
+                return
             self._expected[task.query_id] = len(route.workers)
             self._ks[task.query_id] = task.k
             op = _QueryOp(task.query_id, task.location, task.k)
@@ -462,6 +485,36 @@ class ThreadedMPRExecutor(MPRExecutor):
                 start=dispatch_start,
                 query_id=query_id,
             )
+
+    def _admit(self, task: Task, route: QueryRoute) -> bool:
+        """Admission + deadline arming for one query (resilience only).
+
+        The per-worker FCFS queue depth *is* the outstanding-work
+        ledger here, so the shed decision reads it directly: a query
+        whose deepest target queue is at the bound is rejected with a
+        typed :class:`Overloaded` answer.  Admitted queries with an SLO
+        (task > resilience default > arrangement default) are armed for
+        deadline-miss accounting at the next :meth:`drain`.
+        """
+        bound = self._resilience.config.max_outstanding
+        if bound is not None:
+            backlog = max(
+                self._workers[worker_id].tasks.qsize()
+                for worker_id in route.workers
+            )
+            if backlog >= bound:
+                self._shed[task.query_id] = Overloaded(
+                    task.query_id, backlog, bound
+                )
+                if self._telemetry.enabled:
+                    self._telemetry.count("resilience.shed")
+                return False
+        slo = self._resilience.deadline_for(
+            task.deadline, self._config.default_deadline
+        )
+        if slo is not None:
+            self._armed[task.query_id] = (time.monotonic(), slo)
+        return True
 
     def flush(self) -> None:
         """No-op: the threaded path dispatches per task, unbuffered."""
@@ -528,7 +581,38 @@ class ThreadedMPRExecutor(MPRExecutor):
                 )
         self._expected.clear()
         self._ks.clear()
+        if self._resilience.enabled:
+            self._settle_resilient(answers)
         return answers
+
+    def _settle_resilient(self, answers: dict[int, list[Neighbor]]) -> None:
+        """Fold shed verdicts in; account deadline misses.
+
+        With telemetry on, a query's miss is judged by its stitched
+        trace (submit → last span); without traces the drain's own
+        clock bounds the completion time from above — conservative, but
+        it never misses a true miss.
+        """
+        now = time.monotonic()
+        telemetry = self._telemetry
+        for query_id, (submitted, slo) in self._armed.items():
+            finished = None
+            if telemetry.enabled:
+                trace = telemetry.trace(query_id)
+                if trace is not None and trace.spans:
+                    finished = max(span.end for span in trace.spans)
+            elapsed = (
+                finished - submitted if finished is not None
+                else now - submitted
+            )
+            if elapsed > slo:
+                self.deadline_misses += 1
+                if telemetry.enabled:
+                    telemetry.count("resilience.deadline_misses")
+        self._armed.clear()
+        for query_id, overloaded in self._shed.items():
+            answers[query_id] = overloaded
+        self._shed.clear()
 
     def _record_stamps(
         self, query_id: int, worker_id: WorkerId, stamps: tuple

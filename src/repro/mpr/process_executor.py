@@ -53,6 +53,7 @@ the one-shot compatibility wrapper.
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing as mp
 import time
 import warnings
@@ -74,6 +75,13 @@ from .core_matrix import (
     WorkerId,
 )
 from .executor import MPRExecutor
+from .resilience import (
+    NULL_RESILIENCE,
+    CircuitBreaker,
+    Overloaded,
+    ResilienceConfig,
+    ResiliencePolicy,
+)
 
 _STOP = ("stop",)
 
@@ -201,8 +209,19 @@ class _WorkerState:
         self.cell: dict[int, int] = dict(cell)
         #: Dispatched-but-unacknowledged batches, in seq order.
         self.unacked: dict[int, tuple] = {}
-        #: Monotonic send stamp per in-flight batch (telemetry only).
+        #: Monotonic send stamp per in-flight batch (telemetry or
+        #: resilience enabled; feeds traces and the stall watchdog).
         self.sent_at: dict[int, float] = {}
+        #: Batches parked while this worker's circuit breaker is open;
+        #: moved back into ``unacked`` and replayed on the half-open
+        #: trial respawn (resilience only).
+        self.quarantined: dict[int, tuple] = {}
+        #: Poison batches (the worker reported an execution error on
+        #: them) — never replayed, kept for inspection (resilience only).
+        self.poisoned: dict[int, tuple] = {}
+        #: True once a death has been processed (breaker fed, batches
+        #: quarantined) so repeated health checks do not re-count it.
+        self.down = False
         self.next_seq = 0
         self.respawns = 0
         self.failed: str | None = None
@@ -269,6 +288,18 @@ class ProcessPoolService(MPRExecutor):
     max_respawns:
         Per-worker crash budget; exceeding it raises
         :class:`WorkerCrash` instead of looping on a poison batch.
+        With ``resilience`` enabled the budget is superseded by the
+        per-worker circuit breaker's exponential backoff.
+    resilience:
+        A :class:`repro.mpr.resilience.ResilienceConfig` enabling the
+        resilience layer: per-query deadlines with hedged replica
+        reads, admission-controlled load shedding (typed
+        :class:`~repro.mpr.resilience.Overloaded` answers), per-worker
+        circuit breakers with quarantine, a stall watchdog, and
+        degraded :class:`~repro.knn.base.PartialResult` answers when a
+        partition column has no live replica.  ``None`` (the default)
+        disables all of it — the hot path then pays a single branch,
+        exactly like disabled telemetry.
 
     telemetry:
         A :class:`repro.obs.Telemetry` handle.  When enabled, workers
@@ -315,6 +346,7 @@ class ProcessPoolService(MPRExecutor):
         max_respawns: int = 3,
         metrics: PoolMetrics | None = None,
         telemetry: Telemetry | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if health_check_interval <= 0:
             raise ValueError("health_check_interval must be positive")
@@ -323,9 +355,19 @@ class ProcessPoolService(MPRExecutor):
         self._solution = solution
         self._config = config
         self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._resilience = (
+            ResiliencePolicy(resilience)
+            if resilience is not None
+            else NULL_RESILIENCE
+        )
         self._router = MPRRouter(config, telemetry=self._telemetry)
         self._batcher = RouteBatcher(
-            self._router, batch_size, telemetry=self._telemetry
+            self._router, batch_size, telemetry=self._telemetry,
+            admission=(
+                self._resilience.admission
+                if self._resilience.enabled
+                else None
+            ),
         )
         self._context = mp.get_context(start_method)
         self._share_graph = share_graph
@@ -343,6 +385,33 @@ class ProcessPoolService(MPRExecutor):
         self._expected: dict[int, int] = {}
         self._ks: dict[int, int] = {}
         self._partials: dict[int, dict[WorkerId, list[Neighbor]]] = {}
+        # Resilience-only per-query state (empty unless enabled).  The
+        # resilient paths dedup per *column* — a hedge targets a sibling
+        # row of the same column, first answer per column wins.
+        self._locations: dict[int, int] = {}
+        self._columns: dict[int, tuple[tuple[int, int], ...]] = {}
+        self._accepted: dict[
+            int, dict[tuple[int, int], tuple[WorkerId, list[Neighbor]]]
+        ] = {}
+        #: Rows tried per (query, column) — seeded lazily from ``_rows``
+        #: on the first hedge decision, so the no-fault submit path pays
+        #: one int store instead of a dict-of-sets allocation.
+        self._attempted: dict[int, dict[tuple[int, int], set[int]]] = {}
+        self._rows: dict[int, int] = {}
+        self._missing: dict[int, set[tuple[int, int]]] = {}
+        self._shed: dict[int, Overloaded] = {}
+        self._slo: dict[int, float] = {}
+        self._deadline_heap: list[tuple[float, int]] = []
+        #: Per-layer ``((layer, col), ...)`` tuples — every query routed
+        #: to a layer shares the same column set, so cache it.
+        self._layer_columns: dict[int, tuple[tuple[int, int], ...]] = {}
+        #: Static part of the SLO resolution (policy > arrangement);
+        #: per query only ``task.deadline`` can override it.
+        self._fallback_slo = (
+            self._resilience.config.default_deadline
+            if self._resilience.config.default_deadline is not None
+            else config.default_deadline
+        ) if self._resilience.enabled else None
         self._started = False
         self._closed = False
 
@@ -400,7 +469,12 @@ class ProcessPoolService(MPRExecutor):
         """Graceful shutdown: stop messages, bounded wait, then force.
 
         Workers that acknowledge the stop within ``timeout`` seconds
-        exit cleanly; stragglers (hung or already dead) are terminated.
+        exit cleanly; stragglers escalate join → ``terminate()``
+        (SIGTERM) → ``kill()`` (SIGKILL).  The last rung matters: a
+        worker wedged mid-``recv`` or SIGSTOPped leaves SIGTERM pending
+        forever, but SIGKILL cannot be blocked or deferred.  Reader
+        retirement and the shared-memory unlink run in a ``finally`` so
+        the segment is never leaked, whatever state the workers are in.
         Safe to call twice and safe to call without ``start()``.
         """
         if self._closed:
@@ -409,49 +483,56 @@ class ProcessPoolService(MPRExecutor):
         if not self._started:
             self._unpublish_graph()
             return
-        live = {
-            state.worker_id: state
-            for state in self._workers.values()
-            if state.process is not None and state.process.is_alive()
-        }
-        for state in live.values():
-            try:
-                state.inbox.put(_STOP)
-            except (OSError, ValueError):  # pragma: no cover - queue gone
-                pass
-        deadline = time.monotonic() + timeout
-        pending = set(live)
-        while pending:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                break
-            readers = self._live_readers()
-            if not readers:
-                break
-            ready = mp_connection.wait(readers, timeout=min(remaining, 0.1))
-            if not ready:
-                pending = {
-                    worker_id for worker_id in pending
-                    if self._workers[worker_id].process.is_alive()
-                }
-                continue
-            for reader in ready:
-                message = self._receive(reader)
-                if message is not None and message[0] == "stopped":
-                    pending.discard(message[1])
-        for state in self._workers.values():
-            process = state.process
-            if process is None:
-                continue
-            process.join(timeout=max(deadline - time.monotonic(), 0.1))
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
-        for state in self._workers.values():
-            self._retire_reader(state)
-        # Only after every worker is down: no process can still be
-        # mid-attach, so unlinking the segment cannot race a respawn.
-        self._unpublish_graph()
+        try:
+            live = {
+                state.worker_id: state
+                for state in self._workers.values()
+                if state.process is not None and state.process.is_alive()
+            }
+            for state in live.values():
+                try:
+                    state.inbox.put(_STOP)
+                except (OSError, ValueError):  # pragma: no cover - queue gone
+                    pass
+            deadline = time.monotonic() + timeout
+            pending = set(live)
+            while pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                readers = self._live_readers()
+                if not readers:
+                    break
+                ready = mp_connection.wait(
+                    readers, timeout=min(remaining, 0.1)
+                )
+                if not ready:
+                    pending = {
+                        worker_id for worker_id in pending
+                        if self._workers[worker_id].process.is_alive()
+                    }
+                    continue
+                for reader in ready:
+                    message = self._receive(reader)
+                    if message is not None and message[0] == "stopped":
+                        pending.discard(message[1])
+            for state in self._workers.values():
+                process = state.process
+                if process is None:
+                    continue
+                process.join(timeout=max(deadline - time.monotonic(), 0.1))
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1.0)
+        finally:
+            for state in self._workers.values():
+                self._retire_reader(state)
+            # Only after every worker is down: no process can still be
+            # mid-attach, so unlinking the segment cannot race a respawn.
+            self._unpublish_graph()
 
     def _unpublish_graph(self) -> None:
         if self._shared_graph is not None:
@@ -462,8 +543,19 @@ class ProcessPoolService(MPRExecutor):
     # Dispatch
     # ------------------------------------------------------------------
     def submit(self, task: Task) -> None:
-        """Route one task; full batches are dispatched immediately."""
+        """Route one task; full batches are dispatched immediately.
+
+        With resilience enabled the submit is admission-controlled: a
+        query routed at a worker whose backlog is at the configured
+        bound is *shed* — it gets a typed :class:`Overloaded` answer
+        from the next :meth:`drain` instead of joining the queue — and
+        an admitted query arms its deadline (task SLO, else the
+        resilience default, else the arrangement default).
+        """
         self.start()
+        if self._resilience.enabled:
+            self._submit_resilient(task)
+            return
         self.metrics.tasks_submitted += 1
         stamping = self._telemetry.enabled
         t0 = time.monotonic() if stamping else 0.0
@@ -485,6 +577,57 @@ class ProcessPoolService(MPRExecutor):
                 "dispatch", time.monotonic() - t0, start=t0, query_id=query_id
             )
         # Opportunistically drain acks so the result pipes stay short.
+        self._collect_ready()
+
+    def _submit_resilient(self, task: Task) -> None:
+        """The admission/deadline-aware variant of :meth:`submit`."""
+        self.metrics.tasks_submitted += 1
+        stamping = self._telemetry.enabled
+        t0 = time.monotonic() if stamping else 0.0
+        with self.metrics.timed("dispatch", events=0):
+            route, ready, backlog = self._batcher.offer(task)
+        if task.kind is TaskKind.QUERY:
+            assert isinstance(route, QueryRoute)
+            self.metrics.queries_submitted += 1
+            query_id = task.query_id
+            if backlog is not None:
+                self.metrics.shed += 1
+                self._shed[query_id] = Overloaded(
+                    query_id, backlog, self._resilience.config.max_outstanding
+                )
+                if stamping:
+                    self._telemetry.count("resilience.shed")
+            else:
+                self._ks[query_id] = task.k
+                self._locations[query_id] = task.location
+                layer = route.workers[0][0]
+                columns = self._layer_columns.get(layer)
+                if columns is None:
+                    columns = self._layer_columns[layer] = tuple(
+                        (worker[0], worker[2]) for worker in route.workers
+                    )
+                self._columns[query_id] = columns
+                self._rows[query_id] = route.row
+                slo = (
+                    task.deadline if task.deadline is not None
+                    else self._fallback_slo
+                )
+                if slo is not None:
+                    self._slo[query_id] = slo
+                    heapq.heappush(
+                        self._deadline_heap,
+                        (time.monotonic() + slo, query_id),
+                    )
+                if stamping:
+                    self._telemetry.begin_trace(query_id, route.workers)
+        else:
+            self.metrics.updates_submitted += 1
+        self._send_batches(ready)
+        if stamping:
+            query_id = task.query_id if task.kind is TaskKind.QUERY else None
+            self._telemetry.record(
+                "dispatch", time.monotonic() - t0, start=t0, query_id=query_id
+            )
         self._collect_ready()
 
     def flush(self) -> None:
@@ -540,7 +683,7 @@ class ProcessPoolService(MPRExecutor):
         return choice
 
     def _send_batches(self, batches: Sequence[WorkerBatch]) -> None:
-        stamping = self._telemetry.enabled
+        stamping = self._telemetry.enabled or self._resilience.enabled
         for worker_id, ops in batches:
             state = self._workers[worker_id]
             self._ensure_alive(state)
@@ -563,17 +706,23 @@ class ProcessPoolService(MPRExecutor):
 
         Returns the aggregated top-k for every query submitted since
         the previous drain.  ``timeout`` bounds the total wait
-        (``None`` = wait as long as workers keep making progress);
-        worker death during the wait triggers respawn + replay.
+        (``None`` = wait as long as workers keep making progress); on
+        expiry the raised :class:`TimeoutError` lists every outstanding
+        ``(worker_id, seq)`` batch so the caller can see exactly which
+        cells never acknowledged.  Worker death during the wait
+        triggers respawn + replay; with resilience enabled, queries
+        past their deadline are hedged to a sibling replica row and
+        columns with no live replica resolve as degraded
+        :class:`~repro.knn.base.PartialResult` answers instead of
+        blocking forever.
         """
         self.flush()
+        if self._resilience.enabled:
+            return self._drain_resilient(timeout)
         deadline = None if timeout is None else time.monotonic() + timeout
         while self._outstanding():
             if deadline is not None and time.monotonic() >= deadline:
-                raise TimeoutError(
-                    f"pool did not quiesce within {timeout} s "
-                    f"({self._outstanding()} batches outstanding)"
-                )
+                raise TimeoutError(self._quiesce_failure(timeout))
             with self.metrics.timed("wait", events=0):
                 readers = self._live_readers()
                 if readers:
@@ -594,6 +743,66 @@ class ProcessPoolService(MPRExecutor):
             for message in messages:
                 self._handle(message)
         return self._finish_answers()
+
+    def _quiesce_failure(self, timeout: float | None) -> str:
+        """Diagnostic for a drain timeout: name every unacked batch."""
+        pending = sorted(
+            (state.worker_id, seq)
+            for state in self._workers.values()
+            for seq in state.unacked
+        )
+        return (
+            f"pool did not quiesce within {timeout} s; "
+            f"{len(pending)} batches outstanding (worker, seq): {pending}"
+        )
+
+    def _drain_resilient(
+        self, timeout: float | None
+    ) -> dict[int, list[Neighbor]]:
+        """Deadline/hedge/degrade-aware drain loop.
+
+        Loops until every batch is acknowledged (or quarantined) *and*
+        every submitted query is resolved — answered on all its
+        columns, or explicitly degraded.  Once nothing is in flight,
+        any still-unresolved query is force-resolved: hedged to an
+        untried replica row when one exists, degraded otherwise — the
+        loop can therefore never hang on a dead column.
+        """
+        wall = None if timeout is None else time.monotonic() + timeout
+        while True:
+            now = time.monotonic()
+            self._enforce_deadlines(now)
+            outstanding = self._outstanding()
+            if not outstanding and not self._has_unresolved():
+                break
+            if wall is not None and now >= wall:
+                raise TimeoutError(self._quiesce_failure(timeout))
+            if not outstanding:
+                self._force_resolve(now)
+                continue
+            wait_for = self._health_check_interval
+            if self._deadline_heap:
+                wait_for = min(
+                    wait_for, max(self._deadline_heap[0][0] - now, 0.001)
+                )
+            with self.metrics.timed("wait", events=0):
+                readers = self._live_readers()
+                if readers:
+                    ready = mp_connection.wait(readers, timeout=wait_for)
+                else:
+                    time.sleep(wait_for)
+                    ready = []
+            messages = [
+                message
+                for reader in ready
+                if (message := self._receive(reader)) is not None
+            ]
+            if not messages:
+                self._check_health()
+                continue
+            for message in messages:
+                self._handle(message)
+        return self._finish_answers_resilient()
 
     def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
         """Submit a whole stream and drain it; workers stay alive."""
@@ -669,15 +878,24 @@ class ProcessPoolService(MPRExecutor):
                 _, worker_id, seq, partials = message
                 stamps = None
             state = self._workers[worker_id]
-            if stamps is not None and self._telemetry.enabled:
-                self._record_batch_stamps(state, seq, stamps)
-            state.acknowledge(seq)
-            state.sent_at.pop(seq, None)
-            for query_id, partial in partials:
-                self.metrics.partials_received += 1
-                self._partials.setdefault(query_id, {})[worker_id] = partial
+            resilient = self._resilience.enabled
+            if not resilient:
+                if stamps is not None and self._telemetry.enabled:
+                    self._record_batch_stamps(state, seq, stamps)
+                state.acknowledge(seq)
+                state.sent_at.pop(seq, None)
+                for query_id, partial in partials:
+                    self.metrics.partials_received += 1
+                    self._partials.setdefault(query_id, {})[
+                        worker_id
+                    ] = partial
+                return
+            self._handle_done_resilient(state, seq, partials, stamps)
         elif kind == "error":
             _, worker_id, seq, detail = message
+            if self._resilience.enabled:
+                self._handle_poison(self._workers[worker_id], seq, detail)
+                return
             self._workers[worker_id].failed = detail
             raise WorkerCrash(
                 f"worker {worker_id} failed on batch {seq}: {detail}"
@@ -687,8 +905,96 @@ class ProcessPoolService(MPRExecutor):
         else:  # pragma: no cover - protocol guard
             raise RuntimeError(f"unknown pool message {message!r}")
 
+    def _handle_done_resilient(
+        self,
+        state: _WorkerState,
+        seq: int,
+        partials: list,
+        stamps: tuple | None,
+    ) -> None:
+        """A resilient ack: per-column first-answer-wins dedup.
+
+        A hedge means the same query may be answered by two rows of one
+        column; the first partial per ``(layer, column)`` is accepted,
+        later ones from a *different* worker are dropped as duplicates
+        (their telemetry spans are skipped too, so a traced query keeps
+        exactly one ``execute`` span).  Replays from the *same* worker
+        overwrite idempotently, as in the non-resilient path.
+        """
+        worker_id = state.worker_id
+        column = (worker_id[0], worker_id[2])
+        telemetry_on = self._telemetry.enabled
+        stamping = stamps is not None and telemetry_on
+        # Only needed as the span-skip set; None skips the allocation.
+        duplicates: set[int] | None = set() if stamping else None
+        metrics = self.metrics
+        accepted_map = self._accepted
+        pending = self._columns
+        for query_id, partial in partials:
+            metrics.partials_received += 1
+            if query_id not in pending:
+                # Query already finished (late ack after a prior drain)
+                # or was shed: nothing to attribute the spans to.
+                if duplicates is not None:
+                    duplicates.add(query_id)
+                continue
+            accepted = accepted_map.get(query_id)
+            if accepted is None:
+                accepted = accepted_map[query_id] = {}
+            else:
+                prior = accepted.get(column)
+                if prior is not None and prior[0] != worker_id:
+                    metrics.duplicate_acks += 1
+                    if telemetry_on:
+                        self._telemetry.count("resilience.duplicate_acks")
+                    if duplicates is not None:
+                        duplicates.add(query_id)
+                    continue
+            accepted[column] = (worker_id, partial)
+            # A late answer beats a provisional degrade decision.
+            missing = self._missing.get(query_id)
+            if missing is not None:
+                missing.discard(column)
+        if stamping:
+            self._record_batch_stamps(state, seq, stamps, skip=duplicates)
+        ops = state.unacked.get(seq)
+        if state.acknowledge(seq):
+            self._resilience.admission.acked(worker_id, len(ops))
+            breaker = self._resilience.breakers().get(worker_id)
+            if breaker is not None:
+                breaker.record_success()
+        state.sent_at.pop(seq, None)
+
+    def _handle_poison(
+        self, state: _WorkerState, seq: int, detail: str
+    ) -> None:
+        """A worker reported an execution error on batch ``seq``.
+
+        The batch is *poison*: quarantined permanently (never replayed
+        — replaying would crash-loop every replica it touches) and the
+        worker, which exits after reporting, is respawned without
+        feeding the circuit breaker.  Queries in the batch resolve via
+        hedge/degrade; updates in it are dropped on this replica and
+        kept in ``state.poisoned`` for inspection — the price of not
+        wedging the whole column on one bad op.
+        """
+        ops = state.unacked.pop(seq, None)
+        state.sent_at.pop(seq, None)
+        if ops is not None:
+            state.poisoned[seq] = ops
+            self._resilience.admission.acked(state.worker_id, len(ops))
+            self.metrics.batches_quarantined += 1
+            if self._telemetry.enabled:
+                self._telemetry.count("resilience.quarantined")
+        state.down = True  # exit is expected: skip the breaker
+        self._respawn_resilient(state)
+
     def _record_batch_stamps(
-        self, state: _WorkerState, seq: int, stamps: tuple
+        self,
+        state: _WorkerState,
+        seq: int,
+        stamps: tuple,
+        skip: frozenset[int] | set[int] = frozenset(),
     ) -> None:
         """Stitch one stamped ack into spans and stage histograms.
 
@@ -705,7 +1011,9 @@ class ProcessPoolService(MPRExecutor):
         but their traces stay complete.  ``kernel_delta`` folds the
         child's ``KERNEL_CALLS`` increments into the parent's counters.
         Replayed batches restamp the same ``(stage, worker)`` slots;
-        last report wins inside the trace.
+        last report wins inside the trace.  ``skip`` names queries whose
+        per-query spans must *not* be recorded — duplicate answers of a
+        hedged query, whose accepted answer already carries the spans.
         """
         t_recv, t_ack_send, op_timings, kernel_delta = stamps
         if kernel_delta:
@@ -721,6 +1029,8 @@ class ProcessPoolService(MPRExecutor):
                 query_ids.append(entry[1])
             elif entry[0] == "qb":
                 query_ids.extend(entry[1])
+        if skip:
+            query_ids = [qid for qid in query_ids if qid not in skip]
         if queue_wait is not None:
             if query_ids:
                 for query_id in query_ids:
@@ -733,6 +1043,8 @@ class ProcessPoolService(MPRExecutor):
         for entry in op_timings:
             if entry[0] == "q":
                 _, query_id, t0, t1 = entry
+                if query_id in skip:
+                    continue
                 telemetry.record(
                     "execute", t1 - t0,
                     start=t0, query_id=query_id, worker=worker_id,
@@ -744,6 +1056,8 @@ class ProcessPoolService(MPRExecutor):
                 telemetry.count("exec.batch_queries", len(run_ids))
                 share = (t1 - t0) / len(run_ids)
                 for position, query_id in enumerate(run_ids):
+                    if query_id in skip:
+                        continue
                     span_start = t0 + position * share
                     telemetry.record(
                         "execute", share,
@@ -791,17 +1105,107 @@ class ProcessPoolService(MPRExecutor):
         self._partials.clear()
         return answers
 
+    def _finish_answers_resilient(self) -> dict[int, list[Neighbor]]:
+        """Merge accepted columns; flag degraded and shed queries.
+
+        A query whose columns all answered merges to a plain list,
+        bit-identical to the non-resilient path.  A query with degraded
+        columns merges the survivors into a
+        :class:`~repro.knn.base.PartialResult` naming the missing
+        ``(layer, column)`` cells; a shed query maps to its
+        :class:`Overloaded` verdict.
+        """
+        stamping = self._telemetry.enabled
+        events = len(self._columns) + len(self._shed)
+        with self.metrics.timed("aggregate", events=events):
+            answers: dict[int, list[Neighbor]] = {}
+            for query_id, columns in self._columns.items():
+                accepted = self._accepted.get(query_id, {})
+                missing = sorted(
+                    column for column in columns if column not in accepted
+                )
+                parts = [partial for _worker, partial in accepted.values()]
+                if stamping:
+                    with self._telemetry.span("merge", query_id=query_id):
+                        answers[query_id] = merge_partial_results(
+                            parts, self._ks[query_id],
+                            missing_columns=missing,
+                        )
+                else:
+                    answers[query_id] = merge_partial_results(
+                        parts, self._ks[query_id], missing_columns=missing
+                    )
+                if missing:
+                    self.metrics.degraded += 1
+                    if stamping:
+                        self._telemetry.count("resilience.degraded")
+            for query_id, overloaded in self._shed.items():
+                answers[query_id] = overloaded
+        if stamping:
+            for query_id in self._columns:
+                trace = self._telemetry.trace(query_id)
+                if trace is not None and trace.spans:
+                    self._telemetry.record("response", trace.response_time)
+        self._columns.clear()
+        self._locations.clear()
+        self._accepted.clear()
+        self._attempted.clear()
+        self._rows.clear()
+        self._missing.clear()
+        self._shed.clear()
+        self._slo.clear()
+        self._deadline_heap.clear()
+        self._ks.clear()
+        return answers
+
     # ------------------------------------------------------------------
     # Fault handling
     # ------------------------------------------------------------------
     def _check_health(self) -> None:
+        if self._resilience.enabled:
+            self._check_health_resilient(time.monotonic())
+            return
         for state in self._workers.values():
             if state.unacked:
                 self._ensure_alive(state)
 
+    def _check_health_resilient(self, now: float) -> None:
+        """Liveness sweep: stalls, deaths, and half-open breaker trials.
+
+        Unlike the plain sweep this also visits workers with *no*
+        unacked work — a quarantined (breaker-open) worker holds its
+        batches outside ``unacked``, and its half-open retry can only
+        fire from here.
+        """
+        stall_timeout = self._resilience.config.stall_timeout
+        for state in self._workers.values():
+            process = state.process
+            alive = process is not None and process.is_alive()
+            if alive:
+                if (
+                    stall_timeout is not None
+                    and state.sent_at
+                    and now - min(state.sent_at.values()) > stall_timeout
+                ):
+                    # Live but silent past the watchdog (SIGSTOPped or
+                    # wedged in a syscall): SIGKILL converts the stall
+                    # into the well-understood crash/replay path.
+                    process.kill()
+                    process.join(timeout=1.0)
+                    self.metrics.stall_kills += 1
+                    if self._telemetry.enabled:
+                        self._telemetry.count("resilience.stall_kills")
+                    self._handle_death(state, now)
+                continue
+            if state.unacked or state.quarantined:
+                self._handle_death(state, now)
+
     def _ensure_alive(self, state: _WorkerState) -> None:
         process = state.process
         if process is not None and process.is_alive():
+            return
+        if self._resilience.enabled:
+            self._handle_death(state, time.monotonic())
             return
         if state.failed is not None:
             raise WorkerCrash(
@@ -814,6 +1218,242 @@ class ProcessPoolService(MPRExecutor):
                 f"{sorted(state.unacked)}"
             )
         self._respawn(state)
+
+    def _handle_death(self, state: _WorkerState, now: float) -> None:
+        """Resilient death processing: feed the breaker, maybe respawn.
+
+        The first observation of a death records one breaker failure;
+        crossing the consecutive-failure threshold opens the breaker
+        and quarantines the in-flight batches.  A respawn happens only
+        when the breaker allows it (always while closed; one half-open
+        trial per backoff window while open) — so a crash-looping cell
+        costs an exponentially shrinking respawn rate instead of a
+        tight fork loop, and its queries hedge or degrade meanwhile.
+        """
+        breaker = self._resilience.breaker(state.worker_id)
+        if not state.down:
+            state.down = True
+            if breaker.record_failure(now):
+                self.metrics.breaker_opens += 1
+                if self._telemetry.enabled:
+                    self._telemetry.count("resilience.breaker_open")
+                self._quarantine(state)
+        if breaker.allow(now):
+            self._respawn_resilient(state)
+        else:
+            # Batches dispatched while the breaker was already open
+            # (the send path only learns of the death here) must not
+            # count as outstanding either: park them with the rest.
+            self._quarantine(state)
+
+    def _quarantine(self, state: _WorkerState) -> None:
+        """Park a broken worker's in-flight batches outside ``unacked``.
+
+        Quarantined batches stop counting as outstanding (the drain
+        loop must not wait on a cell the breaker declared down) and
+        release their admission debt; the half-open respawn moves them
+        back and replays them in seq order.
+        """
+        if not state.unacked:
+            return
+        admission = self._resilience.admission
+        moved = 0
+        for seq, ops in state.unacked.items():
+            state.quarantined[seq] = ops
+            admission.acked(state.worker_id, len(ops))
+            moved += 1
+        state.unacked.clear()
+        state.sent_at.clear()
+        self.metrics.batches_quarantined += moved
+        if self._telemetry.enabled:
+            self._telemetry.count("resilience.quarantined", moved)
+
+    def _respawn_resilient(self, state: _WorkerState) -> None:
+        """Respawn with quarantine replay (the breaker-gated variant).
+
+        Differs from :meth:`_respawn` in two ways: quarantined batches
+        rejoin the unacked log (and re-enter the admission ledger)
+        before the replay, and the per-worker respawn budget does not
+        apply — the circuit breaker's exponential backoff is the
+        crash-loop bound instead.
+        """
+        if state.process is not None:
+            state.process.join(timeout=1.0)
+        self._collect_ready()
+        self._retire_reader(state)
+        if state.quarantined:
+            admission = self._resilience.admission
+            for seq, ops in state.quarantined.items():
+                state.unacked[seq] = ops
+                admission.dispatched((state.worker_id,), len(ops))
+            state.quarantined.clear()
+        state.respawns += 1
+        self.metrics.respawns += 1
+        self.metrics.batches_replayed += len(state.unacked)
+        if self._telemetry.enabled:
+            self._telemetry.count("pool.respawns")
+        self._spawn(state)
+        state.down = False
+        now = time.monotonic()
+        for seq in sorted(state.unacked):
+            state.sent_at[seq] = now
+            state.inbox.put(("batch", seq, state.unacked[seq]))
+            self.metrics.messages_sent += 1
+
+    # ------------------------------------------------------------------
+    # Deadlines, hedges, and degraded answers (resilience only)
+    # ------------------------------------------------------------------
+    def _is_resolved(self, query_id: int) -> bool:
+        accepted = self._accepted.get(query_id, ())
+        missing = self._missing.get(query_id, ())
+        return all(
+            column in accepted or column in missing
+            for column in self._columns[query_id]
+        )
+
+    def _has_unresolved(self) -> bool:
+        return any(
+            not self._is_resolved(query_id) for query_id in self._columns
+        )
+
+    def _enforce_deadlines(self, now: float) -> None:
+        """Pop due deadlines; hedge (or degrade) the late queries.
+
+        A query still unresolved at its deadline counts one miss and
+        re-arms for another SLO window, so a hedge that itself lands on
+        a dying worker gets hedged again until the rows are exhausted.
+        """
+        heap = self._deadline_heap
+        while heap and heap[0][0] <= now:
+            _due, query_id = heapq.heappop(heap)
+            if query_id not in self._columns or self._is_resolved(query_id):
+                continue
+            self.metrics.deadline_misses += 1
+            if self._telemetry.enabled:
+                self._telemetry.count("resilience.deadline_misses")
+            self._resolve_query(query_id, now, force=False)
+            if not self._is_resolved(query_id):
+                heapq.heappush(heap, (now + self._slo[query_id], query_id))
+
+    def _force_resolve(self, now: float) -> None:
+        """Nothing in flight: settle every still-unresolved query.
+
+        With zero outstanding batches no answer can arrive on its own,
+        so each unanswered column either gets a hedge to an untried row
+        (re-entering the drain loop) or is degraded.  Attempted-row
+        sets grow monotonically, so this terminates within ``y`` rounds
+        per column.
+        """
+        for query_id in self._columns:
+            if not self._is_resolved(query_id):
+                self._resolve_query(query_id, now, force=True)
+
+    def _resolve_query(
+        self, query_id: int, now: float, *, force: bool
+    ) -> None:
+        """Hedge or degrade every unanswered column of one query."""
+        accepted = self._accepted.get(query_id, ())
+        missing = self._missing.get(query_id, set())
+        hedge_enabled = self._resilience.config.hedge
+        for column in self._columns[query_id]:
+            if column in accepted or column in missing:
+                continue
+            row = (
+                self._pick_hedge_row(query_id, column, now)
+                if hedge_enabled
+                else None
+            )
+            if row is not None:
+                self._dispatch_hedge(query_id, column, row, now)
+            elif force or not hedge_enabled or self._column_down(column):
+                self._degrade(query_id, column)
+            # else: every row is attempted but some attempt is still in
+            # flight (replay pending) — keep waiting for it.
+
+    def _column_down(self, column: tuple[int, int]) -> bool:
+        """True when no replica row of ``column`` can currently serve."""
+        layer, col = column
+        breakers = self._resilience.breakers()
+        for row in range(self._config.y):
+            breaker = breakers.get((layer, row, col))
+            if breaker is None or breaker.state != CircuitBreaker.OPEN:
+                return False
+        return True
+
+    def _attempted_rows(
+        self, query_id: int, column: tuple[int, int]
+    ) -> set[int]:
+        """Rows already tried for ``(query, column)``, seeded lazily.
+
+        The submit path records only the originally routed row (one int
+        store); the full per-column set materializes here, on the first
+        hedge decision for the query.
+        """
+        attempted = self._attempted.get(query_id)
+        if attempted is None:
+            row = self._rows[query_id]
+            attempted = self._attempted[query_id] = {
+                col: {row} for col in self._columns[query_id]
+            }
+        return attempted[column]
+
+    def _pick_hedge_row(
+        self, query_id: int, column: tuple[int, int], now: float
+    ) -> int | None:
+        """Least-loaded untried replica row whose breaker permits work."""
+        layer, col = column
+        attempted = self._attempted_rows(query_id, column)
+        breakers = self._resilience.breakers()
+        admission = self._resilience.admission
+        best_row: int | None = None
+        best_load = 0
+        for row in range(self._config.y):
+            if row in attempted:
+                continue
+            breaker = breakers.get((layer, row, col))
+            if breaker is not None and not breaker.allow(now):
+                continue
+            load = admission.load((layer, row, col))
+            if best_row is None or load < best_load:
+                best_row = row
+                best_load = load
+        return best_row
+
+    def _dispatch_hedge(
+        self, query_id: int, column: tuple[int, int], row: int, now: float
+    ) -> None:
+        """Re-issue one query to a sibling replica row of ``column``.
+
+        The hedge is a single-op batch through the normal seq/unacked
+        machinery, so it survives crashes of its target exactly like a
+        first-class dispatch; queries never mutate state, so the
+        original answering later is harmless (first answer wins).
+        """
+        layer, col = column
+        target: WorkerId = (layer, row, col)
+        state = self._workers[target]
+        self._ensure_alive(state)
+        ops = (
+            ("query", query_id, self._locations[query_id],
+             self._ks[query_id]),
+        )
+        seq = state.next_seq
+        state.next_seq += 1
+        state.unacked[seq] = ops
+        state.sent_at[seq] = now
+        state.inbox.put(("batch", seq, ops))
+        self._attempted_rows(query_id, column).add(row)
+        self._resilience.admission.dispatched((target,), 1)
+        self.metrics.hedges += 1
+        self.metrics.batches_sent += 1
+        self.metrics.messages_sent += 1
+        self.metrics.ops_dispatched += 1
+        if self._telemetry.enabled:
+            self._telemetry.count("resilience.hedges")
+
+    def _degrade(self, query_id: int, column: tuple[int, int]) -> None:
+        """Give up on one column for one query: answer without it."""
+        self._missing.setdefault(query_id, set()).add(column)
 
     def _spawn(self, state: _WorkerState) -> None:
         state.inbox = self._context.Queue()

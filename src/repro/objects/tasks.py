@@ -22,12 +22,20 @@ class TaskKind(Enum):
 
 @dataclass(frozen=True, order=True)
 class QueryTask:
-    """A kNN query issued from ``location`` asking for ``k`` objects."""
+    """A kNN query issued from ``location`` asking for ``k`` objects.
+
+    ``deadline`` is this query's latency SLO in seconds, measured from
+    the moment the executor accepts it (wall clock, not stream time).
+    ``None`` falls back to the executor's configured default; with the
+    resilience layer enabled, a query past its deadline is hedged to a
+    different replica row instead of waiting on recovery.
+    """
 
     arrival_time: float
     query_id: int
     location: int
     k: int
+    deadline: float | None = field(default=None, compare=False)
 
     kind: TaskKind = field(default=TaskKind.QUERY, compare=False)
 

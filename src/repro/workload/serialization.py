@@ -31,10 +31,13 @@ FORMAT_TAG = "repro-workload-v1"
 
 def _task_to_dict(task: Task) -> dict[str, Any]:
     if isinstance(task, QueryTask):
-        return {
+        payload: dict[str, Any] = {
             "t": task.arrival_time, "kind": "query", "id": task.query_id,
             "location": task.location, "k": task.k,
         }
+        if task.deadline is not None:
+            payload["deadline"] = task.deadline
+        return payload
     if isinstance(task, InsertTask):
         payload: dict[str, Any] = {
             "t": task.arrival_time, "kind": "insert",
@@ -59,6 +62,9 @@ def _task_from_dict(payload: dict[str, Any]) -> Task:
         return QueryTask(
             float(payload["t"]), int(payload["id"]),
             int(payload["location"]), int(payload["k"]),
+            deadline=(
+                float(payload["deadline"]) if "deadline" in payload else None
+            ),
         )
     if kind == "insert":
         return InsertTask(

@@ -1,0 +1,69 @@
+"""The chaos harness as an automated gate (acceptance scenarios).
+
+Each test runs a :mod:`repro.mpr.chaos` scenario end to end and
+asserts its invariant report is clean: the drain terminated, every
+plain answer matched the serial oracle exactly, degraded answers were
+internally consistent, traces were complete, and the deadline-miss
+rate stayed inside the scenario's bound.  The headline acceptance
+criterion — SIGKILL one full partition column mid-batch without
+hanging — is :func:`test_kill_full_column_mid_batch_completes`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpr.chaos import SCENARIOS, run_scenario
+
+pytestmark = pytest.mark.slow
+
+
+def test_scenario_registry_covers_the_failure_modes() -> None:
+    assert {
+        "none", "kill-worker", "kill-column", "crash-loop",
+        "stall", "slow", "poison", "dropped-ack",
+    } <= set(SCENARIOS)
+    with pytest.raises(KeyError):
+        run_scenario("no-such-scenario")
+
+
+def test_fault_free_control_is_clean() -> None:
+    report = run_scenario("none")
+    assert report.ok, report.violations
+    assert report.plain == report.queries
+    assert report.degraded == 0 and report.shed == 0
+    assert report.metrics["hedges"] == 0
+
+
+def test_kill_full_column_mid_batch_completes() -> None:
+    """Acceptance: SIGKILL every replica of one column mid-batch; the
+    drain must still terminate with correct (possibly degraded)
+    answers and complete traces."""
+    report = run_scenario("kill-column", drain_timeout=30.0)
+    assert report.ok, report.violations
+    assert report.drain_seconds < 30.0
+    assert report.plain + report.degraded == report.queries
+    assert report.metrics["respawns"] >= 1
+
+
+@pytest.mark.parametrize("name", ["kill-worker", "stall", "dropped-ack"])
+def test_single_fault_scenarios_hold_invariants(name: str) -> None:
+    report = run_scenario(name, drain_timeout=30.0)
+    assert report.ok, report.violations
+
+
+def test_slow_workers_hedge_and_still_answer_exactly() -> None:
+    report = run_scenario("slow", drain_timeout=30.0)
+    assert report.ok, report.violations
+    # Every query answered exactly despite universal slowness...
+    assert report.plain == report.queries
+    # ...because hedges raced the originals (losers dropped as dups).
+    assert report.metrics["hedges"] >= 1
+    assert report.counters.get("resilience.hedges", 0) >= 1
+
+
+def test_crash_loop_opens_breakers_and_never_hangs() -> None:
+    report = run_scenario("crash-loop", drain_timeout=30.0)
+    assert report.ok, report.violations
+    assert report.metrics["breaker_opens"] >= 1
+    assert report.plain + report.degraded == report.queries

@@ -1,0 +1,281 @@
+"""Resilience layer wired through the executors: deadlines, hedges,
+shedding, degraded answers.
+
+Process-pool cases (marked slow) exercise the full behaviour — hedged
+replica reads racing the original, quarantine-and-degrade when a whole
+column is down, admission shedding, the stall watchdog.  The threaded
+cases (fast) cover the subset that substrate realizes: queue-depth
+shedding and deadline-miss accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.graph import grid_network
+from repro.knn import DijkstraKNN
+from repro.knn.base import PartialResult
+from repro.mpr import (
+    MPRConfig,
+    Overloaded,
+    ResilienceConfig,
+    build_executor,
+    run_serial_reference,
+)
+from repro.mpr.chaos import SlowKNN
+from repro.objects.tasks import QueryTask
+from repro.obs import Telemetry
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(10, 10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def objects(network):
+    return {i: (i * 11 + 5) % network.num_nodes for i in range(40)}
+
+
+def _queries(network, count, k=4, deadline=None):
+    return [
+        QueryTask(
+            float(i), i, (i * 13 + 1) % network.num_nodes, k,
+            deadline=deadline,
+        )
+        for i in range(count)
+    ]
+
+
+def _oracle(network, objects, tasks):
+    return run_serial_reference(DijkstraKNN(network), dict(objects), tasks)
+
+
+# ----------------------------------------------------------------------
+# Process pool (slow)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_resilient_pool_matches_oracle_without_faults(
+    network, objects
+) -> None:
+    """Resilience on + no faults: answers identical, counters silent."""
+    tasks = _queries(network, 16, deadline=30.0)
+    with build_executor(
+        MPRConfig(2, 2, 1), DijkstraKNN(network), objects,
+        mode="process", batch_size=4,
+        resilience=ResilienceConfig(max_outstanding=10_000),
+    ) as pool:
+        answers = pool.run(tasks)
+        metrics = pool.metrics
+    assert answers == _oracle(network, objects, tasks)
+    assert metrics.hedges == 0
+    assert metrics.shed == 0
+    assert metrics.degraded == 0
+    assert metrics.breaker_opens == 0
+
+
+@pytest.mark.slow
+def test_hedged_queries_race_first_answer_wins(network, objects) -> None:
+    """Every replica is slow, so every query hedges to the sibling row;
+    both answer eventually — the first wins, the loser's ack is dropped
+    as a duplicate, and each trace keeps exactly one execute span."""
+    tasks = _queries(network, 8, deadline=0.02)
+    telemetry = Telemetry()
+    with build_executor(
+        MPRConfig(1, 2, 1), SlowKNN(DijkstraKNN(network), delay=0.05),
+        objects, mode="process", batch_size=2, telemetry=telemetry,
+        health_check_interval=0.01,
+        resilience=ResilienceConfig(stall_timeout=None),
+    ) as pool:
+        answers = pool.run(tasks)
+        metrics = pool.metrics
+    assert answers == _oracle(network, objects, tasks)
+    assert not any(isinstance(a, PartialResult) for a in answers.values())
+    assert metrics.hedges >= 1
+    assert metrics.deadline_misses >= 1
+    # Both rows answered at least one hedged query: the loser is dropped.
+    assert metrics.duplicate_acks >= 1
+    counters = telemetry.counters
+    assert counters["resilience.hedges"] == metrics.hedges
+    assert counters["resilience.duplicate_acks"] == metrics.duplicate_acks
+    # Exactly one execute span per query (x=1): the duplicate's stamps
+    # were skipped, not stitched in as a second span.
+    for task in tasks:
+        trace = telemetry.trace(task.query_id)
+        assert trace is not None
+        assert len(trace.stage_spans("execute")) == 1
+
+
+@pytest.mark.slow
+def test_dead_column_degrades_instead_of_hanging(network, objects) -> None:
+    """SIGKILL the only replica of one column while its batches are
+    buffered: the breaker opens, the batches are quarantined, and the
+    drain returns PartialResults flagging the dead column — quickly."""
+    config = MPRConfig(2, 1, 1)
+    tasks = _queries(network, 10)
+    with build_executor(
+        config, DijkstraKNN(network), objects,
+        mode="process", batch_size=4, health_check_interval=0.01,
+        resilience=ResilienceConfig(
+            breaker_failures=1, backoff_base=30.0, backoff_max=30.0,
+        ),
+    ) as pool:
+        pool.start()
+        victim_id = min(pool.worker_pids())  # column 0
+        os.kill(pool.worker_pids()[victim_id], signal.SIGKILL)
+        for task in tasks:
+            pool.submit(task)
+        start = time.monotonic()
+        answers = pool.drain(timeout=30.0)
+        elapsed = time.monotonic() - start
+        metrics = pool.metrics
+    assert elapsed < 10.0
+    assert metrics.breaker_opens >= 1
+    assert metrics.degraded == len(tasks)
+    dead_column = (victim_id[0], victim_id[2])
+    # The degraded answer must be exactly the kNN over the objects the
+    # *surviving* column holds (column-restricted oracle).
+    from repro.mpr.core_matrix import MPRRouter
+
+    cells = MPRRouter(config).preload_objects(objects)
+    survivor = DijkstraKNN(
+        network,
+        next(
+            cell for worker_id, cell in cells.items()
+            if (worker_id[0], worker_id[2]) != dead_column
+        ),
+    )
+    for task in tasks:
+        answer = answers[task.query_id]
+        assert isinstance(answer, PartialResult)
+        assert answer.missing_columns == (dead_column,)
+        assert list(answer) == survivor.query(task.location, task.k)
+
+
+@pytest.mark.slow
+def test_admission_sheds_with_typed_overloaded_answers(
+    network, objects
+) -> None:
+    """With a tiny outstanding bound and a batch size that keeps ops
+    buffered, the overflow is shed deterministically at submit."""
+    tasks = _queries(network, 10)
+    telemetry = Telemetry()
+    with build_executor(
+        MPRConfig(1, 1, 1), DijkstraKNN(network), objects,
+        mode="process", batch_size=64, telemetry=telemetry,
+        resilience=ResilienceConfig(max_outstanding=4),
+    ) as pool:
+        answers = pool.run(tasks)
+        metrics = pool.metrics
+    shed = {qid for qid, a in answers.items() if isinstance(a, Overloaded)}
+    assert len(shed) == 6  # 4 admitted (loads 1..4), the rest rejected
+    assert metrics.shed == 6
+    assert telemetry.counters["resilience.shed"] == 6
+    oracle = _oracle(network, objects, tasks)
+    for task in tasks:
+        if task.query_id in shed:
+            verdict = answers[task.query_id]
+            assert verdict.bound == 4 and verdict.outstanding >= 4
+            assert not verdict  # falsy: never a usable answer
+        else:
+            assert answers[task.query_id] == oracle[task.query_id]
+
+
+@pytest.mark.slow
+def test_stall_watchdog_kills_sigstopped_worker(network, objects) -> None:
+    """A SIGSTOPped worker acks nothing: the watchdog converts the
+    stall into the crash path and queries still finish correctly."""
+    tasks = _queries(network, 8, deadline=0.05)
+    pool = build_executor(
+        MPRConfig(1, 2, 1), DijkstraKNN(network), objects,
+        mode="process", batch_size=2, health_check_interval=0.01,
+        resilience=ResilienceConfig(stall_timeout=0.2),
+    )
+    victim_pid = None
+    try:
+        with pool:
+            pool.start()
+            for task in tasks:
+                pool.submit(task)
+            victim_pid = next(iter(pool.worker_pids().values()))
+            os.kill(victim_pid, signal.SIGSTOP)
+            pool.flush()
+            answers = pool.drain(timeout=30.0)
+            metrics = pool.metrics
+    finally:
+        if victim_pid is not None:
+            try:
+                os.kill(victim_pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+    assert answers == _oracle(network, objects, tasks)
+    assert metrics.stall_kills >= 1
+    assert metrics.respawns >= 1
+
+
+# ----------------------------------------------------------------------
+# Threaded executor (fast): shedding + deadline accounting
+# ----------------------------------------------------------------------
+class SleepyKNN(DijkstraKNN):
+    """Per-query sleep so the worker queues visibly back up."""
+
+    def __init__(self, network, objects=None, delay=0.02):
+        super().__init__(network, objects)
+        self._delay = delay
+
+    def query(self, location, k):
+        time.sleep(self._delay)
+        return super().query(location, k)
+
+    def spawn(self, objects):
+        return SleepyKNN(self._network, objects, self._delay)
+
+
+def test_threaded_executor_sheds_on_queue_depth(network, objects) -> None:
+    tasks = _queries(network, 8)
+    telemetry = Telemetry()
+    with build_executor(
+        MPRConfig(1, 1, 1), SleepyKNN(network, delay=0.03), objects,
+        telemetry=telemetry,
+        resilience=ResilienceConfig(max_outstanding=1),
+    ) as executor:
+        answers = executor.run(tasks)
+    shed = {qid for qid, a in answers.items() if isinstance(a, Overloaded)}
+    assert len(answers) == len(tasks)  # every query got *a* verdict
+    assert shed  # the burst outran a bound of one queued op
+    assert telemetry.counters["resilience.shed"] == len(shed)
+    oracle = _oracle(network, objects, tasks)
+    for task in tasks:
+        if task.query_id not in shed:
+            assert answers[task.query_id] == oracle[task.query_id]
+
+
+def test_threaded_executor_accounts_deadline_misses(network, objects) -> None:
+    tasks = _queries(network, 4, deadline=1e-4)
+    telemetry = Telemetry()
+    with build_executor(
+        MPRConfig(1, 1, 1), SleepyKNN(network, delay=0.01), objects,
+        telemetry=telemetry, resilience=ResilienceConfig(),
+    ) as executor:
+        answers = executor.run(tasks)
+    # Deadlines are advisory on the threaded substrate: answers are
+    # complete, the misses are accounted.
+    assert answers == _oracle(network, objects, tasks)
+    assert executor.deadline_misses == len(tasks)
+    assert telemetry.counters["resilience.deadline_misses"] == len(tasks)
+
+
+def test_threaded_executor_disabled_resilience_has_no_verdicts(
+    network, objects
+) -> None:
+    tasks = _queries(network, 4)
+    with build_executor(
+        MPRConfig(1, 1, 1), DijkstraKNN(network), objects
+    ) as executor:
+        answers = executor.run(tasks)
+        assert executor.deadline_misses == 0
+    assert answers == _oracle(network, objects, tasks)

@@ -167,6 +167,64 @@ def test_close_before_start_and_empty_drain(network) -> None:
         assert fresh.run([]) == {}
 
 
+def test_drain_timeout_lists_outstanding_batches(network, workload) -> None:
+    """A bounded drain that cannot quiesce must raise a TimeoutError
+    naming every outstanding (worker_id, seq) batch — the diagnostic a
+    wedged production pool is debugged from."""
+    pool = build_executor(
+        MPRConfig(2, 1, 1), DijkstraKNN(network),
+        workload.initial_objects, mode="process", batch_size=4,
+    )
+    victim_pid = None
+    try:
+        with pool:
+            pool.start()
+            victim_id, victim_pid = next(iter(pool.worker_pids().items()))
+            os.kill(victim_pid, signal.SIGSTOP)  # alive but silent
+            for task in workload.tasks[:20]:
+                pool.submit(task)
+            pool.flush()
+            with pytest.raises(TimeoutError) as excinfo:
+                pool.drain(timeout=0.5)
+            message = str(excinfo.value)
+            assert "did not quiesce within 0.5" in message
+            assert str(victim_id) in message
+            assert "(worker, seq)" in message
+    finally:
+        if victim_pid is not None:
+            try:
+                os.kill(victim_pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+
+
+def test_close_escalates_on_wedged_worker_and_unlinks_shm(network) -> None:
+    """A SIGSTOPped worker ignores the stop sentinel and SIGTERM alike;
+    close() must escalate to SIGKILL within its timeout and still
+    unlink the shared-memory graph segment."""
+    from multiprocessing import shared_memory
+
+    pool = build_executor(
+        MPRConfig(1, 2, 1), DijkstraKNN(network), {1: 0},
+        mode="process", batch_size=2,
+    )
+    pool.start()
+    shm_name = network._shared_meta.shm_name
+    victim_pid = next(iter(pool.worker_pids().values()))
+    os.kill(victim_pid, signal.SIGSTOP)
+    start = time.monotonic()
+    pool.close(timeout=1.0)
+    assert time.monotonic() - start < 10.0
+    assert not pool.running
+    # The wedge was resolved by force, not leaked.
+    with pytest.raises(ProcessLookupError):
+        os.kill(victim_pid, signal.SIGCONT)
+    # The segment is gone even though shutdown needed the kill path.
+    assert getattr(network, "_shared_meta", None) is None
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=shm_name)
+
+
 def test_poison_task_raises_instead_of_respawn_loop(network, workload) -> None:
     """A batch that crashes the solution itself is not a process fault:
     it must surface as WorkerCrash, not burn the respawn budget."""

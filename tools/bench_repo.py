@@ -16,6 +16,12 @@ Schema — one entry per operation::
 * ``ier_query`` — one ``IERKNN.query`` (Euclidean-restriction path);
 * ``update`` — one insert + delete pair.
 
+One extra entry, ``pool_resilience_overhead``, races the process pool
+with resilience disabled vs enabled (no faults injected) and records
+``{"disabled_qps", "enabled_qps", "overhead_pct"}`` — the acceptance
+bound is overhead within 5% (best-of-N, so occasional negative values
+are noise).
+
 ``p50_us``/``p95_us`` are per-operation latency percentiles in
 microseconds; ``qps`` is operations per wall-clock second over the
 whole run.  Everything is deterministic given the seeds; timings move
@@ -58,6 +64,58 @@ def summarize(samples_s: list[float]) -> dict[str, float]:
         "p50_us": round(statistics.median(samples_s) * 1e6, 2),
         "p95_us": round(percentile(samples_s, 0.95) * 1e6, 2),
         "qps": round(len(samples_s) / total if total else 0.0, 1),
+    }
+
+
+def bench_pool_resilience_overhead() -> dict[str, float]:
+    """No-fault pool throughput, resilience disabled vs enabled.
+
+    Interleaved best-of-N over the same fixed workload; the enabled run
+    arms a deadline per query and feeds the admission ledger but never
+    hedges, sheds, or degrades (asserted), so the delta is the pure
+    bookkeeping cost of the resilience layer.
+    """
+    from repro.mpr import MPRConfig, ResilienceConfig, build_executor
+    from repro.workload import generate_workload
+
+    network = grid_network(24, 24, seed=SEED % 1000, name="bench-pool")
+    workload = generate_workload(
+        network, num_objects=30, lambda_q=600.0, lambda_u=400.0,
+        duration=0.5, seed=SEED % 1000, k=5,
+    )
+    config = MPRConfig(2, 2, 1)
+    prototype = DijkstraKNN(network)
+    resilience = ResilienceConfig(
+        default_deadline=60.0, max_outstanding=10**6
+    )
+
+    def run_with(setting) -> float:
+        with build_executor(
+            config, prototype, workload.initial_objects,
+            mode="process", batch_size=16, resilience=setting,
+        ) as pool:
+            t0 = time.perf_counter()
+            pool.run(workload.tasks)
+            elapsed = time.perf_counter() - t0
+            if setting is not None:
+                metrics = pool.metrics
+                assert metrics.hedges == 0 and metrics.shed == 0
+                assert metrics.degraded == 0
+        return elapsed
+
+    run_with(None)
+    run_with(resilience)
+    # Interleave the two sides so machine drift cancels instead of
+    # landing entirely on one of them.
+    base_best = enabled_best = float("inf")
+    for _ in range(6):
+        base_best = min(base_best, run_with(None))
+        enabled_best = min(enabled_best, run_with(resilience))
+    tasks = len(workload.tasks)
+    return {
+        "disabled_qps": round(tasks / base_best, 1),
+        "enabled_qps": round(tasks / enabled_best, 1),
+        "overhead_pct": round((enabled_best / base_best - 1) * 100, 2),
     }
 
 
@@ -109,13 +167,23 @@ def main() -> None:
         "ier_query": summarize(ier_samples),
         "update": summarize(update_samples),
     }
-    out = ROOT / "BENCH_knn.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
     for op, stats in report.items():
         print(
             f"{op:<14} p50 {stats['p50_us']:>9.2f} us   "
             f"p95 {stats['p95_us']:>9.2f} us   {stats['qps']:>10.1f} qps"
         )
+
+    overhead = bench_pool_resilience_overhead()
+    report["pool_resilience_overhead"] = overhead
+    print(
+        f"{'pool_resilience_overhead':<24} "
+        f"disabled {overhead['disabled_qps']:>9.1f} qps   "
+        f"enabled {overhead['enabled_qps']:>9.1f} qps   "
+        f"overhead {overhead['overhead_pct']:+.2f}%"
+    )
+
+    out = ROOT / "BENCH_knn.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
 
 

@@ -1,0 +1,99 @@
+"""Run the fault-injection chaos scenarios and enforce their invariants.
+
+A standalone gate for CI and local soak runs: executes every scenario
+in :data:`repro.mpr.chaos.SCENARIOS` (or a named subset) against the
+resilient process pool and exits non-zero if any invariant is
+violated — a drain hang, a wrong answer, an incomplete trace, or a
+deadline-miss rate past the scenario's bound.
+
+    PYTHONPATH=src python tools/chaos_run.py
+    PYTHONPATH=src python tools/chaos_run.py kill-column stall --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness import format_table
+from repro.mpr.chaos import SCENARIOS, run_scenario
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fault-injection scenarios against the process pool"
+    )
+    parser.add_argument(
+        "scenario", nargs="*",
+        help=f"scenario names (default: all of {', '.join(SCENARIOS)})",
+    )
+    parser.add_argument("--queries", type=int, default=24)
+    parser.add_argument("--deadline", type=float, default=0.25,
+                        help="per-query SLO in seconds")
+    parser.add_argument("--drain-timeout", type=float, default=60.0,
+                        help="hard wall bound on the drain (hang detector)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run each scenario this many times (soak)")
+    parser.add_argument("--json", help="write the reports to this JSON file")
+    args = parser.parse_args(argv)
+
+    names = args.scenario if args.scenario else list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenario(s): {', '.join(unknown)}")
+
+    start = time.perf_counter()
+    reports = []
+    for round_index in range(args.repeat):
+        for name in names:
+            report = run_scenario(
+                name, num_queries=args.queries, deadline=args.deadline,
+                drain_timeout=args.drain_timeout,
+            )
+            reports.append(report)
+            verdict = "ok" if report.ok else "FAIL"
+            print(f"[{round_index + 1}/{args.repeat}] {name:<12} {verdict}",
+                  flush=True)
+
+    rows = [
+        [
+            report.scenario,
+            "ok" if report.ok else "FAIL",
+            str(report.plain), str(report.degraded), str(report.shed),
+            f"{report.miss_rate:.2f}",
+            f"{report.drain_seconds*1e3:,.0f} ms",
+            "; ".join(report.violations) or "-",
+        ]
+        for report in reports
+    ]
+    print()
+    print(
+        format_table(
+            ["scenario", "verdict", "plain", "degraded", "shed",
+             "misses/query", "drain", "violations"],
+            rows,
+            title="Chaos scenarios against the resilient process pool",
+        )
+    )
+    if args.json:
+        payload = [report.to_dict() for report in reports]
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"reports written to {args.json}")
+
+    failed = [report for report in reports if not report.ok]
+    elapsed = time.perf_counter() - start
+    if failed:
+        print(f"chaos FAILED: {len(failed)}/{len(reports)} scenario runs "
+              f"violated invariants ({elapsed:.1f}s)")
+        return 1
+    print(f"chaos OK: {len(reports)} scenario runs clean ({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

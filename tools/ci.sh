@@ -3,6 +3,7 @@
 #
 #   bash tools/ci.sh          # fast lane (slow markers excluded)
 #   CI_SLOW=1 bash tools/ci.sh  # include the slow lane (faults, pool)
+#   CI_CHAOS=1 bash tools/ci.sh # also run the chaos scenario sweep
 #
 # Ruff is optional — environments without the binary skip the lint step
 # instead of failing, so the gate works in the minimal container too.
@@ -15,6 +16,10 @@ if [ "${CI_SLOW:-0}" = "1" ]; then
     python -m pytest -x -q -m "slow or not slow"
 else
     python -m pytest -x -q
+fi
+
+if [ "${CI_CHAOS:-0}" = "1" ]; then
+    python tools/chaos_run.py
 fi
 
 if command -v ruff >/dev/null 2>&1; then

@@ -30,6 +30,8 @@ PACKAGES = [
     "repro.obs",
     "repro.mpr",
     "repro.mpr.api",
+    "repro.mpr.resilience",
+    "repro.mpr.chaos",
     "repro.sim",
     "repro.workload",
     "repro.harness",
@@ -173,6 +175,69 @@ live telemetry via `machine_spec_from_telemetry`;
 `ProcessPoolService.set_batch_size` / `retune_batch_size` (and
 `MPRSystem.retune_batch_size`) apply the choice to a running pool,
 flushing buffered ops first so the switch is FCFS-transparent.
+""",
+    ),
+    (
+        "Resilience & failure semantics",
+        """\
+`repro.mpr.resilience` turns the executors from fail-stop into
+fail-soft.  Pass a `ResilienceConfig` to `build_executor(...,
+resilience=...)` to enable it; the default is `NULL_RESILIENCE` and the
+hot path then pays one attribute load + one branch per touch point
+(`tests/test_resilience_overhead.py` pins the enabled no-fault pool
+within 5% of disabled).  Four mechanisms compose:
+
+**Deadlines and hedged replica reads.**  Every query carries an SLO —
+`QueryTask.deadline` if set, else `ResilienceConfig.default_deadline`.
+When a pooled query is still unresolved at its deadline, the supervisor
+*hedges*: the single-query batch is re-dispatched to the least-loaded
+replica row of the same partition column that has not yet been tried
+(the y-replication of the MPR matrix is the hedging substrate).  First
+answer per column wins; the loser's ack is dropped as a duplicate and
+its telemetry stamps are skipped, so each `QueryTrace` keeps exactly
+one `execute` span per column.  Deadlines are advisory on the threaded
+substrate (misses are counted, answers still complete).
+
+**Admission control.**  `AdmissionController` tracks outstanding ops
+per worker; when the max backlog reaches
+`ResilienceConfig.max_outstanding`, new *queries* are shed at submit
+with a typed, falsy `Overloaded` verdict (updates are never shed — they
+would diverge the replicas).  The threaded executor sheds on live
+worker queue depth instead.
+
+**Crash handling: breakers, quarantine, degraded answers.**  Worker
+death normally respawns-and-replays (see the pool section).  A
+`CircuitBreaker` per worker (threshold `breaker_failures`, exponential
+backoff `backoff_base`·2ⁿ capped at `backoff_max`) detects crash loops:
+once open, the cell's unacknowledged batches are *quarantined* instead
+of replayed, and dispatch avoids the cell until a half-open respawn
+trial readmits it (successfully replayed quarantined batches re-enter).
+A batch that crashes the worker twice is poisoned and surfaced, never
+replayed again.  When *every* cell of a partition column is
+unavailable, the merge stops waiting: affected queries resolve as
+`PartialResult` — a tuple of the surviving columns' kNN answers whose
+`missing_columns` names the dead ones and whose `complete` is False —
+instead of blocking the drain.  A stall watchdog
+(`ResilienceConfig.stall_timeout`) converts a live-but-silent worker
+(e.g. SIGSTOP) into the crash path.
+
+Observability: eight counters (`RESILIENCE_COUNTERS`:
+`resilience.hedges`, `.shed`, `.degraded`, `.breaker_open`,
+`.deadline_misses`, `.duplicate_acks`, `.quarantined`, `.stall_kills`)
+plus matching `pool.metrics` fields.  `drain(timeout=...)` raises a
+`TimeoutError` listing every outstanding `(worker, seq)` batch, and
+`close(timeout=...)` escalates join → SIGTERM → SIGKILL while always
+unlinking the shared-memory graph segment.
+
+`repro.mpr.chaos` is the fault-injection harness that proves all of
+this: `run_scenario(name)` builds a pool, injects a scripted fault
+(SIGKILL one worker or a full column, a crash loop, SIGSTOP stalls,
+universal slowness, a poison batch, dropped acks — see `SCENARIOS`),
+drains, and returns a `ChaosReport` asserting the invariants: the drain
+terminated, plain answers equal the serial oracle, degraded answers are
+internally consistent, traces are complete, and the deadline-miss rate
+is bounded.  `tools/chaos_run.py` (or `repro.cli chaos`) runs the sweep
+from the command line; CI runs it as the `chaos` job.
 """,
     ),
 ]
