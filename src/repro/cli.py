@@ -11,6 +11,8 @@ Gives the headline experiments and utilities a no-pytest entry point:
 * ``pool``            — run a workload through the real process pool
 * ``stats``           — run a workload with telemetry and report
                         per-stage p50/p95/p99 from real traces
+* ``validate``        — sweep the model-validation grid (Eq. 5/7 vs
+                        simulator and live pool) and report verdicts
 """
 
 from __future__ import annotations
@@ -410,6 +412,23 @@ def _stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate(args: argparse.Namespace) -> int:
+    import json
+
+    from .validation import run_validation
+
+    report = run_validation(
+        include_sim=not args.no_sim, include_live=not args.no_live
+    )
+    print(report.format_table())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MPR reproduction command line"
@@ -530,6 +549,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="core budget of the calibrated machine model")
     stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(func=_stats)
+
+    validate = sub.add_parser(
+        "validate", help="model-validation sweep (Eq. 5/7 vs measurement)"
+    )
+    validate.add_argument("--no-sim", action="store_true",
+                          help="skip the simulator sweep")
+    validate.add_argument("--no-live", action="store_true",
+                          help="skip the live process-pool sweep")
+    validate.add_argument("--json", help="write the report to this JSON file")
+    validate.set_defaults(func=_validate)
     return parser
 
 

@@ -1,0 +1,29 @@
+"""Standing model-validation: Eq. 5/7 vs simulator and live pool."""
+
+from .harness import (
+    DEFAULT_LIVE_GRID,
+    DEFAULT_SIM_GRID,
+    CellVerdict,
+    GridSpec,
+    ThroughputVerdict,
+    ToleranceSpec,
+    ValidationReport,
+    run_validation,
+    validate_live,
+    validate_simulator,
+    write_report,
+)
+
+__all__ = [
+    "DEFAULT_LIVE_GRID",
+    "DEFAULT_SIM_GRID",
+    "CellVerdict",
+    "GridSpec",
+    "ThroughputVerdict",
+    "ToleranceSpec",
+    "ValidationReport",
+    "run_validation",
+    "validate_live",
+    "validate_simulator",
+    "write_report",
+]

@@ -1,4 +1,10 @@
-"""Workload generation: arrivals, RU/TH streams, named scenarios."""
+"""Workload generation: arrivals, RU/TH streams, named scenarios.
+
+Beyond the paper's stationary Poisson streams, this package now covers
+non-stationary arrival processes (:mod:`.processes`), mobility-driven
+correlated update streams (:mod:`.mobility`), and continuous
+subscription kNN with incremental re-evaluation (:mod:`.continuous`).
+"""
 
 from .arrivals import (
     deterministic_arrivals,
@@ -7,8 +13,28 @@ from .arrivals import (
     poisson_arrivals,
     thin,
 )
+from .continuous import (
+    ContinuousWorkload,
+    IncrementalKNNMonitor,
+    Subscription,
+    generate_continuous_workload,
+)
 from .generator import GeneratedWorkload, UpdateMode, generate_workload
-from .replay import FleetSpec, fleet_update_rate, replay_fleet
+from .mobility import MobilitySpec, mobility_workload, rush_hour_fleet
+from .processes import (
+    ArrivalProcess,
+    ConstantRate,
+    Hyperexponential,
+    PiecewiseRate,
+    RenewalProcess,
+    SinusoidRate,
+    Spike,
+    SpikeTrain,
+    fit_hyperexponential,
+    hyperexponential_from_moments,
+    profile_from_distributions,
+)
+from .replay import FleetSpec, fleet_update_rate, replay_fleet, replay_timed
 from .serialization import load_workload, save_workload
 from .scenarios import (
     BJ_RU_QUERY_HEAVY,
@@ -28,6 +54,24 @@ __all__ = [
     "merge_labelled",
     "poisson_arrivals",
     "thin",
+    "ArrivalProcess",
+    "ConstantRate",
+    "Hyperexponential",
+    "PiecewiseRate",
+    "RenewalProcess",
+    "SinusoidRate",
+    "Spike",
+    "SpikeTrain",
+    "fit_hyperexponential",
+    "hyperexponential_from_moments",
+    "profile_from_distributions",
+    "ContinuousWorkload",
+    "IncrementalKNNMonitor",
+    "Subscription",
+    "generate_continuous_workload",
+    "MobilitySpec",
+    "mobility_workload",
+    "rush_hour_fleet",
     "GeneratedWorkload",
     "UpdateMode",
     "generate_workload",
@@ -36,6 +80,7 @@ __all__ = [
     "save_workload",
     "fleet_update_rate",
     "replay_fleet",
+    "replay_timed",
     "BJ_RU_QUERY_HEAVY",
     "CASE_STUDY",
     "FIGURE6_SCENARIOS",

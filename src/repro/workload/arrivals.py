@@ -7,6 +7,7 @@ at each arrival is the generator's business (:mod:`.generator`).
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterator
 
@@ -54,9 +55,15 @@ def thin(times: list[float], keep_probability: float, rng: random.Random) -> lis
 
 
 def interarrival_stats(times: list[float]) -> tuple[float, float]:
-    """(mean, variance) of inter-arrival gaps — workload diagnostics."""
+    """(mean, variance) of inter-arrival gaps — workload diagnostics.
+
+    Streams with fewer than two events have no gaps; they return
+    ``(inf, 0.0)`` — an infinite mean gap is the defined limit of "no
+    observed rate" (``1/mean`` is then 0), never a NaN and never an
+    exception, so diagnostics over sparse windows stay total.
+    """
     if len(times) < 2:
-        return (0.0, 0.0)
+        return (math.inf, 0.0)
     gaps = [b - a for a, b in zip(times, times[1:])]
     mean = sum(gaps) / len(gaps)
     variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)

@@ -1,0 +1,273 @@
+"""Continuous (subscription) kNN: standing queries re-evaluated on update.
+
+A continuous kNN query registers once and must always reflect the
+current object set — the moving-objects literature (PAPERS.md) calls
+these *subscriptions*.  Two execution strategies must agree:
+
+* **Lowering** (:meth:`ContinuousWorkload.lower`): compile the
+  subscription set into an ordinary task stream by re-issuing every
+  subscription as a fresh :class:`~repro.objects.tasks.QueryTask`
+  after every ``every`` update events.  This runs unchanged through
+  both executors and the serial reference — it is the oracle.
+* **Incremental** (:class:`IncrementalKNNMonitor`): pay one SSSP per
+  subscription *once*, then maintain each subscription's candidate set
+  in O(#subscriptions) per insert/delete with no graph search at all.
+  Distances come from the same delta-stepping kernel the query path
+  uses (:meth:`repro.graph.kernels.CSRKernels.sssp`), so results are
+  bit-identical to a fresh query — ``tests/test_continuous_knn.py``
+  pins that equivalence.
+
+The monitor exploits that a subscription's origin is fixed: d(q, o)
+depends only on o's node, so a precomputed distance field turns every
+update into a dictionary write per subscription.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..graph.road_network import RoadNetwork
+from ..knn.base import Neighbor, canonical_knn
+from ..objects.tasks import (
+    DeleteTask,
+    InsertTask,
+    QueryTask,
+    Task,
+    TaskKind,
+)
+from .generator import GeneratedWorkload, UpdateMode, generate_workload
+from .processes import ArrivalProcess
+
+__all__ = [
+    "ContinuousWorkload",
+    "IncrementalKNNMonitor",
+    "Subscription",
+    "generate_continuous_workload",
+]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A standing kNN query: fixed origin, fixed k, always current."""
+
+    subscription_id: int
+    location: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+
+
+@dataclass(frozen=True)
+class ContinuousWorkload:
+    """Subscriptions plus the update stream they monitor.
+
+    ``updates`` holds only insert/delete tasks (arrival-time ordered);
+    the subscriptions are standing, not part of the stream.
+    """
+
+    initial_objects: dict[int, int]
+    updates: list[Task]
+    subscriptions: tuple[Subscription, ...]
+    duration: float
+
+    def __post_init__(self) -> None:
+        for task in self.updates:
+            if task.kind is TaskKind.QUERY:
+                raise ValueError("updates stream must not contain queries")
+        ids = [s.subscription_id for s in self.subscriptions]
+        if len(set(ids)) != len(ids):
+            raise ValueError("subscription ids must be unique")
+
+    def lower(
+        self, every: int = 1
+    ) -> tuple[list[Task], dict[int, tuple[int, int]]]:
+        """Compile to an ordinary task stream (the oracle strategy).
+
+        Emits one epoch of fresh queries — one per subscription, at the
+        same arrival time — before any updates (epoch 0) and after
+        every ``every`` subsequent update events.  A TH-style
+        delete/insert movement pair is never split by an epoch, so every
+        epoch observes a consistent object set.
+
+        Returns ``(tasks, origin)`` where ``origin`` maps each emitted
+        ``query_id`` back to ``(subscription_id, epoch)`` — query id
+        ``epoch * len(subscriptions) + index`` keeps ids dense and
+        collision-free for the executors.
+        """
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        tasks: list[Task] = []
+        origin: dict[int, tuple[int, int]] = {}
+        epoch = 0
+
+        def emit(time: float) -> None:
+            nonlocal epoch
+            for index, sub in enumerate(self.subscriptions):
+                query_id = epoch * len(self.subscriptions) + index
+                tasks.append(QueryTask(time, query_id, sub.location, sub.k))
+                origin[query_id] = (sub.subscription_id, epoch)
+            epoch += 1
+
+        emit(0.0 if not self.updates else min(0.0, self.updates[0].arrival_time))
+        due = False
+        for position, task in enumerate(self.updates):
+            tasks.append(task)
+            if (position + 1) % every == 0:
+                due = True
+            mid_movement = (
+                task.kind is TaskKind.DELETE
+                and task.movement_id is not None
+                and position + 1 < len(self.updates)
+                and self.updates[position + 1].kind is TaskKind.INSERT
+                and self.updates[position + 1].movement_id == task.movement_id
+            )
+            if due and not mid_movement:
+                emit(task.arrival_time)
+                due = False
+        return tasks, origin
+
+    @property
+    def num_epochs_hint(self) -> int:
+        """Upper bound on epochs produced by ``lower(every=1)``."""
+        return len(self.updates) + 1
+
+
+def generate_continuous_workload(
+    network: RoadNetwork,
+    num_objects: int,
+    num_subscriptions: int,
+    lambda_u: float,
+    duration: float,
+    mode: UpdateMode = UpdateMode.RANDOM,
+    k: int = 10,
+    seed: int = 0,
+    update_process: ArrivalProcess | None = None,
+) -> ContinuousWorkload:
+    """A subscription workload over a generated update stream.
+
+    The update stream reuses :func:`~.generator.generate_workload`
+    with ``lambda_q = 0`` (optionally driven by a non-stationary
+    ``update_process``); subscription origins are uniform nodes drawn
+    from an independent deterministic RNG stream.
+    """
+    if num_subscriptions < 1:
+        raise ValueError("need at least one subscription")
+    generated = generate_workload(
+        network,
+        num_objects=num_objects,
+        lambda_q=0.0,
+        lambda_u=lambda_u,
+        duration=duration,
+        mode=mode,
+        k=k,
+        seed=seed,
+        update_process=update_process,
+    )
+    sub_rng = random.Random((seed + 1) * 0x9E3779B9 % (2**63))
+    subscriptions = tuple(
+        Subscription(i, sub_rng.randrange(network.num_nodes), k)
+        for i in range(num_subscriptions)
+    )
+    return ContinuousWorkload(
+        initial_objects=generated.initial_objects,
+        updates=generated.tasks,
+        subscriptions=subscriptions,
+        duration=duration,
+    )
+
+
+@dataclass
+class _SubscriptionState:
+    """Precomputed distance field + live candidate distances."""
+
+    subscription: Subscription
+    #: node -> distance from the subscription origin (settled nodes only;
+    #: absent means unreachable).
+    field: dict[int, float]
+    #: live object -> distance (reachable objects only).
+    candidates: dict[int, float] = field(default_factory=dict)
+
+
+class IncrementalKNNMonitor:
+    """Maintain every subscription's kNN answer without re-querying.
+
+    Construction runs one single-source shortest-path sweep per
+    subscription (the same kernel arithmetic as the query path).  After
+    that, :meth:`insert`/:meth:`delete` are O(#subscriptions) dictionary
+    updates, and :meth:`result` is a sort of the candidate pool — no
+    Dijkstra on the hot path.  ``searches_saved`` counts the fresh
+    queries a lowered stream would have executed instead.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        initial_objects: Mapping[int, int],
+        subscriptions: Iterable[Subscription],
+    ) -> None:
+        self._network = network
+        self._objects: dict[int, int] = dict(initial_objects)
+        self._states: dict[int, _SubscriptionState] = {}
+        for sub in subscriptions:
+            nodes, dists = network.kernels.sssp(sub.location)
+            distance_field = dict(zip(nodes.tolist(), dists.tolist()))
+            state = _SubscriptionState(sub, distance_field)
+            for object_id, node in self._objects.items():
+                distance = distance_field.get(node)
+                if distance is not None and math.isfinite(distance):
+                    state.candidates[object_id] = distance
+            self._states[sub.subscription_id] = state
+        #: One sweep per subscription, paid once at construction.
+        self.searches_performed = len(self._states)
+        #: Fresh queries avoided by incremental maintenance.
+        self.searches_saved = 0
+
+    # ------------------------------------------------------------------
+    # Update interface (mirrors KNNSolution's I/D)
+    # ------------------------------------------------------------------
+    def insert(self, object_id: int, location: int) -> None:
+        if object_id in self._objects:
+            raise ValueError(f"object {object_id} already live")
+        self._objects[object_id] = location
+        for state in self._states.values():
+            distance = state.field.get(location)
+            if distance is not None and math.isfinite(distance):
+                state.candidates[object_id] = distance
+        self.searches_saved += len(self._states)
+
+    def delete(self, object_id: int) -> None:
+        if object_id not in self._objects:
+            raise ValueError(f"object {object_id} not live")
+        del self._objects[object_id]
+        for state in self._states.values():
+            state.candidates.pop(object_id, None)
+        self.searches_saved += len(self._states)
+
+    def apply(self, task: Task) -> None:
+        """Apply one update task from a stream."""
+        if isinstance(task, InsertTask):
+            self.insert(task.object_id, task.location)
+        elif isinstance(task, DeleteTask):
+            self.delete(task.object_id)
+        else:
+            raise TypeError(f"monitor cannot apply {task!r}")
+
+    # ------------------------------------------------------------------
+    # Answers
+    # ------------------------------------------------------------------
+    def result(self, subscription_id: int) -> list[Neighbor]:
+        """The subscription's current answer, canonical order."""
+        state = self._states[subscription_id]
+        return canonical_knn(state.candidates, state.subscription.k)
+
+    def results(self) -> dict[int, list[Neighbor]]:
+        """All current answers, keyed by subscription id."""
+        return {sid: self.result(sid) for sid in self._states}
+
+    def object_locations(self) -> dict[int, int]:
+        return dict(self._objects)

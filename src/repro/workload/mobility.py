@@ -1,0 +1,168 @@
+"""Mobility traces: moving objects driving correlated, non-stationary streams.
+
+The Poisson generators in :mod:`.generator` draw every update
+independently; real update streams are produced by *vehicles moving*,
+so updates are correlated in space (an object's next position neighbors
+its last) and in time (everyone moves more at rush hour).  "Distributed
+Processing of kNN Queries over Moving Objects on Dynamic Road Networks"
+(PAPERS.md) builds its whole evaluation on such traces.
+
+This module synthesizes them: a population of movers random-walks the
+network, a single fleet-wide :class:`~.processes.ArrivalProcess`
+schedules movement events (so a rush-hour sinusoid makes the *update*
+stream non-stationary), and queries are optionally issued from mover
+positions (riders hailing from where the taxis are) — the query and
+update streams then share the mobility field instead of being
+independent uniform draws.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graph.road_network import RoadNetwork
+from ..objects.object_set import ObjectSet
+from ..objects.tasks import DeleteTask, InsertTask, QueryTask, Task
+from .generator import GeneratedWorkload
+from .processes import ArrivalProcess
+
+__all__ = ["MobilitySpec", "mobility_workload", "rush_hour_fleet"]
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """A moving-object population.
+
+    ``hops_per_move`` is the mean walk length per movement event
+    (geometric); ``queries_from_movers`` puts query origins at the
+    current position of a random mover instead of a uniform node, which
+    correlates the query stream with the mobility field.
+    """
+
+    num_movers: int
+    hops_per_move: float = 1.5
+    queries_from_movers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_movers < 1:
+            raise ValueError("need at least one mover")
+        if self.hops_per_move < 0:
+            raise ValueError("hops_per_move must be non-negative")
+
+
+def mobility_workload(
+    network: RoadNetwork,
+    spec: MobilitySpec,
+    movement_process: ArrivalProcess,
+    query_process: ArrivalProcess | None = None,
+    duration: float = 1.0,
+    k: int = 10,
+    seed: int = 0,
+) -> GeneratedWorkload:
+    """Generate a mobility-driven workload.
+
+    ``movement_process`` schedules fleet-wide movement events (each one
+    relocates a uniformly chosen mover along a random walk and emits the
+    TH-style delete/insert pair sharing a ``movement_id``), so a
+    :class:`~.processes.SinusoidRate` or :class:`~.processes.SpikeTrain`
+    here yields a genuinely non-stationary update stream.
+    ``query_process`` (default: none) schedules kNN queries the same
+    way; with ``spec.queries_from_movers`` their origins track the
+    fleet.  The recorded ``lambda_u``/``lambda_q`` are the *realized*
+    mean rates (two update operations per movement), which is what the
+    analytical model should be fed.
+    """
+    if network.num_nodes == 0:
+        raise ValueError("network is empty")
+    rng = random.Random(seed)
+    movers = ObjectSet.random_on_network(
+        network, spec.num_movers, seed=rng.randrange(2**31)
+    )
+    initial = movers.snapshot()
+
+    move_times = movement_process.sample(duration, rng)
+    query_times = (
+        query_process.sample(duration, rng) if query_process is not None else []
+    )
+    events = [(t, i, "move") for i, t in enumerate(move_times)]
+    offset = len(events)
+    events += [(t, offset + i, "query") for i, t in enumerate(query_times)]
+    events.sort()
+
+    position = dict(initial)
+    mover_ids = sorted(position)
+    move_probability = min(spec.hops_per_move / (spec.hops_per_move + 1.0), 0.95)
+
+    tasks: list[Task] = []
+    next_query_id = 0
+    next_movement_id = 0
+    for time, _, kind in events:
+        if kind == "query":
+            if spec.queries_from_movers:
+                origin = position[rng.choice(mover_ids)]
+            else:
+                origin = rng.randrange(network.num_nodes)
+            tasks.append(QueryTask(time, next_query_id, origin, k))
+            next_query_id += 1
+            continue
+        mover = rng.choice(mover_ids)
+        node = position[mover]
+        while rng.random() < move_probability:
+            neighbors = [v for v, _ in network.neighbors(node)]
+            if not neighbors:
+                break
+            node = rng.choice(neighbors)
+        tasks.append(DeleteTask(time, mover, movement_id=next_movement_id))
+        tasks.append(InsertTask(time, mover, node, movement_id=next_movement_id))
+        position[mover] = node
+        next_movement_id += 1
+
+    lambda_u = 2.0 * next_movement_id / duration if duration > 0 else 0.0
+    lambda_q = next_query_id / duration if duration > 0 else 0.0
+    return GeneratedWorkload(
+        initial_objects=initial,
+        tasks=tasks,
+        lambda_q=lambda_q,
+        lambda_u=lambda_u,
+        duration=duration,
+    )
+
+
+def rush_hour_fleet(
+    network: RoadNetwork,
+    num_movers: int,
+    base_move_rate: float,
+    base_query_rate: float,
+    duration: float,
+    period: float | None = None,
+    amplitude: float = 0.6,
+    k: int = 10,
+    seed: int = 0,
+) -> GeneratedWorkload:
+    """Convenience: a fleet under a shared rush-hour sinusoid.
+
+    Movement and query intensities follow the *same* day-cycle (period
+    defaults to the run duration, i.e. one full cycle per run), which is
+    the correlated-load shape the validation harness and the chaos
+    scenarios care about.  ``amplitude`` is relative (see
+    :class:`~.processes.SinusoidRate`).
+    """
+    from .processes import SinusoidRate
+
+    cycle = duration if period is None else period
+    movement = SinusoidRate(base_move_rate, amplitude, cycle)
+    queries: ArrivalProcess | None
+    if base_query_rate > 0:
+        queries = SinusoidRate(base_query_rate, amplitude, cycle)
+    else:
+        queries = None
+    return mobility_workload(
+        network,
+        MobilitySpec(num_movers=num_movers),
+        movement_process=movement,
+        query_process=queries,
+        duration=duration,
+        k=k,
+        seed=seed,
+    )

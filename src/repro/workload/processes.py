@@ -1,0 +1,491 @@
+"""Non-stationary arrival processes and fitted phase distributions.
+
+The paper (and the seed of this repo) assumes stationary Poisson
+arrivals; real location-based services see rush hours, flash crowds,
+and heavy-tailed service times.  This module supplies the stochastic
+machinery for those workloads:
+
+* :class:`ArrivalProcess` — a time-varying intensity ``λ(t)`` plus a
+  sampler.  The default sampler is Lewis–Shedler thinning against the
+  process's own peak-rate envelope, so any subclass that can state
+  ``rate(t)`` and a window upper bound gets a correct non-homogeneous
+  Poisson sampler for free.
+* :class:`ConstantRate` — the stationary special case (equivalent to
+  :func:`repro.workload.arrivals.poisson_arrivals`).
+* :class:`SinusoidRate` — the rush-hour model: a day-cycle sinusoid
+  ``λ(t) = λ₀·(1 + a·sin(2π(t+φ)/T))`` with a closed-form integrated
+  intensity.
+* :class:`SpikeTrain` — flash crowds: a base rate multiplied inside
+  declared spike windows (a stadium emptying, an incident).
+* :class:`PiecewiseRate` — an arbitrary piecewise-constant schedule
+  (e.g. a rate table fitted from a real trace, hour by hour).
+* :class:`Hyperexponential` + :func:`fit_hyperexponential` — fitted
+  phase-type distributions for overdispersed (SCV > 1) inter-arrival
+  or service times, via the standard balanced-means two-phase moment
+  fit; :class:`RenewalProcess` turns any such distribution into an
+  arrival stream, and :func:`profile_from_distributions` turns a pair
+  of them into an :class:`~repro.knn.calibration.AlgorithmProfile` the
+  analytical model and the DES can consume.
+
+Every sampler is a pure function of its ``random.Random`` instance:
+same seed, same stream (pinned by ``tests/test_workload_processes.py``
+alongside the rate-convergence properties).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantRate",
+    "Hyperexponential",
+    "PiecewiseRate",
+    "RenewalProcess",
+    "SinusoidRate",
+    "Spike",
+    "SpikeTrain",
+    "fit_hyperexponential",
+    "hyperexponential_from_moments",
+    "profile_from_distributions",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+class ArrivalProcess(ABC):
+    """A (possibly non-stationary) arrival process on ``[0, ∞)``.
+
+    Subclasses declare the instantaneous intensity :meth:`rate` and a
+    window upper bound :meth:`peak_rate`; :meth:`sample` then draws
+    arrival times by thinning.  :meth:`integrated_rate` is the expected
+    event count ``Λ(t₀,t₁) = ∫ λ(t) dt`` — the quantity empirical
+    counts converge to, which is what the property tests check.
+    """
+
+    @abstractmethod
+    def rate(self, t: float) -> float:
+        """Instantaneous intensity ``λ(t)`` in events per second."""
+
+    @abstractmethod
+    def peak_rate(self, start: float, end: float) -> float:
+        """An upper bound of ``rate`` on ``[start, end)`` (the thinning
+        envelope); tight bounds waste fewer candidate draws."""
+
+    @abstractmethod
+    def scaled(self, factor: float) -> "ArrivalProcess":
+        """The same process with every rate multiplied by ``factor``
+        (how :meth:`repro.workload.Scenario.scaled` shrinks load)."""
+
+    def integrated_rate(self, start: float, end: float, steps: int = 1024) -> float:
+        """``∫ λ(t) dt`` over ``[start, end)``.
+
+        The default is trapezoidal quadrature; subclasses with closed
+        forms override it exactly.
+        """
+        if end <= start:
+            return 0.0
+        width = (end - start) / steps
+        total = 0.5 * (self.rate(start) + self.rate(end))
+        for i in range(1, steps):
+            total += self.rate(start + i * width)
+        return total * width
+
+    def mean_rate(self, start: float, end: float) -> float:
+        """Average intensity over a window (0 for an empty window)."""
+        if end <= start:
+            return 0.0
+        return self.integrated_rate(start, end) / (end - start)
+
+    def sample(
+        self, duration: float, rng: random.Random, start: float = 0.0
+    ) -> list[float]:
+        """Arrival times on ``[start, start+duration)``.
+
+        Lewis–Shedler thinning: candidates arrive as a homogeneous
+        Poisson stream at the envelope rate and are kept with
+        probability ``λ(t)/envelope``.  Deterministic given ``rng``.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        end = start + duration
+        envelope = self.peak_rate(start, end)
+        if envelope < 0:
+            raise ValueError("peak_rate must be non-negative")
+        times: list[float] = []
+        if envelope == 0:
+            return times
+        clock = start
+        while True:
+            clock += rng.expovariate(envelope)
+            if clock >= end:
+                return times
+            if rng.random() * envelope < self.rate(clock):
+                times.append(clock)
+
+
+@dataclass(frozen=True)
+class ConstantRate(ArrivalProcess):
+    """Stationary Poisson arrivals at a fixed rate."""
+
+    rate_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second < 0:
+            raise ValueError("rate must be non-negative")
+
+    def rate(self, t: float) -> float:
+        return self.rate_per_second
+
+    def peak_rate(self, start: float, end: float) -> float:
+        return self.rate_per_second
+
+    def integrated_rate(self, start: float, end: float, steps: int = 1024) -> float:
+        return self.rate_per_second * max(end - start, 0.0)
+
+    def scaled(self, factor: float) -> "ConstantRate":
+        return ConstantRate(self.rate_per_second * factor)
+
+
+@dataclass(frozen=True)
+class SinusoidRate(ArrivalProcess):
+    """Rush-hour sinusoid: ``λ(t) = λ₀·(1 + a·sin(2π(t+φ)/T))``.
+
+    ``amplitude`` is relative (``0 ≤ a ≤ 1``), so the intensity is
+    never negative; ``period`` is the cycle length in seconds (86 400
+    for a daily cycle, much shorter in tests) and ``phase`` shifts the
+    peak.  The integrated intensity has the usual closed form.
+    """
+
+    base_rate: float
+    amplitude: float
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0:
+            raise ValueError("base_rate must be non-negative")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1] (relative)")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def rate(self, t: float) -> float:
+        return self.base_rate * (
+            1.0 + self.amplitude * math.sin(_TWO_PI * (t + self.phase) / self.period)
+        )
+
+    def peak_rate(self, start: float, end: float) -> float:
+        return self.base_rate * (1.0 + self.amplitude)
+
+    def integrated_rate(self, start: float, end: float, steps: int = 1024) -> float:
+        if end <= start:
+            return 0.0
+        omega = _TWO_PI / self.period
+
+        def antiderivative(t: float) -> float:
+            return self.base_rate * (
+                t - self.amplitude / omega * math.cos(omega * (t + self.phase))
+            )
+
+        return antiderivative(end) - antiderivative(start)
+
+    def scaled(self, factor: float) -> "SinusoidRate":
+        return replace(self, base_rate=self.base_rate * factor)
+
+
+@dataclass(frozen=True)
+class Spike:
+    """One flash-crowd window: the base rate times ``multiplier`` on
+    ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("spike duration must be positive")
+        if self.multiplier < 0:
+            raise ValueError("spike multiplier must be non-negative")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class SpikeTrain(ArrivalProcess):
+    """Flash crowds: a base rate multiplied inside declared windows.
+
+    Spikes must not overlap (so the integrated intensity stays exact);
+    a multiplier below 1 models a lull instead of a spike.
+    """
+
+    base_rate: float
+    spikes: tuple[Spike, ...]
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0:
+            raise ValueError("base_rate must be non-negative")
+        ordered = sorted(self.spikes, key=lambda s: s.start)
+        for before, after in zip(ordered, ordered[1:]):
+            if after.start < before.end:
+                raise ValueError(
+                    f"spikes overlap at t={after.start} (previous ends at "
+                    f"{before.end})"
+                )
+        object.__setattr__(self, "spikes", tuple(ordered))
+
+    def rate(self, t: float) -> float:
+        for spike in self.spikes:
+            if spike.start <= t < spike.end:
+                return self.base_rate * spike.multiplier
+        return self.base_rate
+
+    def peak_rate(self, start: float, end: float) -> float:
+        peak = 1.0
+        for spike in self.spikes:
+            if spike.start < end and spike.end > start:
+                peak = max(peak, spike.multiplier)
+        return self.base_rate * peak
+
+    def integrated_rate(self, start: float, end: float, steps: int = 1024) -> float:
+        if end <= start:
+            return 0.0
+        total = self.base_rate * (end - start)
+        for spike in self.spikes:
+            overlap = min(end, spike.end) - max(start, spike.start)
+            if overlap > 0:
+                total += self.base_rate * (spike.multiplier - 1.0) * overlap
+        return total
+
+    def scaled(self, factor: float) -> "SpikeTrain":
+        return replace(self, base_rate=self.base_rate * factor)
+
+
+@dataclass(frozen=True)
+class PiecewiseRate(ArrivalProcess):
+    """A piecewise-constant rate schedule (e.g. fitted hour-by-hour).
+
+    ``segments`` is a sequence of ``(start_time, rate)`` breakpoints in
+    strictly increasing time order; the rate of the last breakpoint at
+    or before ``t`` applies (the first rate applies before the first
+    breakpoint too, so a schedule starting at 0 behaves as expected).
+    """
+
+    segments: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("need at least one (time, rate) segment")
+        times = [t for t, _ in self.segments]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("segment times must be strictly increasing")
+        if any(rate < 0 for _, rate in self.segments):
+            raise ValueError("segment rates must be non-negative")
+        object.__setattr__(
+            self, "segments", tuple((float(t), float(r)) for t, r in self.segments)
+        )
+
+    def rate(self, t: float) -> float:
+        current = self.segments[0][1]
+        for start, rate in self.segments:
+            if start > t:
+                break
+            current = rate
+        return current
+
+    def peak_rate(self, start: float, end: float) -> float:
+        peak = self.rate(start)
+        for seg_start, rate in self.segments:
+            if start <= seg_start < end:
+                peak = max(peak, rate)
+        return peak
+
+    def integrated_rate(self, start: float, end: float, steps: int = 1024) -> float:
+        if end <= start:
+            return 0.0
+        # Walk the boundary list, accumulating rate * overlap per piece.
+        boundaries = [t for t, _ in self.segments]
+        edges = sorted({start, end, *[t for t in boundaries if start < t < end]})
+        total = 0.0
+        for a, b in zip(edges, edges[1:]):
+            total += self.rate(a) * (b - a)
+        return total
+
+    def scaled(self, factor: float) -> "PiecewiseRate":
+        return PiecewiseRate(
+            tuple((t, r * factor) for t, r in self.segments)
+        )
+
+
+# ----------------------------------------------------------------------
+# Phase-type distributions and renewal arrivals
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Hyperexponential:
+    """A k-phase hyperexponential distribution (mixture of exponentials).
+
+    With probability ``weights[i]`` a sample is exponential with rate
+    ``rates[i]``.  SCV (squared coefficient of variation) is ≥ 1, which
+    is why this is the standard fit for overdispersed inter-arrival and
+    service times; a single phase degenerates to the exponential.
+    """
+
+    rates: tuple[float, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.rates) != len(self.weights) or not self.rates:
+            raise ValueError("need equally many rates and weights (≥ 1)")
+        if any(rate <= 0 for rate in self.rates):
+            raise ValueError("phase rates must be positive")
+        if any(weight < 0 for weight in self.weights):
+            raise ValueError("phase weights must be non-negative")
+        total = sum(self.weights)
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-12):
+            raise ValueError(f"weights must sum to 1 (got {total})")
+
+    @property
+    def mean(self) -> float:
+        return sum(w / r for w, r in zip(self.weights, self.rates))
+
+    @property
+    def second_moment(self) -> float:
+        return sum(2.0 * w / (r * r) for w, r in zip(self.weights, self.rates))
+
+    @property
+    def variance(self) -> float:
+        return self.second_moment - self.mean**2
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation (1 for the exponential)."""
+        return self.variance / (self.mean * self.mean)
+
+    def sample_one(self, rng: random.Random) -> float:
+        """Draw one value (phase choice, then an exponential draw)."""
+        pick = rng.random()
+        cumulative = 0.0
+        rate = self.rates[-1]
+        for weight, phase_rate in zip(self.weights, self.rates):
+            cumulative += weight
+            if pick < cumulative:
+                rate = phase_rate
+                break
+        return rng.expovariate(rate)
+
+    def scaled(self, factor: float) -> "Hyperexponential":
+        """Means divided by ``factor`` (rates multiplied), SCV kept."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return Hyperexponential(
+            tuple(rate * factor for rate in self.rates), self.weights
+        )
+
+
+def hyperexponential_from_moments(mean: float, scv: float) -> Hyperexponential:
+    """Fit a distribution to a mean and an SCV (balanced-means H2).
+
+    For ``scv > 1`` this is the classic two-phase balanced-means fit:
+    ``p = (1 + sqrt((scv-1)/(scv+1))) / 2``, rates ``2p/mean`` and
+    ``2(1-p)/mean`` — both the mean and the SCV are matched exactly.
+    ``scv ≤ 1`` collapses to a single exponential phase (which has
+    SCV 1; phase-type fits cannot go below that without Erlang stages).
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if scv < 0:
+        raise ValueError("scv must be non-negative")
+    if scv <= 1.0:
+        return Hyperexponential((1.0 / mean,), (1.0,))
+    p = 0.5 * (1.0 + math.sqrt((scv - 1.0) / (scv + 1.0)))
+    return Hyperexponential(
+        (2.0 * p / mean, 2.0 * (1.0 - p) / mean), (p, 1.0 - p)
+    )
+
+
+def fit_hyperexponential(samples: Sequence[float]) -> Hyperexponential:
+    """Fit a phase distribution to observed gaps or service times.
+
+    Moment-matching on the sample mean and SCV (see
+    :func:`hyperexponential_from_moments`); needs at least two samples
+    with a positive mean.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two samples to fit")
+    mean = statistics.fmean(samples)
+    if mean <= 0:
+        raise ValueError("sample mean must be positive")
+    variance = statistics.pvariance(samples)
+    return hyperexponential_from_moments(mean, variance / (mean * mean))
+
+
+@dataclass(frozen=True)
+class RenewalProcess(ArrivalProcess):
+    """Arrivals with i.i.d. gaps from a fitted distribution.
+
+    Stationary in rate (``λ = 1/E[gap]``) but *not* Poisson: a
+    hyperexponential gap distribution produces bursts and lulls at the
+    same average rate, which is exactly the overdispersion the M/G/1
+    model's γ terms are about.
+    """
+
+    gap_distribution: Hyperexponential
+
+    def rate(self, t: float) -> float:
+        return 1.0 / self.gap_distribution.mean
+
+    def peak_rate(self, start: float, end: float) -> float:
+        return 1.0 / self.gap_distribution.mean
+
+    def integrated_rate(self, start: float, end: float, steps: int = 1024) -> float:
+        return max(end - start, 0.0) / self.gap_distribution.mean
+
+    def sample(
+        self, duration: float, rng: random.Random, start: float = 0.0
+    ) -> list[float]:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        end = start + duration
+        times: list[float] = []
+        clock = start
+        while True:
+            clock += self.gap_distribution.sample_one(rng)
+            if clock >= end:
+                return times
+            times.append(clock)
+
+    def scaled(self, factor: float) -> "RenewalProcess":
+        return RenewalProcess(self.gap_distribution.scaled(factor))
+
+
+def profile_from_distributions(
+    name: str,
+    query_service: Hyperexponential,
+    update_service: Hyperexponential,
+):
+    """An :class:`~repro.knn.calibration.AlgorithmProfile` from fitted
+    service distributions.
+
+    Bridges trace fitting to the analytical model: fit
+    :class:`Hyperexponential` service distributions from measured
+    samples (:func:`fit_hyperexponential`), then feed the resulting
+    ``(tq, Vq, tu, Vu)`` to Equation 5/7 or the DES — heavy-tailed
+    service times enter the model through the γ terms.
+    """
+    from ..knn.calibration import AlgorithmProfile
+
+    return AlgorithmProfile(
+        name=name,
+        tq=query_service.mean,
+        vq=query_service.variance,
+        tu=update_service.mean,
+        vu=update_service.variance,
+    )

@@ -17,7 +17,9 @@ fixed cadence, which is what real fleets do.
 from __future__ import annotations
 
 import random
+import time as _time
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..graph.road_network import RoadNetwork
 from ..objects.object_set import ObjectSet
@@ -126,6 +128,35 @@ def replay_fleet(
         lambda_u=lambda_u,
         duration=duration,
     )
+
+
+def replay_timed(executor, tasks: Sequence[Task], speed: float = 1.0):
+    """Replay a stream against an executor at its real arrival times.
+
+    ``MPRExecutor.run`` submits as fast as the loop spins, so the pool
+    never experiences the stream's λq/λu — fine for equivalence tests,
+    wrong for measuring queueing behaviour.  This helper paces
+    submission on the wall clock: task ``t`` is submitted no earlier
+    than ``t.arrival_time / speed`` seconds after the replay starts
+    (``speed > 1`` plays faster, ``< 1`` slower).  Buffered dispatch is
+    flushed before every sleep so pacing gaps never add batcher fill
+    latency to the measurement.
+
+    Returns the executor's drained ``query_id -> answer`` map.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    executor.start()
+    origin = _time.monotonic()
+    for task in tasks:
+        due = origin + task.arrival_time / speed
+        remaining = due - _time.monotonic()
+        if remaining > 0:
+            executor.flush()
+            _time.sleep(remaining)
+        executor.submit(task)
+    executor.flush()
+    return executor.drain()
 
 
 def fleet_update_rate(fleet: FleetSpec) -> float:

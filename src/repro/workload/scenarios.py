@@ -23,11 +23,20 @@ from dataclasses import dataclass, replace
 from ..graph.generators import generate_pois, scaled_replica
 from ..graph.road_network import RoadNetwork
 from .generator import GeneratedWorkload, UpdateMode, generate_workload
+from .processes import ArrivalProcess
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """One X-Y experiment setting of Section V."""
+    """One X-Y experiment setting of Section V.
+
+    ``query_process``/``update_process`` optionally replace the
+    stationary Poisson arrivals with a non-stationary
+    :class:`~.processes.ArrivalProcess` (rush hour, flash crowds);
+    when set, the ``lambda_q``/``lambda_u`` fields are nominal labels
+    and the process's timing wins (see
+    :func:`~.generator.generate_workload`).
+    """
 
     name: str
     network_symbol: str
@@ -36,6 +45,8 @@ class Scenario:
     lambda_q: float
     lambda_u: float
     k: int = 10
+    query_process: ArrivalProcess | None = None
+    update_process: ArrivalProcess | None = None
 
     @property
     def label(self) -> str:
@@ -46,7 +57,8 @@ class Scenario:
 
         Used to produce executable versions of paper-sized scenarios;
         the query/update *mixture* (the ratio λq : λu) is preserved,
-        which is what the schemes adapt to.
+        which is what the schemes adapt to.  Attached arrival processes
+        scale their intensities by the same factor.
         """
         if factor <= 0:
             raise ValueError("factor must be positive")
@@ -56,6 +68,12 @@ class Scenario:
             num_objects=max(int(self.num_objects * factor), 1),
             lambda_q=self.lambda_q * factor,
             lambda_u=self.lambda_u * factor,
+            query_process=(
+                self.query_process.scaled(factor) if self.query_process else None
+            ),
+            update_process=(
+                self.update_process.scaled(factor) if self.update_process else None
+            ),
         )
 
 
@@ -144,5 +162,7 @@ def materialize(
         k=scenario.k,
         seed=seed,
         insert_sites=insert_sites,
+        query_process=scaled.query_process,
+        update_process=scaled.update_process,
     )
     return MaterializedScenario(scenario=scaled, network=network, workload=workload)

@@ -1,0 +1,259 @@
+"""Property tests for the non-stationary arrival processes.
+
+The contracts every process must honor: determinism under a seed,
+monotone timestamps inside the sampling window, and — the actual
+statistics — empirical event counts converging to the integrated
+intensity Λ.  Plus the moment fits for the hyperexponential family and
+the edge-case contract of ``interarrival_stats``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.tasks import seed_stream_with_objects
+from repro.workload import (
+    ConstantRate,
+    Hyperexponential,
+    MobilitySpec,
+    PiecewiseRate,
+    RenewalProcess,
+    Scenario,
+    SinusoidRate,
+    Spike,
+    SpikeTrain,
+    UpdateMode,
+    fit_hyperexponential,
+    generate_workload,
+    hyperexponential_from_moments,
+    interarrival_stats,
+    mobility_workload,
+    profile_from_distributions,
+)
+
+PROCESSES = [
+    ConstantRate(80.0),
+    SinusoidRate(60.0, 0.7, 5.0, phase=1.2),
+    SpikeTrain(40.0, (Spike(1.0, 0.5, 5.0), Spike(4.0, 1.0, 0.2))),
+    PiecewiseRate(((0.0, 20.0), (2.0, 120.0), (6.0, 5.0))),
+    RenewalProcess(hyperexponential_from_moments(0.02, 3.0)),
+]
+
+
+@pytest.mark.parametrize("process", PROCESSES, ids=lambda p: type(p).__name__)
+def test_seed_determinism(process):
+    a = process.sample(8.0, random.Random(42))
+    b = process.sample(8.0, random.Random(42))
+    c = process.sample(8.0, random.Random(43))
+    assert a == b
+    assert a != c  # different seed, different stream
+
+
+@pytest.mark.parametrize("process", PROCESSES, ids=lambda p: type(p).__name__)
+@given(seed=st.integers(0, 2**16), start=st.floats(0.0, 3.0))
+@settings(max_examples=20, deadline=None)
+def test_timestamps_monotone_in_window(process, seed, start):
+    duration = 4.0
+    times = process.sample(duration, random.Random(seed), start=start)
+    assert times == sorted(times)
+    assert all(start <= t < start + duration for t in times)
+    # Thinning draws continuous arrival times: ties have measure zero.
+    assert len(set(times)) == len(times)
+
+
+@pytest.mark.parametrize("process", PROCESSES, ids=lambda p: type(p).__name__)
+def test_empirical_rate_converges_to_integrated_intensity(process):
+    """Averaged over many runs, counts match Λ = ∫λ within a few percent."""
+    duration = 6.0
+    expected = process.integrated_rate(0.0, duration)
+    runs = 60
+    total = sum(
+        len(process.sample(duration, random.Random(1000 + i)))
+        for i in range(runs)
+    )
+    mean_count = total / runs
+    # Poisson s.d. is sqrt(Λ); with 60 runs the mean's s.d. is
+    # sqrt(Λ/60) — allow 4 sigma plus a 2% model slack.
+    slack = 4.0 * math.sqrt(expected / runs) + 0.02 * expected
+    assert abs(mean_count - expected) <= slack
+
+
+def test_sinusoid_closed_form_matches_quadrature():
+    process = SinusoidRate(100.0, 0.5, 7.0, phase=0.3)
+    closed = process.integrated_rate(1.0, 9.0)
+    numeric = super(SinusoidRate, process).integrated_rate(1.0, 9.0, steps=200_000)
+    assert closed == pytest.approx(numeric, rel=1e-6)
+
+
+def test_spike_train_rate_and_integral():
+    process = SpikeTrain(10.0, (Spike(2.0, 1.0, 6.0),))
+    assert process.rate(1.0) == 10.0
+    assert process.rate(2.5) == 60.0
+    assert process.rate(3.0) == 10.0  # window is half-open
+    assert process.integrated_rate(0.0, 4.0) == pytest.approx(
+        10.0 * 4.0 + 10.0 * 5.0 * 1.0
+    )
+    with pytest.raises(ValueError):
+        SpikeTrain(10.0, (Spike(0.0, 2.0, 2.0), Spike(1.0, 1.0, 3.0)))
+
+
+def test_piecewise_rate_lookup_and_integral():
+    process = PiecewiseRate(((0.0, 10.0), (5.0, 100.0), (8.0, 0.0)))
+    assert process.rate(-1.0) == 10.0  # first rate extends left
+    assert process.rate(4.999) == 10.0
+    assert process.rate(5.0) == 100.0
+    assert process.rate(9.0) == 0.0
+    assert process.integrated_rate(0.0, 10.0) == pytest.approx(
+        10.0 * 5 + 100.0 * 3 + 0.0 * 2
+    )
+    assert process.peak_rate(0.0, 10.0) == 100.0
+    with pytest.raises(ValueError):
+        PiecewiseRate(((0.0, 1.0), (0.0, 2.0)))
+
+
+@pytest.mark.parametrize("process", PROCESSES, ids=lambda p: type(p).__name__)
+def test_scaled_process_scales_intensity(process):
+    scaled = process.scaled(0.5)
+    assert scaled.integrated_rate(0.0, 5.0) == pytest.approx(
+        0.5 * process.integrated_rate(0.0, 5.0), rel=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Hyperexponential fits
+# ----------------------------------------------------------------------
+@given(
+    mean=st.floats(1e-4, 10.0),
+    scv=st.floats(1.0, 50.0, exclude_min=True),
+)
+@settings(max_examples=50, deadline=None)
+def test_h2_moment_fit_is_exact(mean, scv):
+    fitted = hyperexponential_from_moments(mean, scv)
+    assert len(fitted.rates) == 2
+    assert fitted.mean == pytest.approx(mean, rel=1e-9)
+    assert fitted.scv == pytest.approx(scv, rel=1e-6)
+
+
+def test_scv_at_most_one_degenerates_to_exponential():
+    fitted = hyperexponential_from_moments(0.5, 0.3)
+    assert len(fitted.rates) == 1
+    assert fitted.mean == pytest.approx(0.5)
+    assert fitted.scv == pytest.approx(1.0)
+
+
+def test_fit_recovers_moments_from_samples():
+    source = hyperexponential_from_moments(0.01, 5.0)
+    rng = random.Random(9)
+    samples = [source.sample_one(rng) for _ in range(40_000)]
+    fitted = fit_hyperexponential(samples)
+    assert fitted.mean == pytest.approx(source.mean, rel=0.05)
+    assert fitted.scv == pytest.approx(source.scv, rel=0.25)
+    with pytest.raises(ValueError):
+        fit_hyperexponential([1.0])
+
+
+def test_hyperexponential_validation():
+    with pytest.raises(ValueError):
+        Hyperexponential((1.0, 2.0), (0.7, 0.7))  # weights don't sum to 1
+    with pytest.raises(ValueError):
+        Hyperexponential((-1.0,), (1.0,))
+
+
+def test_profile_from_distributions_matches_moments():
+    q = hyperexponential_from_moments(200e-6, 2.0)
+    u = hyperexponential_from_moments(5e-6, 1.0)
+    profile = profile_from_distributions("fitted", q, u)
+    assert profile.tq == pytest.approx(q.mean)
+    assert profile.vq == pytest.approx(q.variance)
+    assert profile.tu == pytest.approx(u.mean)
+    assert profile.vu == pytest.approx(u.variance)
+    # γ = SCV for a fitted profile, so overdispersion reaches the model.
+    assert profile.gamma_q == pytest.approx(q.scv, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# interarrival_stats edge cases (satellite fix)
+# ----------------------------------------------------------------------
+def test_interarrival_stats_defined_on_degenerate_streams():
+    assert interarrival_stats([]) == (math.inf, 0.0)
+    assert interarrival_stats([3.5]) == (math.inf, 0.0)
+    mean, variance = interarrival_stats([1.0, 2.0, 4.0])
+    assert mean == pytest.approx(1.5)
+    assert variance == pytest.approx(0.25)
+    # Defined, not NaN: the degenerate mean inverts to a zero rate.
+    assert 1.0 / interarrival_stats([])[0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Integration into the generator / scenarios / mobility
+# ----------------------------------------------------------------------
+def test_generate_workload_with_processes_is_valid_and_records_realized_rates(
+    small_grid,
+):
+    process_q = SinusoidRate(40.0, 0.6, 2.0)
+    process_u = SpikeTrain(20.0, (Spike(0.5, 0.5, 5.0),))
+    workload = generate_workload(
+        small_grid, num_objects=12, lambda_q=0.0, lambda_u=0.0,
+        duration=2.0, seed=3,
+        query_process=process_q, update_process=process_u,
+    )
+    seed_stream_with_objects(workload.tasks, set(workload.initial_objects))
+    assert workload.num_queries > 0 and workload.num_updates > 0
+    assert workload.lambda_q == pytest.approx(workload.num_queries / 2.0)
+    assert workload.lambda_u == pytest.approx(workload.num_updates / 2.0)
+    # Determinism: same seed reproduces the exact stream.
+    again = generate_workload(
+        small_grid, num_objects=12, lambda_q=0.0, lambda_u=0.0,
+        duration=2.0, seed=3,
+        query_process=process_q, update_process=process_u,
+    )
+    assert again.tasks == workload.tasks
+
+
+def test_generate_workload_th_process_schedules_movements(small_grid):
+    workload = generate_workload(
+        small_grid, num_objects=10, lambda_q=0.0, lambda_u=0.0,
+        duration=2.0, seed=5, mode=UpdateMode.TAXI_HAILING,
+        update_process=ConstantRate(15.0),
+    )
+    # Every movement is a delete+insert pair: update count is even and
+    # the recorded λu counts operations (two per movement).
+    assert workload.num_updates % 2 == 0
+    assert workload.lambda_u == pytest.approx(workload.num_updates / 2.0)
+
+
+def test_scenario_scales_attached_processes():
+    scenario = Scenario(
+        "ns", "BJ", UpdateMode.RANDOM, 100, 10.0, 10.0,
+        query_process=SinusoidRate(50.0, 0.5, 10.0),
+        update_process=ConstantRate(30.0),
+    )
+    scaled = scenario.scaled(0.1)
+    assert scaled.query_process.base_rate == pytest.approx(5.0)
+    assert scaled.update_process.rate_per_second == pytest.approx(3.0)
+    assert scaled.query_process.amplitude == 0.5  # shape preserved
+
+
+def test_mobility_workload_stream_is_consistent(small_grid):
+    workload = mobility_workload(
+        small_grid, MobilitySpec(num_movers=8),
+        movement_process=SinusoidRate(30.0, 0.8, 2.0),
+        query_process=ConstantRate(20.0),
+        duration=2.0, seed=11,
+    )
+    seed_stream_with_objects(workload.tasks, set(workload.initial_objects))
+    assert workload.num_updates % 2 == 0  # delete/insert pairs
+    assert workload.num_queries > 0
+    # Same seed, same trace.
+    again = mobility_workload(
+        small_grid, MobilitySpec(num_movers=8),
+        movement_process=SinusoidRate(30.0, 0.8, 2.0),
+        query_process=ConstantRate(20.0),
+        duration=2.0, seed=11,
+    )
+    assert again.tasks == workload.tasks

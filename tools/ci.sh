@@ -4,6 +4,7 @@
 #   bash tools/ci.sh          # fast lane (slow markers excluded)
 #   CI_SLOW=1 bash tools/ci.sh  # include the slow lane (faults, pool)
 #   CI_CHAOS=1 bash tools/ci.sh # also run the chaos scenario sweep
+#   CI_VALIDATE=1 bash tools/ci.sh # also run the model-validation grid
 #
 # Ruff is optional — environments without the binary skip the lint step
 # instead of failing, so the gate works in the minimal container too.
@@ -20,6 +21,10 @@ fi
 
 if [ "${CI_CHAOS:-0}" = "1" ]; then
     python tools/chaos_run.py
+fi
+
+if [ "${CI_VALIDATE:-0}" = "1" ]; then
+    python tools/validate_run.py --no-artifacts
 fi
 
 if command -v ruff >/dev/null 2>&1; then

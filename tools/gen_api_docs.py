@@ -34,6 +34,7 @@ PACKAGES = [
     "repro.mpr.chaos",
     "repro.sim",
     "repro.workload",
+    "repro.validation",
     "repro.harness",
     "repro.cli",
 ]
@@ -238,6 +239,68 @@ terminated, plain answers equal the serial oracle, degraded answers are
 internally consistent, traces are complete, and the deadline-miss rate
 is bounded.  `tools/chaos_run.py` (or `repro.cli chaos`) runs the sweep
 from the command line; CI runs it as the `chaos` job.
+""",
+    ),
+    (
+        "Workloads & model validation",
+        """\
+`repro.workload.processes` generates *non-stationary* arrival streams.
+An `ArrivalProcess` is an intensity function λ(t) sampled by
+Lewis–Shedler thinning against its `peak_rate` envelope; the catalog
+covers `ConstantRate`, the rush-hour `SinusoidRate` (closed-form
+integrated intensity), `SpikeTrain` (flash crowds as non-overlapping
+`Spike` windows), `PiecewiseRate` schedules, and `RenewalProcess`
+(i.i.d. gaps from any distribution — notably `Hyperexponential`).
+Every process is deterministic under a seed, supports `scaled(f)`
+intensity scaling, and reports `integrated_rate`/`mean_rate` so tests
+can check empirical counts against Λ = ∫λ.  The hyperexponential
+family also bridges measurements back into the analytical model:
+`hyperexponential_from_moments(mean, scv)` is an exact balanced-means
+H2 fit, `fit_hyperexponential(samples)` fits observed service times,
+and `profile_from_distributions` turns two fitted distributions into
+an `AlgorithmProfile` whose γ terms carry the overdispersion into
+Eq. 5.  Pass `query_process=`/`update_process=` to `generate_workload`
+(or set them on a `Scenario`) to drive the generator; the default
+homogeneous-Poisson path is byte-identical to previous releases.
+`mobility_workload` builds correlated update streams from a fleet of
+moving objects (delete+insert pairs from a geometric random walk),
+and `rush_hour_fleet` is the one-call sinusoidal variant.
+
+`repro.workload.continuous` adds standing (subscription) kNN queries:
+`generate_continuous_workload` produces a `ContinuousWorkload` whose
+`lower(every=n)` compiles subscriptions into an ordinary task stream —
+re-issuing every subscription after each `n` updates, never splitting
+a movement's delete+insert pair — so both executors answer it with no
+new machinery.  `IncrementalKNNMonitor` is the efficient path: one
+`sssp` field per subscription at construction, then O(#subscriptions)
+dictionary work per update, with `searches_performed`/`searches_saved`
+counters.  Its answers are **bit-identical** to fresh queries of the
+lowered stream (`tests/test_continuous_knn.py` pins this at every
+epoch).  `replay_timed` paces any task stream against the wall clock
+so a live executor experiences the stream's real λ(t).
+
+`repro.validation` is the standing Fig. 4/5 contract: a
+`GridSpec` sweep of `(λq, λu, x, y, z)` cells run against *both* the
+discrete-event simulator and the live `ProcessPoolService`, comparing
+measured response times against Eq. 5 `Rq` and measured capacity
+against Eq. 7 `λ̂q` under a declared `ToleranceSpec`.  Enforcement
+semantics: a cell is *enforced* only when the model itself predicts
+under-capacity operation (finite `Rq`, worker utilization below
+`utilization_cap`); over-capacity cells are recorded as informational.
+A `CellVerdict`'s `ratio` is measured/model — the sim tolerance is a
+two-sided factor (`sim_rq_factor`), the live tolerance a wider factor
+plus an absolute slack (`live_rq_slack`) absorbing IPC jitter.  The
+live comparison is *self-calibrating*: `profile_from_telemetry` and
+`machine_spec_from_telemetry` from the same run feed the model, so
+machine speed cancels out of the ratio.  `run_validation` returns a
+`ValidationReport`; `write_report` snapshots it into
+`benchmarks/results/validation.{json,txt}`, and
+`tools/validate_run.py` (or `repro.cli validate`) is the CLI face —
+it also stamps a `model_validation` summary into `BENCH_knn.json`.
+`tests/test_validation.py` asserts the checked-in artifact covers at
+least a 3×3 `(λq, x·y·z)` grid per backend with every enforced cell
+in tolerance; CI re-runs the sweep as the `validate` job, and
+`CI_VALIDATE=1 bash tools/ci.sh` runs it locally.
 """,
     ),
 ]

@@ -1,0 +1,99 @@
+"""Run the model-validation sweep and enforce its tolerance contract.
+
+The standing gate for the paper's accuracy claim (Fig. 4/5): sweeps a
+``(λq, λu, x, y, z)`` grid on the discrete-event simulator and the live
+process pool, compares measured mean ``Rq`` against Eq. 5 (and the
+simulator's throughput search against Eq. 7) under the declared
+tolerances, snapshots ``benchmarks/results/validation.{json,txt}``
+plus a ``model_validation`` entry in ``BENCH_knn.json``, and exits
+non-zero when any enforced cell misses.
+
+    PYTHONPATH=src python tools/validate_run.py
+    PYTHONPATH=src python tools/validate_run.py --no-live --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.validation import run_validation, write_report  # noqa: E402
+
+
+def update_bench_entry(report, path: Path) -> None:
+    """Record the headline validation numbers in BENCH_knn.json."""
+    bench = json.loads(path.read_text()) if path.exists() else {}
+    enforced = [c for c in report.cells if c.enforced]
+    ratios = sorted(c.ratio for c in enforced)
+    bench["model_validation"] = {
+        "ok": report.ok,
+        "cells": len(report.cells),
+        "enforced_cells": len(enforced),
+        "failed_cells": sum(1 for c in report.cells if not c.passed),
+        "median_ratio": round(ratios[len(ratios) // 2], 3) if ratios else None,
+        "worst_ratio": round(max(ratios), 3) if ratios else None,
+        "throughput_checks": len(report.throughput),
+        "worst_throughput_rel_error": (
+            round(max(t.relative_error for t in report.throughput), 3)
+            if report.throughput else None
+        ),
+    }
+    path.write_text(json.dumps(bench, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="model-validation sweep: Eq. 5/7 vs simulator and pool"
+    )
+    parser.add_argument("--no-sim", action="store_true",
+                        help="skip the simulator sweep")
+    parser.add_argument("--no-live", action="store_true",
+                        help="skip the live process-pool sweep")
+    parser.add_argument("--json", help="write the report to this JSON file "
+                        "(in addition to benchmarks/results/)")
+    parser.add_argument("--no-artifacts", action="store_true",
+                        help="do not touch benchmarks/results/ or BENCH_knn.json")
+    args = parser.parse_args(argv)
+
+    if args.no_sim and args.no_live:
+        parser.error("nothing to run: both --no-sim and --no-live given")
+
+    start = time.perf_counter()
+    report = run_validation(
+        include_sim=not args.no_sim, include_live=not args.no_live
+    )
+    elapsed = time.perf_counter() - start
+
+    print(report.format_table())
+    if not args.no_artifacts:
+        json_path, txt_path = write_report(report, ROOT / "benchmarks" / "results")
+        update_bench_entry(report, ROOT / "BENCH_knn.json")
+        print(f"\nartifacts: {json_path}, {txt_path}, BENCH_knn.json")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"report written to {args.json}")
+
+    failed = [c for c in report.cells if not c.passed] + [
+        t for t in report.throughput if not t.passed
+    ]
+    if failed:
+        print(f"validation FAILED: {len(failed)} checks out of tolerance "
+              f"({elapsed:.1f}s)")
+        for item in failed:
+            print(f"  - {item.detail or item}")
+        return 1
+    print(f"validation OK: {len(report.cells)} cells + "
+          f"{len(report.throughput)} throughput checks ({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
