@@ -13,6 +13,7 @@ Gives the headline experiments and utilities a no-pytest entry point:
                         per-stage p50/p95/p99 from real traces
 * ``validate``        — sweep the model-validation grid (Eq. 5/7 vs
                         simulator and live pool) and report verdicts
+* ``graph-cache``     — build or inspect an on-disk memmap graph cache
 """
 
 from __future__ import annotations
@@ -429,6 +430,62 @@ def _validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _graph_cache(args: argparse.Namespace) -> int:
+    import time
+
+    from .graph import grid_network, load_dimacs, open_cache
+    from .graph.cache import CacheError, cache_info
+
+    if args.action == "build":
+        if args.gr is not None:
+            network = load_dimacs(args.gr, args.co)
+        else:
+            network = grid_network(args.grid, args.grid, seed=args.seed)
+        start = time.perf_counter()
+        meta = network.save_cache(args.directory)
+        elapsed = time.perf_counter() - start
+        print(
+            f"cached {meta.name!r} ({meta.num_nodes:,} nodes, "
+            f"{meta.num_arcs:,} arcs) into {meta.directory} "
+            f"in {elapsed:.2f}s"
+        )
+        print(f"content hash: {meta.content_hash}")
+        return 0
+
+    try:
+        info = cache_info(args.directory)
+        start = time.perf_counter()
+        network = open_cache(args.directory, verify=args.verify)
+        attach = time.perf_counter() - start
+    except CacheError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    rows = [
+        [entry["file"], entry["dtype"], "x".join(map(str, entry["shape"])),
+         f"{entry['bytes_on_disk']:,}"]
+        for entry in info["files"].values()
+    ]
+    rows.append(["total", "", "", f"{info['total_bytes']:,}"])
+    print(
+        format_table(
+            ["file", "dtype", "shape", "bytes"],
+            rows,
+            title=(
+                f"Graph cache {info['directory']} — {info['name']!r}, "
+                f"{info['num_nodes']:,} nodes, {info['num_arcs']:,} arcs"
+            ),
+        )
+    )
+    verified = "verified" if args.verify else "recorded"
+    print(f"{verified} content hash: {info['content_hash']}")
+    print(
+        f"attach ({'full hash' if args.verify else 'structural checks'}): "
+        f"{attach*1e3:.1f} ms; network: {network.num_nodes:,} nodes, "
+        f"mirrors guarded: {not network.mirrors_allowed}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MPR reproduction command line"
@@ -559,6 +616,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the live process-pool sweep")
     validate.add_argument("--json", help="write the report to this JSON file")
     validate.set_defaults(func=_validate)
+
+    cache = sub.add_parser(
+        "graph-cache", help="build or inspect an on-disk memmap graph cache"
+    )
+    cache.add_argument("action", choices=("build", "inspect"))
+    cache.add_argument("directory", help="cache directory")
+    cache.add_argument("--gr", help="DIMACS .gr file to build from")
+    cache.add_argument("--co", help="DIMACS .co file (with --gr)")
+    cache.add_argument("--grid", type=int, default=64,
+                       help="grid side length when building without --gr")
+    cache.add_argument("--seed", type=int, default=0)
+    cache.add_argument(
+        "--verify", action="store_true",
+        help="inspect: re-hash the array files instead of O(1) checks",
+    )
+    cache.set_defaults(func=_graph_cache)
     return parser
 
 

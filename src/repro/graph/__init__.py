@@ -7,7 +7,16 @@ they are validated against, and their activation threshold — live in
 them from those modules directly.
 """
 
-from .road_network import Edge, RoadNetwork
+from .road_network import Edge, MirrorMaterializationError, RoadNetwork
+from .cache import (
+    CacheError,
+    GraphCacheMeta,
+    attach_cached_graph,
+    cache_info,
+    open_cache,
+    save_cache,
+)
+from .ch import CHKernels, ContractionHierarchy, calibrate_ch_cutoff
 from .generators import (
     DEFAULT_SCALE,
     TABLE1_NETWORKS,
@@ -49,7 +58,17 @@ from .shortest_path import (
 
 __all__ = [
     "Edge",
+    "MirrorMaterializationError",
     "RoadNetwork",
+    "CacheError",
+    "GraphCacheMeta",
+    "attach_cached_graph",
+    "cache_info",
+    "open_cache",
+    "save_cache",
+    "CHKernels",
+    "ContractionHierarchy",
+    "calibrate_ch_cutoff",
     "DEFAULT_SCALE",
     "TABLE1_NETWORKS",
     "NetworkSpec",

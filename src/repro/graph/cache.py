@@ -1,0 +1,306 @@
+"""Disk-backed memmap cache of road-network CSR arrays.
+
+The shared-memory tier in :mod:`repro.graph.shared` makes one in-memory
+graph visible to every pool worker, but the publisher still pays a full
+copy into the segment per run, and the graph must fit (and be rebuilt)
+in RAM each time.  At continental scale — USA-road-d is ~24M nodes and
+~58M arcs — that build/copy dominates startup.  This module is the
+build-once/attach-forever tier below it:
+
+* :func:`save_cache` writes a network's four canonical arrays
+  (``indptr``/``indices``/``weights``/``coords``) as raw ``.npy`` files
+  plus a JSON manifest carrying sizes and a SHA-256 content hash.
+* :func:`open_cache` attaches via ``np.load(..., mmap_mode="r")`` in
+  O(1) regardless of graph size: only the manifest is read eagerly,
+  array pages fault in on demand, and the page cache is shared by every
+  process on the host that maps the same files.
+* The attached network is stamped with a tiny :class:`GraphCacheMeta`
+  token, so pickling it — e.g. handing a solution to
+  :class:`~repro.mpr.ProcessPoolService` — ships the token and each
+  worker re-memmaps the files via :func:`attach_cached_graph` instead
+  of copying segments.  This works identically under fork, spawn, and
+  respawn-after-crash, and across unrelated processes on one host.
+
+Attached networks are mirror-guarded (see
+:class:`~repro.graph.road_network.MirrorMaterializationError`): code
+must stay on the kernel/array path or opt in to the O(n) list mirrors
+explicitly.
+
+Integrity: ``open_cache(..., verify=True)`` re-hashes the array files
+and rejects mismatches; the default attach does O(1) structural checks
+(manifest schema, file sizes, array shapes/dtypes) only, which is what
+makes worker attach latency independent of graph size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .road_network import RoadNetwork
+
+__all__ = [
+    "CacheError",
+    "GraphCacheMeta",
+    "attach_cached_graph",
+    "cache_info",
+    "open_cache",
+    "save_cache",
+]
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: The four canonical arrays, in hashing order: (manifest key, filename).
+ARRAY_FILES: tuple[tuple[str, str], ...] = (
+    ("indptr", "indptr.npy"),
+    ("indices", "indices.npy"),
+    ("weights", "weights.npy"),
+    ("coords", "coords.npy"),
+)
+
+_HASH_CHUNK = 1 << 22  # 4 MiB read chunks while hashing
+
+
+class CacheError(RuntimeError):
+    """A graph cache directory is missing, incomplete, or corrupt."""
+
+
+@dataclass(frozen=True)
+class GraphCacheMeta:
+    """The picklable token describing one on-disk graph cache.
+
+    Shipped instead of the arrays when a cache-attached network is
+    pickled; :func:`attach_cached_graph` turns it back into a memmapped
+    network in the receiving process.
+    """
+
+    directory: str
+    name: str
+    num_nodes: int
+    num_arcs: int  # directed arcs = 2 * undirected edges
+    content_hash: str
+
+
+def save_cache(network: "RoadNetwork", directory: str | os.PathLike) -> GraphCacheMeta:
+    """Write ``network``'s CSR arrays into ``directory`` as a cache.
+
+    Creates the directory if needed and overwrites any previous cache in
+    it.  The manifest is written last, so a crash mid-save leaves a
+    directory :func:`open_cache` rejects rather than a silently-corrupt
+    cache.  Returns the attach token (also reconstructible later from
+    the directory alone via :func:`open_cache`).
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    indptr, indices, weights = network.csr_arrays
+    coords = network.coord_arrays
+    arrays = {
+        "indptr": np.ascontiguousarray(indptr),
+        "indices": np.ascontiguousarray(indices),
+        "weights": np.ascontiguousarray(weights),
+        "coords": np.ascontiguousarray(coords),
+    }
+    manifest_path = path / MANIFEST_NAME
+    manifest_path.unlink(missing_ok=True)  # invalidate the old cache first
+    files: dict[str, dict] = {}
+    for key, filename in ARRAY_FILES:
+        np.save(path / filename, arrays[key])
+        files[key] = {
+            "file": filename,
+            "bytes": (path / filename).stat().st_size,
+            "dtype": str(arrays[key].dtype),
+            "shape": list(arrays[key].shape),
+        }
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "name": network.name,
+        "num_nodes": network.num_nodes,
+        "num_arcs": int(len(indices)),
+        "files": files,
+        "content_hash": _content_hash(path),
+    }
+    tmp = path / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    os.replace(tmp, manifest_path)
+    return GraphCacheMeta(
+        directory=str(path.resolve()),
+        name=network.name,
+        num_nodes=network.num_nodes,
+        num_arcs=int(len(indices)),
+        content_hash=manifest["content_hash"],
+    )
+
+
+def open_cache(
+    directory: str | os.PathLike, *, verify: bool = False
+) -> "RoadNetwork":
+    """Attach a cache written by :func:`save_cache` via ``np.memmap``.
+
+    O(1) in graph size by default: reads the manifest, checks file
+    sizes and array shapes/dtypes, and maps the files read-only.  With
+    ``verify=True`` the SHA-256 content hash is recomputed over the
+    array files (an O(bytes) full-file read) and mismatches raise
+    :class:`CacheError`.
+    """
+    from .road_network import RoadNetwork
+
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    if verify:
+        actual = _content_hash(path)
+        if actual != manifest["content_hash"]:
+            raise CacheError(
+                f"{path}: content hash mismatch "
+                f"(manifest {manifest['content_hash'][:12]}…, "
+                f"files {actual[:12]}…); the cache is corrupt or was "
+                "modified after save_cache"
+            )
+    arrays = {}
+    for key, _ in ARRAY_FILES:
+        arrays[key] = _load_memmap(path / manifest["files"][key]["file"])
+    num_nodes = int(manifest["num_nodes"])
+    num_arcs = int(manifest["num_arcs"])
+    _check_shape(path, "indptr", arrays["indptr"], (num_nodes + 1,), "i")
+    _check_shape(path, "indices", arrays["indices"], (num_arcs,), "i")
+    _check_shape(path, "weights", arrays["weights"], (num_arcs,), "f")
+    _check_shape(path, "coords", arrays["coords"], (num_nodes, 2), "f")
+    network = RoadNetwork.from_csr_arrays(
+        arrays["indptr"],
+        arrays["indices"],
+        arrays["weights"],
+        coordinates=arrays["coords"],
+        name=str(manifest["name"]),
+        allow_mirrors=False,
+    )
+    network._cache_meta = GraphCacheMeta(
+        directory=str(path.resolve()),
+        name=str(manifest["name"]),
+        num_nodes=num_nodes,
+        num_arcs=num_arcs,
+        content_hash=str(manifest["content_hash"]),
+    )
+    return network
+
+
+def attach_cached_graph(meta: GraphCacheMeta) -> "RoadNetwork":
+    """Re-attach a cache from its token (the unpickle hook).
+
+    Runs inside pool workers when a cache-backed network arrives.  O(1):
+    the token's content hash is compared against the manifest's recorded
+    hash (a string compare, not a re-hash), so a cache rewritten between
+    pickle and unpickle is rejected instead of silently swapping graphs
+    under the worker.
+    """
+    network = open_cache(meta.directory, verify=False)
+    recorded = network._cache_meta.content_hash
+    if recorded != meta.content_hash:
+        raise CacheError(
+            f"{meta.directory}: cache was rewritten since the attach "
+            f"token was issued (token {meta.content_hash[:12]}…, "
+            f"manifest {recorded[:12]}…)"
+        )
+    return network
+
+
+def cache_info(directory: str | os.PathLike) -> dict:
+    """Summarize a cache directory (for ``repro.cli graph-cache``).
+
+    Returns the manifest augmented with per-file and total on-disk
+    byte counts; raises :class:`CacheError` on a bad cache.
+    """
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    total = 0
+    for key, _ in ARRAY_FILES:
+        entry = manifest["files"][key]
+        size = (path / entry["file"]).stat().st_size
+        entry["bytes_on_disk"] = size
+        total += size
+    manifest["total_bytes"] = total
+    manifest["directory"] = str(path.resolve())
+    return manifest
+
+
+def _read_manifest(path: Path) -> dict:
+    manifest_path = path / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except FileNotFoundError:
+        raise CacheError(
+            f"{path}: not a graph cache (no {MANIFEST_NAME}); "
+            "build one with RoadNetwork.save_cache or "
+            "`repro.cli graph-cache build`"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise CacheError(f"{manifest_path}: invalid manifest: {exc}") from None
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CacheError(
+            f"{manifest_path}: unsupported format_version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    for field in ("name", "num_nodes", "num_arcs", "files", "content_hash"):
+        if field not in manifest:
+            raise CacheError(f"{manifest_path}: manifest missing {field!r}")
+    for key, _ in ARRAY_FILES:
+        entry = manifest["files"].get(key)
+        if not isinstance(entry, dict) or "file" not in entry:
+            raise CacheError(f"{manifest_path}: manifest missing file entry {key!r}")
+        file_path = path / entry["file"]
+        if not file_path.exists():
+            raise CacheError(f"{path}: missing array file {entry['file']!r}")
+        expected = entry.get("bytes")
+        actual = file_path.stat().st_size
+        if expected is not None and actual != expected:
+            raise CacheError(
+                f"{file_path}: size changed since save_cache "
+                f"({actual} bytes on disk, {expected} in manifest)"
+            )
+    return manifest
+
+
+def _content_hash(path: Path) -> str:
+    """SHA-256 over the raw bytes of the array files, in fixed order."""
+    digest = hashlib.sha256()
+    for _, filename in ARRAY_FILES:
+        with open(path / filename, "rb") as handle:
+            while True:
+                chunk = handle.read(_HASH_CHUNK)
+                if not chunk:
+                    break
+                digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _load_memmap(file_path: Path) -> np.ndarray:
+    try:
+        return np.load(file_path, mmap_mode="r")
+    except ValueError:
+        # Zero-length arrays cannot be mmapped on some platforms; they
+        # are tiny, so an eager load preserves O(1) attach in spirit.
+        return np.load(file_path)
+    except OSError as exc:
+        raise CacheError(f"{file_path}: cannot map array file: {exc}") from None
+
+
+def _check_shape(
+    path: Path, key: str, array: np.ndarray, shape: tuple, kind: str
+) -> None:
+    if array.shape != shape:
+        raise CacheError(
+            f"{path}: array {key!r} has shape {array.shape}, "
+            f"manifest implies {shape}"
+        )
+    if array.dtype.kind != kind:
+        raise CacheError(
+            f"{path}: array {key!r} has dtype {array.dtype}, "
+            f"expected kind {kind!r}"
+        )

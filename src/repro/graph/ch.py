@@ -1,0 +1,726 @@
+"""Vectorized contraction-hierarchy engine over CSR road networks.
+
+Extracted from :mod:`repro.knn.toain` (which now adapts over this
+module) and rebuilt array-first, in the spirit of SALT's "one shared
+hierarchy serving every query family":
+
+* :class:`ContractionHierarchy` contracts nodes in lazy edge-difference
+  order with bounded witness searches (batched: one multi-target
+  Dijkstra per neighbor of the contracted node instead of one per
+  pair), and emits *arrays* — a ``rank`` vector, the shortcut triples,
+  and the final edge set split into **upward** and **downward** CSR
+  halves (every undirected edge/shortcut becomes one arc from its
+  lower-ranked to its higher-ranked endpoint, and the reverse).
+* :class:`CHKernels` runs queries on those arrays.  The key reuse: the
+  delta-stepping :class:`~repro.graph.kernels.CSRKernels` never assumes
+  a symmetric CSR, so a private instance over the upward half *is* the
+  vectorized bounded upward sweep.  On top of it sit
+  :meth:`~CHKernels.point_to_point` (two upward sweeps + a hub join),
+  hub-label object buckets, and CH-backed
+  :meth:`~CHKernels.topk_objects` / :meth:`~CHKernels.knn_batch` with
+  the same contract as the plain kernels — which is what lets
+  ``DijkstraKNN``/``IERKNN`` route long-range queries here untouched.
+
+Exactness and bit-identity
+--------------------------
+CH distances are sums over precomputed shortcut weights, and float
+addition is not associative — on arbitrary float weights a CH distance
+can differ from the Dijkstra distance in the last ulp.  On
+integer-weight networks (all DIMACS road graphs; our generated grids)
+every path sum is exactly representable in float64, so CH results are
+*bit-identical* to the kernels.  :attr:`ContractionHierarchy.exact`
+records this (the same integral test as
+:func:`~repro.graph.kernels.dial_delta`), and the kNN solutions only
+auto-route to the CH path when it is set.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .kernels import CSRKernels, dial_delta
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .road_network import RoadNetwork
+
+__all__ = [
+    "CHKernels",
+    "CHDistanceOracle",
+    "ContractionHierarchy",
+    "WITNESS_SETTLE_LIMIT",
+    "calibrate_ch_cutoff",
+]
+
+INFINITY = float("inf")
+
+#: Witness-search effort bound during construction.  Hitting the bound
+#: conservatively adds the shortcut, which preserves correctness.
+WITNESS_SETTLE_LIMIT = 60
+
+_EMPTY_I8 = np.empty(0, dtype=np.int64)
+_EMPTY_F8 = np.empty(0, dtype=np.float64)
+
+#: Soft cap on the total cached hub-label entries per :class:`CHKernels`
+#: (an entry is one ``(hub, distance)`` pair, ~16 bytes).  Least-
+#: recently-used labels are evicted past it; the hot high-rank core that
+#: every query traverses stays resident.
+LABEL_CACHE_ENTRIES = 8_000_000
+
+
+class ContractionHierarchy:
+    """A full contraction hierarchy over a road network, as arrays.
+
+    Nodes are contracted in lazy edge-difference order; shortcuts keep
+    shortest distances intact among uncontracted nodes.  The outputs:
+
+    ``rank``
+        int64 array; ``rank[v]`` is v's contraction order (0 = first).
+    ``up_indptr`` / ``up_indices`` / ``up_weights``
+        CSR of the *upward* graph: one arc per final undirected edge or
+        shortcut, from its lower-ranked to its higher-ranked endpoint.
+    ``down_indptr`` / ``down_indices`` / ``down_weights``
+        The reverse (downward) half.
+    ``shortcut_u`` / ``shortcut_v`` / ``shortcut_w``
+        The shortcut triples that were added (diagnostics/size checks).
+    ``exact``
+        True when all edge weights are integral, i.e. CH sums are
+        bit-identical to Dijkstra distances (see module docstring).
+
+    The dict/list views of the old pure-Python implementation
+    (:attr:`edges`, :attr:`up_adj`) are kept as lazily-built cached
+    properties for :class:`repro.knn.toain.ToainIndex` compatibility.
+    """
+
+    def __init__(self, network: "RoadNetwork", seed: int = 0) -> None:
+        self.network = network
+        n = network.num_nodes
+        indptr, indices, weights = network.csr_arrays
+        self.exact = bool(
+            len(weights) == 0
+            or np.equal(np.floor(weights), weights).all()
+        )
+
+        # Working adjacency for contraction: dict-of-dicts, built from
+        # the arrays (never through the guarded list mirrors).  The
+        # build is O(n + m) Python either way — CH construction is the
+        # one deliberately scalar stage of this module.
+        starts = indptr.tolist()
+        targets = indices.tolist()
+        wts = weights.tolist()
+        adjacency: list[dict[int, float]] = [dict() for _ in range(n)]
+        for u in range(n):
+            row = adjacency[u]
+            for idx in range(starts[u], starts[u + 1]):
+                row[targets[idx]] = wts[idx]
+
+        rank = [0] * n
+        contracted = [False] * n
+        deleted_neighbors = [0] * n
+        sc_u: list[int] = []
+        sc_v: list[int] = []
+        sc_w: list[float] = []
+
+        def priority(v: int) -> float:
+            degree = len(adjacency[v])
+            needed = degree * (degree - 1) // 2
+            return needed - degree + 0.7 * deleted_neighbors[v]
+
+        heap: list[tuple[float, int]] = [(priority(v), v) for v in range(n)]
+        heap.sort()
+        next_rank = 0
+        while heap:
+            _, v = heappop(heap)
+            if contracted[v]:
+                continue
+            fresh = priority(v)
+            if heap and fresh > heap[0][0]:
+                heappush(heap, (fresh, v))
+                continue
+            rank[v] = next_rank
+            next_rank += 1
+            contracted[v] = True
+            for u, w, weight in self._shortcuts_for(adjacency, v):
+                prior = adjacency[u].get(w)
+                if prior is None or weight < prior:
+                    adjacency[u][w] = weight
+                    adjacency[w][u] = weight
+                sc_u.append(u)
+                sc_v.append(w)
+                sc_w.append(weight)
+            for u in adjacency[v]:
+                deleted_neighbors[u] += 1
+                adjacency[u].pop(v, None)
+            adjacency[v].clear()
+
+        self.rank = np.asarray(rank, dtype=np.int64)
+        self.shortcut_u = np.asarray(sc_u, dtype=np.int64)
+        self.shortcut_v = np.asarray(sc_v, dtype=np.int64)
+        self.shortcut_w = np.asarray(sc_w, dtype=np.float64)
+        self._build_halves(indptr, indices, weights)
+        self._init_runtime_state()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shortcuts_for(
+        adjacency: list[dict[int, float]], v: int
+    ) -> list[tuple[int, int, float]]:
+        """Shortcuts required when removing ``v``.
+
+        One *multi-target* bounded witness search per neighbor ``u``
+        replaces the classic per-pair search: a single Dijkstra from
+        ``u`` (avoiding ``v``) tries to settle every other neighbor
+        ``w`` within its ``u→v→w`` bound.  Hitting the settle limit
+        leaves the remaining targets shortcut-ed, which is conservative
+        and correct.
+        """
+        neighbors = list(adjacency[v])
+        shortcuts: list[tuple[int, int, float]] = []
+        for i, u in enumerate(neighbors):
+            du = adjacency[v][u]
+            through = {w: du + adjacency[v][w] for w in neighbors[i + 1:]}
+            if not through:
+                continue
+            reached = ContractionHierarchy._witness_multi(
+                adjacency, u, through, v
+            )
+            for w, bound in through.items():
+                if reached.get(w, INFINITY) > bound:
+                    shortcuts.append((u, w, bound))
+        return shortcuts
+
+    @staticmethod
+    def _witness_multi(
+        adjacency: list[dict[int, float]],
+        source: int,
+        through: dict[int, float],
+        skip: int,
+    ) -> dict[int, float]:
+        """Bounded Dijkstra from ``source`` avoiding ``skip``.
+
+        Returns settled distances for the nodes in ``through`` (others
+        may appear; missing means "no witness found within budget").
+        """
+        bound = max(through.values())
+        dist: dict[int, float] = {source: 0.0}
+        heap = [(0.0, source)]
+        remaining = len(through)
+        settled = 0
+        done: set[int] = set()
+        while heap and settled < WITNESS_SETTLE_LIMIT and remaining > 0:
+            d, node = heappop(heap)
+            if d > dist.get(node, INFINITY):
+                continue
+            if d > bound:
+                break
+            settled += 1
+            if node in through and node not in done:
+                done.add(node)
+                remaining -= 1
+            for nxt, weight in adjacency[node].items():
+                if nxt == skip:
+                    continue
+                nd = d + weight
+                if nd <= bound and nd < dist.get(nxt, INFINITY):
+                    dist[nxt] = nd
+                    heappush(heap, (nd, nxt))
+        return dist
+
+    def _build_halves(
+        self, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Dedup originals + shortcuts, split into up/down CSR halves."""
+        n = len(self.rank)
+        counts = np.diff(indptr.astype(np.int64))
+        srcs = np.repeat(np.arange(n, dtype=np.int64), counts)
+        half = srcs < indices  # each undirected edge once
+        base_u = srcs[half]
+        base_v = indices[half].astype(np.int64)
+        base_w = weights[half]
+        all_u = np.concatenate([base_u, self.shortcut_u])
+        all_v = np.concatenate([base_v, self.shortcut_v])
+        all_w = np.concatenate([base_w, self.shortcut_w])
+        lo = np.minimum(all_u, all_v)
+        hi = np.maximum(all_u, all_v)
+        key = lo * max(n, 1) + hi
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        first = np.empty(len(key_sorted), dtype=bool)
+        if len(key_sorted):
+            first[0] = True
+            np.not_equal(key_sorted[1:], key_sorted[:-1], out=first[1:])
+        group_starts = np.flatnonzero(first)
+        if len(group_starts):
+            edge_w = np.minimum.reduceat(all_w[order], group_starts)
+        else:
+            edge_w = _EMPTY_F8
+        edge_lo = lo[order][group_starts]
+        edge_hi = hi[order][group_starts]
+
+        rank = self.rank
+        lower_first = rank[edge_lo] < rank[edge_hi]
+        up_src = np.where(lower_first, edge_lo, edge_hi)
+        up_dst = np.where(lower_first, edge_hi, edge_lo)
+
+        def _csr(src: np.ndarray, dst: np.ndarray, wts: np.ndarray):
+            order_ = np.argsort(src, kind="stable")
+            ptr = np.zeros(n + 1, dtype=np.int64)
+            if len(src):
+                np.cumsum(np.bincount(src, minlength=n), out=ptr[1:])
+            return ptr, dst[order_], wts[order_]
+
+        self.up_indptr, self.up_indices, self.up_weights = _csr(
+            up_src, up_dst, edge_w
+        )
+        self.down_indptr, self.down_indices, self.down_weights = _csr(
+            up_dst, up_src, edge_w
+        )
+
+    def _init_runtime_state(self) -> None:
+        self._tls = threading.local()
+        self._edges_cache: dict[tuple[int, int], float] | None = None
+        self._up_adj_cache: list[list[tuple[int, float]]] | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.rank)
+
+    @property
+    def num_shortcuts(self) -> int:
+        return len(self.shortcut_w)
+
+    @property
+    def kernels(self) -> "CHKernels":
+        """A per-thread :class:`CHKernels` (buffer reuse = not shared)."""
+        kern = getattr(self._tls, "kernels", None)
+        if kern is None:
+            kern = CHKernels(self)
+            self._tls.kernels = kern
+        return kern
+
+    @property
+    def edges(self) -> dict[tuple[int, int], float]:
+        """Final undirected edge dict (originals + shortcuts), lazily
+        built from the upward half — the old implementation's attribute,
+        kept for :class:`~repro.knn.toain.ToainIndex`."""
+        if self._edges_cache is None:
+            n = self.num_nodes
+            counts = np.diff(self.up_indptr)
+            srcs = np.repeat(np.arange(n, dtype=np.int64), counts)
+            lo = np.minimum(srcs, self.up_indices)
+            hi = np.maximum(srcs, self.up_indices)
+            self._edges_cache = dict(
+                zip(
+                    zip(lo.tolist(), hi.tolist()),
+                    self.up_weights.tolist(),
+                )
+            )
+        return self._edges_cache
+
+    @property
+    def up_adj(self) -> list[list[tuple[int, float]]]:
+        """Upward adjacency lists ``v -> [(higher, w)]`` (old attribute)."""
+        if self._up_adj_cache is None:
+            n = self.num_nodes
+            ptr = self.up_indptr.tolist()
+            idx = self.up_indices.tolist()
+            wts = self.up_weights.tolist()
+            self._up_adj_cache = [
+                list(zip(idx[ptr[v]:ptr[v + 1]], wts[ptr[v]:ptr[v + 1]]))
+                for v in range(n)
+            ]
+        return self._up_adj_cache
+
+    # ------------------------------------------------------------------
+    # Pickling (derived caches and thread-locals are dropped)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for transient in ("_tls", "_edges_cache", "_up_adj_cache"):
+            state.pop(transient, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._init_runtime_state()
+
+
+class CHKernels:
+    """Query kernels over one :class:`ContractionHierarchy`.
+
+    Reuses buffers across calls (like :class:`CSRKernels`), so one
+    instance must never be driven from two threads — get per-thread
+    instances from :attr:`ContractionHierarchy.kernels`.
+
+    Everything is joins over upward hub *labels* (see :meth:`label` —
+    memoized DAG merges in rank order, LRU-bounded; the bounded
+    :meth:`upward_sweep` is still ``CSRKernels.sssp`` over the upward
+    CSR half):
+
+    * ``point_to_point(s, t)`` — min over common hubs of the two
+      labels (the classic CH up-up meeting, valid on undirected
+      graphs).
+    * ``topk_objects`` / ``knn_batch`` — object labels are bucketed by
+      hub into one CSR with dense object slots, and a query is the
+      source's label plus a vectorized bucket join (``np.minimum.at``
+      into a num-objects-sized buffer), with the same settled-superset
+      contract as the plain kernels.  First touch of a source pays its
+      label construction; the cached steady state is what the routing
+      cutoff should be calibrated against.
+    """
+
+    def __init__(self, ch: ContractionHierarchy) -> None:
+        self._ch = ch
+        self._up = CSRKernels(
+            ch.up_indptr,
+            ch.up_indices,
+            ch.up_weights,
+            delta=dial_delta(ch.up_weights),
+        )
+        n = ch.num_nodes
+        self._num_nodes = n
+        #: node -> (hub nodes, hub distances) upward label cache, in
+        #: LRU order, bounded by ``label_cache_entries`` total entries.
+        self._labels: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = (
+            OrderedDict()
+        )
+        self._label_entries = 0
+        self._label_cache_entries = LABEL_CACHE_ENTRIES
+        # Bucket join state (rebuilt when the object-node set changes).
+        self._bucket_key: bytes | None = None
+        self._hub_indptr: np.ndarray | None = None
+        self._hub_slots: np.ndarray | None = None
+        self._hub_dists: np.ndarray | None = None
+        #: The bucketed object nodes; bucket entries refer to them by
+        #: dense slot so the join scatters into a num-objects-sized
+        #: buffer instead of a num-nodes-sized one.
+        self._obj_nodes: np.ndarray | None = None
+        self._obj_dist: np.ndarray | None = None
+
+    @property
+    def ch(self) -> ContractionHierarchy:
+        return self._ch
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    # ------------------------------------------------------------------
+    # Sweeps and labels
+    # ------------------------------------------------------------------
+    def upward_sweep(
+        self, source: int, max_distance: float = INFINITY
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bounded upward search: ``(hubs, dists)`` over the up-CSR."""
+        return self._up.sssp(source, max_distance)
+
+    def label(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """The cached upward hub label of ``node`` (treat as read-only).
+
+        The upward graph is a DAG ordered by rank (every up-edge goes
+        strictly rank-upward), so labels obey the hub-label recursion
+        ``label(v) = min-merge({v: 0}, {label(u) + w(v, u) for up-edges
+        (v, u)})``.  Computing them by memoized vectorized merges in
+        descending-rank order replaces the per-call Dijkstra sweep, and
+        — crucially — shares the merged ancestors across *all* queries:
+        after warm-up only the low-rank vicinity of a fresh source is
+        new work.  Distances are identical to the upward sweep's (sums
+        over the same up-paths), so exactness guarantees are unchanged.
+        """
+        labels = self._labels
+        cached = labels.get(node)
+        if cached is not None:
+            labels.move_to_end(node)
+            return cached
+        ch = self._ch
+        indptr, indices, weights = (
+            ch.up_indptr, ch.up_indices, ch.up_weights,
+        )
+        # Collect the un-labelled part of node's upward closure.
+        stack = [node]
+        pending = {node}
+        while stack:
+            v = stack.pop()
+            for u in indices[indptr[v]:indptr[v + 1]].tolist():
+                if u not in pending and u not in labels:
+                    pending.add(u)
+                    stack.append(u)
+        rank = ch.rank
+        one_zero = np.zeros(1, dtype=np.float64)
+        # Highest rank first, so every up-neighbor's label is ready.
+        for v in sorted(pending, key=lambda x: -rank[x]):
+            start, end = int(indptr[v]), int(indptr[v + 1])
+            hub_parts = [np.array([v], dtype=np.int64)]
+            dist_parts = [one_zero]
+            for pos in range(start, end):
+                u = int(indices[pos])
+                hubs_u, dists_u = labels[u]
+                labels.move_to_end(u)
+                hub_parts.append(hubs_u)
+                dist_parts.append(dists_u + weights[pos])
+            hubs = np.concatenate(hub_parts)
+            dists = np.concatenate(dist_parts)
+            order = np.lexsort((dists, hubs))
+            hubs = hubs[order]
+            dists = dists[order]
+            keep = np.empty(len(hubs), dtype=bool)
+            keep[0] = True
+            np.not_equal(hubs[1:], hubs[:-1], out=keep[1:])
+            entry = (hubs[keep], dists[keep])
+            labels[v] = entry
+            self._label_entries += len(entry[0])
+        # Evict cold labels past the budget; entries just built sit at
+        # the LRU tail and are never the eviction victim.
+        while (
+            self._label_entries > self._label_cache_entries
+            and len(labels) > len(pending)
+        ):
+            _, (old_hubs, _) = labels.popitem(last=False)
+            self._label_entries -= len(old_hubs)
+        return labels[node]
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def point_to_point(self, source: int, target: int) -> float:
+        """Exact network distance via the up-up hub meeting (inf when
+        unreachable)."""
+        n = self._num_nodes
+        for node in (source, target):
+            if not 0 <= node < n:
+                raise IndexError(
+                    f"node {node} out of range for graph with {n} nodes"
+                )
+        if source == target:
+            return 0.0
+        s_nodes, s_dists = self.label(source)
+        t_nodes, t_dists = self.label(target)
+        common, s_idx, t_idx = np.intersect1d(
+            s_nodes, t_nodes, assume_unique=True, return_indices=True
+        )
+        if common.size == 0:
+            return INFINITY
+        return float((s_dists[s_idx] + t_dists[t_idx]).min())
+
+    def expander(self, source: int) -> "CHDistanceOracle":
+        """A many-targets distance oracle from one source (IER's tool)."""
+        return CHDistanceOracle(self, source)
+
+    # ------------------------------------------------------------------
+    # Object buckets (hub-label join)
+    # ------------------------------------------------------------------
+    def _ensure_buckets(self, object_counts: np.ndarray) -> bool:
+        """(Re)build the hub CSR for the current object-node set.
+
+        Returns False when there are no object nodes at all.
+        """
+        obj_nodes = np.flatnonzero(np.asarray(object_counts) > 0)
+        key = obj_nodes.tobytes()
+        if key == self._bucket_key:
+            return bool(len(obj_nodes))
+        if len(obj_nodes) == 0:
+            self._bucket_key = key
+            self._hub_indptr = None
+            return False
+        hub_parts: list[np.ndarray] = []
+        slot_parts: list[np.ndarray] = []
+        dist_parts: list[np.ndarray] = []
+        for slot, node in enumerate(obj_nodes.tolist()):
+            hubs, dists = self.label(node)
+            hub_parts.append(hubs)
+            slot_parts.append(np.full(len(hubs), slot, dtype=np.int64))
+            dist_parts.append(dists)
+        hubs_all = np.concatenate(hub_parts)
+        order = np.argsort(hubs_all, kind="stable")
+        self._hub_indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(hubs_all, minlength=self._num_nodes),
+            out=self._hub_indptr[1:],
+        )
+        self._hub_slots = np.concatenate(slot_parts)[order]
+        self._hub_dists = np.concatenate(dist_parts)[order]
+        self._obj_nodes = obj_nodes
+        self._obj_dist = np.empty(len(obj_nodes), dtype=np.float64)
+        self._bucket_key = key
+        return True
+
+    def _object_distances(
+        self, source: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact distances to every reachable object node: the source's
+        hub label joined against the object buckets."""
+        s_nodes, s_dists = self.label(source)
+        hub_indptr = self._hub_indptr
+        starts = hub_indptr[s_nodes]
+        counts = hub_indptr[s_nodes + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return _EMPTY_I8, _EMPTY_F8
+        cum = np.cumsum(counts)
+        entry_ids = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - (cum - counts), counts
+        )
+        cand_slots = self._hub_slots[entry_ids]
+        cand_dists = self._hub_dists[entry_ids] + np.repeat(s_dists, counts)
+        dist = self._obj_dist
+        dist.fill(np.inf)
+        np.minimum.at(dist, cand_slots, cand_dists)
+        reached = np.isfinite(dist)
+        return self._obj_nodes[reached], dist[reached]
+
+    def topk_objects(
+        self, source: int, object_counts: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CH-backed top-k: same contract as ``CSRKernels.topk_objects``
+        — every object node at distance <= the k-th object distance,
+        with exact distances (bit-identical on integral weights)."""
+        if k <= 0:
+            return _EMPTY_I8, _EMPTY_F8
+        if not self._ensure_buckets(object_counts):
+            # Still validate the source like the plain kernel would.
+            if not 0 <= source < self._num_nodes:
+                raise IndexError(
+                    f"node {source} out of range for graph with "
+                    f"{self._num_nodes} nodes"
+                )
+            return _EMPTY_I8, _EMPTY_F8
+        nodes, dists = self._object_distances(source)
+        if nodes.size == 0:
+            return nodes, dists
+        order = np.argsort(dists, kind="stable")
+        cumulative = np.cumsum(np.asarray(object_counts)[nodes[order]])
+        if int(cumulative[-1]) <= k:
+            kth = dists[order[-1]]
+        else:
+            kth = dists[order[int(np.searchsorted(cumulative, k))]]
+        keep = dists <= kth
+        return nodes[keep], dists[keep]
+
+    def knn_batch(
+        self,
+        sources: Sequence[int],
+        ks: Sequence[int],
+        object_counts: np.ndarray,
+        *,
+        group_size: int = 16,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched :meth:`topk_objects`, aligned with the inputs.
+
+        ``group_size`` is accepted for interface parity with
+        ``CSRKernels.knn_batch`` but unused — each distinct source is
+        already a single sweep + join here.  Duplicate sources collapse
+        to one computation (served with the largest requested ``k``)
+        and may share result arrays; treat results as read-only.
+        """
+        del group_size
+        src = np.asarray(sources, dtype=np.int64)
+        kreq = np.asarray(ks, dtype=np.int64)
+        if src.shape != kreq.shape or src.ndim != 1:
+            raise ValueError("sources and ks must be 1-D and equal length")
+        if src.size == 0:
+            return []
+        if src.min() < 0 or src.max() >= self._num_nodes:
+            raise IndexError(
+                f"source out of range for graph with {self._num_nodes} nodes"
+            )
+        unique, inverse = np.unique(src, return_inverse=True)
+        kmax = np.zeros(unique.shape, dtype=np.int64)
+        np.maximum.at(kmax, inverse, kreq)
+        per_unique = [
+            self.topk_objects(int(node), object_counts, int(k))
+            for node, k in zip(unique.tolist(), kmax.tolist())
+        ]
+        return [per_unique[index] for index in inverse.tolist()]
+
+
+class CHDistanceOracle:
+    """Exact distances from one source to many targets via hub labels.
+
+    The CH analogue of :class:`~repro.graph.kernels.IncrementalSSSP`
+    (IER's verification tool): the source's upward label is computed
+    once, and each ``distance_to`` joins it against the target's cached
+    label — no expansion radius involved, so far-away candidates cost
+    the same as near ones.
+    """
+
+    def __init__(self, kernels: CHKernels, source: int) -> None:
+        n = kernels.num_nodes
+        if not 0 <= source < n:
+            raise IndexError(
+                f"node {source} out of range for graph with {n} nodes"
+            )
+        self._kernels = kernels
+        self._source = source
+        hubs, dists = kernels.label(source)
+        self._map = dict(zip(hubs.tolist(), dists.tolist()))
+
+    def distance_to(self, target: int) -> float:
+        """Exact network distance to ``target`` (``inf`` if unreachable)."""
+        if target == self._source:
+            return 0.0
+        hubs, dists = self._kernels.label(target)
+        src_map = self._map
+        best = INFINITY
+        for hub, d in zip(hubs.tolist(), dists.tolist()):
+            ds = src_map.get(hub)
+            if ds is not None and ds + d < best:
+                best = ds + d
+        return best
+
+
+def calibrate_ch_cutoff(
+    network: "RoadNetwork",
+    ch: ContractionHierarchy | None = None,
+    *,
+    samples: int = 6,
+    num_objects: int = 32,
+    k: int = 4,
+    seed: int = 0,
+) -> float:
+    """Measure the settled-node count past which the CH path wins.
+
+    The plain kernel's cost is proportional to the number of nodes it
+    settles (≈ ``k * num_nodes / num_objects`` for uniform objects); a
+    CH query costs roughly a constant (one upward sweep + bucket join).
+    This times both on the actual graph and returns their crossover as
+    an *expected settled node count* — pass it as ``ch_cutoff`` to
+    ``DijkstraKNN``/``IERKNN``.  Deliberately rough: it steers routing,
+    not correctness (both sides are exact).
+    """
+    ch = ch or ContractionHierarchy(network)
+    n = network.num_nodes
+    if n == 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, n, size=max(samples, 1))
+    counts = np.zeros(n, dtype=np.int32)
+    np.add.at(counts, rng.integers(0, n, size=min(num_objects, n)), 1)
+    perf = time.perf_counter
+
+    kern = network.kernels
+    kern.sssp(int(sources[0]))  # warm buffers
+    t0 = perf()
+    for source in sources:
+        kern.sssp(int(source))
+    per_settled = (perf() - t0) / len(sources) / n
+
+    chk = ch.kernels
+    chk.topk_objects(int(sources[0]), counts, k)  # warm labels/buckets
+    t0 = perf()
+    for source in sources:
+        chk.topk_objects(int(source), counts, k)
+    per_ch_query = (perf() - t0) / len(sources)
+
+    if per_settled <= 0:
+        return float(n)
+    return per_ch_query / per_settled

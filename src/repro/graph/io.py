@@ -9,17 +9,18 @@ so generated replicas can be cached on disk between benchmark runs.
 DIMACS is 1-indexed and lists each undirected edge as two directed arcs;
 this module converts to/from our 0-indexed undirected representation.
 
-Parsing is batch-oriented: arc records are gathered as raw lines, the
-whole batch is tokenized in one pass, and the numeric columns are
-converted by ``np.array(tokens, dtype=...)`` — no per-line ``(u, v, w)``
-tuple is ever built, and dedup/CSR construction run vectorized in
-:meth:`RoadNetwork.from_edge_arrays`.  Malformed input falls back to a
-scalar rescan purely to report the offending line number.  Round-trip
-perf note (998k-arc generated ``.gr`` + ``.co``, warm min-of-3 on the
-dev container): batch parse loads in ~1.8 s vs ~2.9 s for the per-line
-scalar path (~1.6x), and defers the first-seen edge-dict build until
-something actually iterates edges; save is unchanged and
-save → load → save output stays byte-identical either way.
+Parsing is streaming and batch-oriented: the file is consumed in chunks
+of ``_CHUNK_LINES`` lines, each chunk of arc records is tokenized in one
+pass, and the numeric columns land directly in numpy arrays pre-sized
+from the ``p sp`` header's arc count — no per-line ``(u, v, w)`` tuple
+is ever built, the whole file is never held in memory (peak residency is
+one chunk plus the output arrays), and dedup/CSR construction run
+vectorized in :meth:`RoadNetwork.from_edge_arrays`.  Malformed input
+falls back to a scalar rescan of the offending chunk purely to report
+the bad line number.  save → load → save output stays byte-identical
+to the previous whole-file batch parser (pinned by tests), which this
+replaces to make continental-scale ``.gr`` files (tens of millions of
+arcs) loadable without a multi-GB line-list spike.
 """
 
 from __future__ import annotations
@@ -35,6 +36,12 @@ from .road_network import RoadNetwork
 
 class FormatError(ValueError):
     """Raised when a DIMACS file is malformed."""
+
+
+#: Lines per parse chunk.  Large enough that the per-chunk numpy
+#: conversion dominates, small enough that a chunk of raw lines is a
+#: few MB at most.
+_CHUNK_LINES = 1 << 16
 
 
 def _open_text(path: Path, mode: str) -> IO[str]:
@@ -54,13 +61,61 @@ def load_dimacs(
     gr_path = Path(gr_path)
     declared_nodes = 0
     declared_arcs = 0
+    # Output columns, pre-sized from the 'p sp' header the moment it is
+    # seen (it precedes the arcs in well-formed files); _ensure grows
+    # them only for files that under-declare.
+    u_buf = np.empty(0, dtype=np.int64)
+    v_buf = np.empty(0, dtype=np.int64)
+    w_buf = np.empty(0, dtype=np.float64)
+    count = 0
+
+    def _ensure(extra: int) -> None:
+        nonlocal u_buf, v_buf, w_buf
+        needed = count + extra
+        if needed <= len(u_buf):
+            return
+        capacity = max(needed, 2 * len(u_buf))
+        u_buf = np.concatenate([u_buf[:count], np.empty(capacity - count, np.int64)])
+        v_buf = np.concatenate([v_buf[:count], np.empty(capacity - count, np.int64)])
+        w_buf = np.concatenate([w_buf[:count], np.empty(capacity - count, np.float64)])
+
+    def _flush(arc_lines: list[str], arc_nos: list[int]) -> None:
+        # One tokenization pass over the chunk's arc records at once.
+        # Any shape mismatch — wrong field count, an "ab"-style record
+        # type, field miscounts that happen to cancel out — sends us to
+        # the scalar rescan for a line-numbered diagnostic.
+        nonlocal count
+        tokens = " ".join(arc_lines).split()
+        if len(tokens) != 4 * len(arc_lines) or not np.all(
+            np.asarray(tokens[0::4]) == "a"
+        ):
+            _rescan_arcs(gr_path, arc_lines, arc_nos)
+        u = np.array(tokens[1::4], dtype=np.int64)
+        v = np.array(tokens[2::4], dtype=np.int64)
+        w = np.array(tokens[3::4], dtype=np.float64)
+        keep = u != v  # real DIMACS data contains occasional self loops
+        if not keep.all():
+            u, v, w = u[keep], v[keep], w[keep]
+        _ensure(len(u))
+        u_buf[count : count + len(u)] = u
+        v_buf[count : count + len(v)] = v
+        w_buf[count : count + len(w)] = w
+        count += len(u)
+
+    pending: list[str] = []
+    pending_nos: list[int] = []
     with _open_text(gr_path, "r") as handle:
-        lines = [raw.strip() for raw in handle.read().splitlines()]
-    arc_lines = [line for line in lines if line[:1] == "a"]
-    if len(arc_lines) != len(lines):
-        # The (few) non-arc records: problem line, comments, blanks.
-        for line_no, line in enumerate(lines, start=1):
-            if line[:1] == "a" or not line or line[0] == "c":
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if line[:1] == "a":
+                pending.append(line)
+                pending_nos.append(line_no)
+                if len(pending) >= _CHUNK_LINES:
+                    _flush(pending, pending_nos)
+                    pending, pending_nos = [], []
+                continue
+            # The (few) non-arc records: problem line, comments, blanks.
+            if not line or line[0] == "c":
                 continue
             fields = line.split()
             if fields[0] == "p":
@@ -70,31 +125,19 @@ def load_dimacs(
                     )
                 declared_nodes = int(fields[2])
                 declared_arcs = int(fields[3])
+                _ensure(declared_arcs - count)
             else:
                 raise FormatError(
                     f"{gr_path}:{line_no}: unknown record type {fields[0]!r}"
                 )
+    if pending:
+        _flush(pending, pending_nos)
 
-    # One tokenization pass over all arc records at once.  Any shape
-    # mismatch — wrong field count, an "ab"-style record type, field
-    # miscounts that happen to cancel out — sends us to the scalar
-    # rescan for a line-numbered diagnostic.
-    tokens = " ".join(arc_lines).split()
-    if len(tokens) != 4 * len(arc_lines) or (
-        arc_lines and not np.all(np.asarray(tokens[0::4]) == "a")
-    ):
-        _rescan_arcs(gr_path, lines)
-    u = np.array(tokens[1::4], dtype=np.int64)
-    v = np.array(tokens[2::4], dtype=np.int64)
-    w = np.array(tokens[3::4], dtype=np.float64)
-    keep = u != v  # real DIMACS data contains occasional self loops
-    u, v, w = u[keep], v[keep], w[keep]
-
-    if declared_nodes == 0 and len(u):
+    if declared_nodes == 0 and count:
         raise FormatError(f"{gr_path}: missing 'p sp' problem line")
-    if declared_arcs and len(u) > declared_arcs:
+    if declared_arcs and count > declared_arcs:
         raise FormatError(
-            f"{gr_path}: {len(u)} arcs found, {declared_arcs} declared"
+            f"{gr_path}: {count} arcs found, {declared_arcs} declared"
         )
 
     coordinates = None
@@ -103,19 +146,17 @@ def load_dimacs(
 
     return RoadNetwork.from_edge_arrays(
         declared_nodes,
-        u - 1,
-        v - 1,
-        w,
+        u_buf[:count] - 1,
+        v_buf[:count] - 1,
+        w_buf[:count],
         coordinates=coordinates,
         name=name or gr_path.stem,
     )
 
 
-def _rescan_arcs(gr_path: Path, lines: list[str]) -> None:
-    """Scalar rescan of a malformed batch: find and report the bad line."""
-    for line_no, line in enumerate(lines, start=1):
-        if line[:1] != "a":
-            continue
+def _rescan_arcs(gr_path: Path, arc_lines: list[str], arc_nos: list[int]) -> None:
+    """Scalar rescan of a malformed chunk: find and report the bad line."""
+    for line_no, line in zip(arc_nos, arc_lines):
         fields = line.split()
         if fields[0] != "a":
             raise FormatError(
@@ -127,44 +168,52 @@ def _rescan_arcs(gr_path: Path, lines: list[str]) -> None:
 
 
 def _load_coordinates(co_path: Path, num_nodes: int) -> np.ndarray:
+    coordinates = np.zeros((num_nodes, 2), dtype=np.float64)
+
+    def _flush(vertex_lines: list[str], vertex_nos: list[int]) -> None:
+        tokens = " ".join(vertex_lines).split()
+        if len(tokens) != 4 * len(vertex_lines) or not np.all(
+            np.asarray(tokens[0::4]) == "v"
+        ):
+            for line_no, line in zip(vertex_nos, vertex_lines):
+                if len(line.split()) != 4 or not line.startswith("v "):
+                    raise FormatError(
+                        f"{co_path}:{line_no}: bad vertex line {line!r}"
+                    )
+            raise FormatError(  # pragma: no cover
+                f"{co_path}: malformed vertex records"
+            )
+        node = np.array(tokens[1::4], dtype=np.int64) - 1
+        bad = (node < 0) | (node >= num_nodes)
+        if bad.any():
+            at = int(np.argmax(bad))
+            raise FormatError(
+                f"{co_path}:{vertex_nos[at]}: node {int(node[at]) + 1} "
+                "out of range"
+            )
+        coordinates[node, 0] = np.array(tokens[2::4], dtype=np.float64)
+        coordinates[node, 1] = np.array(tokens[3::4], dtype=np.float64)
+
+    pending: list[str] = []
+    pending_nos: list[int] = []
     with _open_text(co_path, "r") as handle:
-        lines = [raw.strip() for raw in handle.read().splitlines()]
-    vertex_lines = [line for line in lines if line[:1] == "v"]
-    vertex_line_nos = [
-        line_no
-        for line_no, line in enumerate(lines, start=1)
-        if line[:1] == "v"
-    ]
-    if len(vertex_lines) != len(lines):
-        for line_no, line in enumerate(lines, start=1):
-            if line[:1] == "v" or not line or line[0] == "c":
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if line[:1] == "v":
+                pending.append(line)
+                pending_nos.append(line_no)
+                if len(pending) >= _CHUNK_LINES:
+                    _flush(pending, pending_nos)
+                    pending, pending_nos = [], []
+                continue
+            if not line or line[0] == "c":
                 continue
             if line.split(None, 1)[0] != "p":
                 raise FormatError(
                     f"{co_path}:{line_no}: bad vertex line {line!r}"
                 )
-
-    tokens = " ".join(vertex_lines).split()
-    if len(tokens) != 4 * len(vertex_lines) or (
-        vertex_lines and not np.all(np.asarray(tokens[0::4]) == "v")
-    ):
-        for line_no, line in zip(vertex_line_nos, vertex_lines):
-            if len(line.split()) != 4 or not line.startswith("v "):
-                raise FormatError(
-                    f"{co_path}:{line_no}: bad vertex line {line!r}"
-                )
-        raise FormatError(f"{co_path}: malformed vertex records")  # pragma: no cover
-    node = np.array(tokens[1::4], dtype=np.int64) - 1
-    bad = (node < 0) | (node >= num_nodes)
-    if bad.any():
-        at = int(np.argmax(bad))
-        raise FormatError(
-            f"{co_path}:{vertex_line_nos[at]}: node {int(node[at]) + 1} "
-            "out of range"
-        )
-    coordinates = np.zeros((num_nodes, 2), dtype=np.float64)
-    coordinates[node, 0] = np.array(tokens[2::4], dtype=np.float64)
-    coordinates[node, 1] = np.array(tokens[3::4], dtype=np.float64)
+    if pending:
+        _flush(pending, pending_nos)
     return coordinates
 
 

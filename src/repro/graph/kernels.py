@@ -95,6 +95,16 @@ def dial_delta(weights: np.ndarray) -> float | None:
     return float(weights.min())
 
 
+def _adopt_index_array(array: np.ndarray) -> np.ndarray:
+    """Return ``array`` as a contiguous signed-integer ndarray, no copy
+    when it already is one (any width — int32 CSR arrays from a memmap
+    cache or shared memory are adopted as-is)."""
+    arr = np.asarray(array)
+    if arr.dtype.kind == "i" and arr.flags.c_contiguous:
+        return arr
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
 class CSRKernels:
     """Array-based Dijkstra kernels over one CSR adjacency.
 
@@ -117,8 +127,14 @@ class CSRKernels:
         *,
         delta: float | None = None,
     ) -> None:
-        self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        self._indices = np.ascontiguousarray(indices, dtype=np.int64)
+        # Adopt integer index arrays in their native dtype when possible:
+        # converting a memmapped int32 indptr/indices pair to int64 would
+        # copy hundreds of MB into every worker at continental scale and
+        # defeat the O(1) cache attach.  int32 fancy indexing works
+        # everywhere these arrays are used, and mixed int32/int64
+        # arithmetic promotes safely, so results are unchanged.
+        self._indptr = _adopt_index_array(indptr)
+        self._indices = _adopt_index_array(indices)
         self._weights = np.ascontiguousarray(weights, dtype=np.float64)
         self._num_nodes = len(self._indptr) - 1
         if delta is None:

@@ -21,6 +21,14 @@ Networks built the normal way carry both representations; networks
 attached from shared memory (:meth:`RoadNetwork.from_csr_arrays`) carry
 only the arrays and materialize the list mirror lazily on first use, so
 a worker that sticks to the kernel path never copies the graph at all.
+
+Networks attached from a disk cache (:meth:`RoadNetwork.open_cache`) or
+from shared memory go one step further: their list/dict mirrors are
+*guarded* — touching ``csr``, ``neighbors``, ``edges`` or
+``coordinates`` raises :class:`MirrorMaterializationError` instead of
+silently spending O(n) time and memory turning a continental-scale
+memmap into Python lists.  Call :meth:`RoadNetwork.allow_mirrors` to
+opt in explicitly where the cost is intended.
 """
 
 from __future__ import annotations
@@ -32,7 +40,21 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import GraphCacheMeta
     from .kernels import CSRKernels
+
+
+class MirrorMaterializationError(RuntimeError):
+    """A guarded network was asked to build its O(n) Python mirrors.
+
+    Raised by list/dict accessors (``csr``, ``neighbors``, ``edges``,
+    ``coordinates``, …) on networks attached from a memmap cache or a
+    shared-memory segment, where materializing Python containers would
+    copy the whole graph into the process.  Kernel-backed callers should
+    use :attr:`RoadNetwork.csr_arrays` / :attr:`RoadNetwork.coord_arrays`
+    instead; callers that genuinely need lists opt in via
+    :meth:`RoadNetwork.allow_mirrors`.
+    """
 
 
 @dataclass(frozen=True)
@@ -133,6 +155,7 @@ class RoadNetwork:
         self._coord_arr = np.asarray(
             self._coordinates, dtype=np.float64
         ).reshape(num_nodes, 2)
+        self._mirrors_allowed = True
         self._init_runtime_state()
 
     def _init_runtime_state(self) -> None:
@@ -143,6 +166,9 @@ class RoadNetwork:
         self._shared_meta = None
         #: Keep-alive reference to an attached SharedMemory segment.
         self._shm = None
+        #: Disk-cache attach token (see :mod:`repro.graph.cache`); when
+        #: set, pickling ships the token and receivers re-memmap files.
+        self._cache_meta = None
 
     # ------------------------------------------------------------------
     # Alternative constructors (vectorized / zero-copy)
@@ -267,13 +293,18 @@ class RoadNetwork:
         weights: np.ndarray,
         coordinates: np.ndarray | None = None,
         name: str = "road-network",
+        allow_mirrors: bool = True,
     ) -> "RoadNetwork":
         """Wrap existing CSR arrays without copying them.
 
         The arrays are adopted as-is (e.g. views into a shared-memory
-        segment); the Python-list mirror and the edge dict are derived
-        lazily on first use.  The caller is responsible for the arrays
-        being a valid symmetric CSR adjacency.
+        segment or a memmapped cache); the Python-list mirror and the
+        edge dict are derived lazily on first use.  The caller is
+        responsible for the arrays being a valid symmetric CSR
+        adjacency.  With ``allow_mirrors=False`` the lazy mirrors are
+        guarded: any accessor that would materialize O(n) Python
+        containers raises :class:`MirrorMaterializationError` until
+        :meth:`allow_mirrors` is called.
         """
         net = cls.__new__(cls)
         net._num_nodes = int(len(indptr) - 1)
@@ -293,14 +324,42 @@ class RoadNetwork:
         net._edge_set = None
         net._first_seen = None
         net._coordinates = None
+        net._mirrors_allowed = bool(allow_mirrors)
         net._init_runtime_state()
         return net
 
     # ------------------------------------------------------------------
     # Lazy mirrors
     # ------------------------------------------------------------------
+    def allow_mirrors(self) -> "RoadNetwork":
+        """Opt this network in to O(n) Python list/dict mirrors.
+
+        Guarded networks (memmap-cache or shared-memory attached) raise
+        :class:`MirrorMaterializationError` from list-backed accessors;
+        calling this declares the materialization cost is intended (e.g.
+        a ``heapq`` engine on a small attached graph).  Returns ``self``
+        so it chains: ``network.allow_mirrors().csr``.
+        """
+        self._mirrors_allowed = True
+        return self
+
+    @property
+    def mirrors_allowed(self) -> bool:
+        """Whether O(n) Python mirrors may be materialized lazily."""
+        return self._mirrors_allowed
+
+    def _check_mirrors(self, what: str) -> None:
+        if not self._mirrors_allowed:
+            raise MirrorMaterializationError(
+                f"materializing {what} on guarded network {self._name!r} "
+                f"({self._num_nodes} nodes) would copy the whole graph "
+                "into Python containers; use the csr_arrays/coord_arrays "
+                "kernel path, or opt in via RoadNetwork.allow_mirrors()"
+            )
+
     def _ensure_lists(self) -> tuple[list[int], list[int], list[float]]:
         if self._offsets is None:
+            self._check_mirrors("CSR list mirrors")
             self._offsets = self._indptr.tolist()
             self._targets = self._indices.tolist()
             self._weights = self._weight_arr.tolist()
@@ -308,6 +367,7 @@ class RoadNetwork:
 
     def _edge_dict(self) -> dict[tuple[int, int], float]:
         if self._edge_set is None:
+            self._check_mirrors("the edge dict")
             if self._first_seen is not None:
                 edge_u, edge_v, edge_w = self._first_seen
                 self._edge_set = dict(
@@ -437,6 +497,7 @@ class RoadNetwork:
     @property
     def coordinates(self) -> list[tuple[float, float]]:
         if self._coordinates is None:
+            self._check_mirrors("the coordinate list")
             self._coordinates = [
                 (float(x), float(y)) for x, y in self._coord_arr.tolist()
             ]
@@ -506,6 +567,35 @@ class RoadNetwork:
         return sum(self._edge_dict().values())
 
     # ------------------------------------------------------------------
+    # Disk cache (memmap tier; see :mod:`repro.graph.cache`)
+    # ------------------------------------------------------------------
+    def save_cache(self, directory) -> "GraphCacheMeta":
+        """Write this network's CSR arrays as a memmappable disk cache.
+
+        See :func:`repro.graph.cache.save_cache`.  Build once, then
+        :meth:`open_cache` attaches in O(1) regardless of graph size.
+        """
+        from .cache import save_cache
+
+        return save_cache(self, directory)
+
+    @classmethod
+    def open_cache(
+        cls, directory, *, verify: bool = False
+    ) -> "RoadNetwork":
+        """Attach a cache written by :meth:`save_cache` via ``np.memmap``.
+
+        O(1) in graph size: only the manifest is read eagerly; array
+        pages fault in on demand.  The returned network is mirror-
+        guarded and re-pickles as a tiny attach token, so handing it to
+        :class:`~repro.mpr.ProcessPoolService` lets every worker map the
+        same files instead of copying segments.
+        """
+        from .cache import open_cache
+
+        return open_cache(directory, verify=verify)
+
+    # ------------------------------------------------------------------
     # Pickling
     # ------------------------------------------------------------------
     def __reduce__(self):
@@ -515,8 +605,14 @@ class RoadNetwork:
             from .shared import attach_shared_graph
 
             return (attach_shared_graph, (self._shared_meta,))
+        if self._cache_meta is not None:
+            # Attached from a disk cache: ship the token; the receiver
+            # re-memmaps the same files in O(1).
+            from .cache import attach_cached_graph
+
+            return (attach_cached_graph, (self._cache_meta,))
         state = self.__dict__.copy()
-        for transient in ("_tls", "_shared_meta", "_shm"):
+        for transient in ("_tls", "_shared_meta", "_shm", "_cache_meta"):
             state.pop(transient, None)
         return (_rebuild_network, (state,))
 
@@ -532,9 +628,21 @@ class RoadNetwork:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RoadNetwork):
             return NotImplemented
+        if self._num_nodes != other._num_nodes:
+            return False
+        if not (self._mirrors_allowed and other._mirrors_allowed):
+            # Guarded side(s): compare the canonical CSR arrays instead
+            # of materializing O(n) dict mirrors.  Attached copies are
+            # byte-identical to their source, so this stays an
+            # equivalence for every graph this repo constructs.
+            return (
+                np.array_equal(self._indptr, other._indptr)
+                and np.array_equal(self._indices, other._indices)
+                and np.array_equal(self._weight_arr, other._weight_arr)
+                and np.array_equal(self._coord_arr, other._coord_arr)
+            )
         return (
-            self._num_nodes == other._num_nodes
-            and self._edge_dict() == other._edge_dict()
+            self._edge_dict() == other._edge_dict()
             and self.coordinates == other.coordinates
         )
 

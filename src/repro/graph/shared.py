@@ -156,8 +156,11 @@ def attach_shared_graph(meta: SharedGraphMeta) -> RoadNetwork:
     shm = _open_attached(meta.shm_name, borrower=os.getpid() != meta.owner_pid)
     offsets, _ = meta._layout()
     indptr, indices, weights, coords = _views(shm, meta, offsets, writeable=False)
+    # Mirror-guarded: a worker that tried to build Python lists over the
+    # shared pages would silently copy the whole graph per process.
     network = RoadNetwork.from_csr_arrays(
-        indptr, indices, weights, coordinates=coords, name=meta.name
+        indptr, indices, weights, coordinates=coords, name=meta.name,
+        allow_mirrors=False,
     )
     network._shm = shm  # keep the mapping alive as long as the network
     network._shared_meta = meta

@@ -33,7 +33,9 @@ class NodeLocator:
         if target_per_cell <= 0:
             raise ValueError("target_per_cell must be positive")
         self._network = network
-        coords = np.asarray(network.coordinates, dtype=np.float64)
+        # Array path — works on guarded (memmap/shared attached)
+        # networks, where the coordinate *list* property raises.
+        coords = network.coord_arrays
         self._xs = coords[:, 0]
         self._ys = coords[:, 1]
         self._min_x = float(self._xs.min())

@@ -12,17 +12,31 @@ executed by the early-terminating top-k kernel
 distance buckets with vectorized relaxation instead of popping a heap
 node at a time and returns exactly the answers the classic expansion
 produced (``tests/test_kernels.py`` pins the equivalence).
+
+Long-range routing: pass a :class:`~repro.graph.ch.ContractionHierarchy`
+to route queries whose plain expansion would settle a large fraction of
+the graph (sparse objects, large ``k``) to the CH engine's hub-label
+path instead.  Auto-routing only engages on integral-weight networks
+(``ch.exact``), where CH distances are bit-identical to the kernels, so
+answers never change — only the time to produce them.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from ..graph.road_network import RoadNetwork
 from ..objects.object_set import ObjectSet
 from .base import KNNSolution, Neighbor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.ch import ContractionHierarchy
+
+#: Default expected-settled-node crossover for routing to the CH path.
+#: Calibrate per graph with :func:`repro.graph.ch.calibrate_ch_cutoff`.
+DEFAULT_CH_CUTOFF = 4096.0
 
 
 class DijkstraKNN(KNNSolution):
@@ -31,13 +45,43 @@ class DijkstraKNN(KNNSolution):
     name = "Dijkstra"
 
     def __init__(
-        self, network: RoadNetwork, objects: Mapping[int, int] | None = None
+        self,
+        network: RoadNetwork,
+        objects: Mapping[int, int] | None = None,
+        *,
+        ch: "ContractionHierarchy | None" = None,
+        ch_cutoff: float = DEFAULT_CH_CUTOFF,
     ) -> None:
         self._network = network
         self._objects = ObjectSet(dict(objects) if objects else None)
+        if ch is not None and ch.network is not network:
+            raise ValueError(
+                "contraction hierarchy was built over a different network"
+            )
+        self._ch = ch
+        self._ch_cutoff = float(ch_cutoff)
         # Per-node object counts for the top-k kernel; derived data,
         # built lazily on first query and maintained incrementally.
         self._counts: np.ndarray | None = None
+
+    def _route_kernels(self, k: int):
+        """Pick the engine for this query: plain kernels or the CH path.
+
+        The plain top-k expansion settles ≈ ``k * num_nodes / objects``
+        nodes on uniform objects; past the cutoff the CH sweep+join is
+        cheaper.  Only exact (integral-weight) hierarchies are routed
+        to, keeping answers bit-identical either way.
+        """
+        ch = self._ch
+        if ch is None or not ch.exact:
+            return self._network.kernels
+        total = len(self._objects)
+        if total == 0:
+            return self._network.kernels
+        expected_settled = k * self._network.num_nodes / total
+        if expected_settled >= self._ch_cutoff:
+            return ch.kernels
+        return self._network.kernels
 
     def _object_counts(self) -> np.ndarray:
         if self._counts is None:
@@ -53,7 +97,7 @@ class DijkstraKNN(KNNSolution):
     def query(self, location: int, k: int) -> list[Neighbor]:
         if k <= 0:
             return []
-        nodes, dists = self._network.kernels.topk_objects(
+        nodes, dists = self._route_kernels(k).topk_objects(
             location, self._object_counts(), k
         )
         found = [
@@ -71,7 +115,7 @@ class DijkstraKNN(KNNSolution):
             raise ValueError("locations and ks must have equal length")
         if not locations:
             return []
-        batched = self._network.kernels.knn_batch(
+        batched = self._route_kernels(max(ks)).knn_batch(
             locations, ks, self._object_counts()
         )
         answers: list[list[Neighbor]] = []
@@ -99,7 +143,9 @@ class DijkstraKNN(KNNSolution):
             self._counts[node] -= 1
 
     def spawn(self, objects: Mapping[int, int]) -> "DijkstraKNN":
-        return DijkstraKNN(self._network, objects)
+        return DijkstraKNN(
+            self._network, objects, ch=self._ch, ch_cutoff=self._ch_cutoff
+        )
 
     def object_locations(self) -> dict[int, int]:
         return self._objects.snapshot()

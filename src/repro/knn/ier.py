@@ -17,12 +17,16 @@ from __future__ import annotations
 
 import math
 from heapq import heappop, heappush
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from ..graph.road_network import RoadNetwork
 from .base import KNNSolution, Neighbor, canonical_knn
+from .dijkstra_knn import DEFAULT_CH_CUTOFF
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.ch import ContractionHierarchy
 
 
 class _GridIndex:
@@ -114,8 +118,17 @@ class IERKNN(KNNSolution):
         network: RoadNetwork,
         objects: Mapping[int, int] | None = None,
         cell_size: float | None = None,
+        *,
+        ch: "ContractionHierarchy | None" = None,
+        ch_cutoff: float = DEFAULT_CH_CUTOFF,
     ) -> None:
         self._network = network
+        if ch is not None and ch.network is not network:
+            raise ValueError(
+                "contraction hierarchy was built over a different network"
+            )
+        self._ch = ch
+        self._ch_cutoff = float(ch_cutoff)
         if cell_size is None:
             cell_size = self._default_cell_size(network)
         self._grid = _GridIndex(network, cell_size)
@@ -131,11 +144,25 @@ class IERKNN(KNNSolution):
     def _default_cell_size(network: RoadNetwork) -> float:
         if network.num_nodes == 0:
             return 1.0
-        xs = [c[0] for c in network.coordinates]
-        ys = [c[1] for c in network.coordinates]
-        span = max(max(xs) - min(xs), max(ys) - min(ys), 1.0)
+        # Array path — the coordinate *list* is guarded on memmap/shared
+        # attached networks, and O(n) Python pairs are pointless here.
+        coords = network.coord_arrays
+        span = max(
+            float(coords[:, 0].max() - coords[:, 0].min()),
+            float(coords[:, 1].max() - coords[:, 1].min()),
+            1.0,
+        )
         cells = max(math.sqrt(network.num_nodes) / 2.0, 1.0)
         return span / cells
+
+    def _use_ch(self, k: int) -> bool:
+        """Route long-range queries (sparse objects / large k) to the
+        CH hub-label path; see ``DijkstraKNN._route_kernels``."""
+        ch = self._ch
+        if ch is None or not ch.exact or not self._location:
+            return False
+        expected_settled = k * self._network.num_nodes / len(self._location)
+        return expected_settled >= self._ch_cutoff
 
     # ------------------------------------------------------------------
     # KNNSolution interface
@@ -146,8 +173,13 @@ class IERKNN(KNNSolution):
         # All candidates share the query location, so one incremental
         # single-source kernel search replaces a fresh A* per candidate:
         # each distance_to() grows the settled region just far enough
-        # and later candidates reuse everything already explored.
-        expander = self._network.kernels.expander(location)
+        # and later candidates reuse everything already explored.  On
+        # long-range queries the CH hub-label oracle answers each
+        # candidate in O(label) instead of expanding the region.
+        if self._use_ch(k):
+            expander = self._ch.kernels.expander(location)
+        else:
+            expander = self._network.kernels.expander(location)
         exact: dict[int, float] = {}
         kth = math.inf
         for lower_bound, object_id in self._grid.iter_by_euclidean(location):
@@ -176,9 +208,14 @@ class IERKNN(KNNSolution):
             raise ValueError("locations and ks must have equal length")
         if not locations:
             return []
-        batched = self._network.kernels.knn_batch(
-            locations, ks, self._object_counts()
-        )
+        if self._use_ch(max(ks)):
+            batched = self._ch.kernels.knn_batch(
+                locations, ks, self._object_counts()
+            )
+        else:
+            batched = self._network.kernels.knn_batch(
+                locations, ks, self._object_counts()
+            )
         at_node: dict[int, list[int]] = {}
         for object_id, node in self._location.items():
             at_node.setdefault(node, []).append(object_id)
@@ -221,7 +258,13 @@ class IERKNN(KNNSolution):
             self._counts[node] -= 1
 
     def spawn(self, objects: Mapping[int, int]) -> "IERKNN":
-        return IERKNN(self._network, objects, cell_size=self._grid._cell_size)
+        return IERKNN(
+            self._network,
+            objects,
+            cell_size=self._grid._cell_size,
+            ch=self._ch,
+            ch_cutoff=self._ch_cutoff,
+        )
 
     def object_locations(self) -> dict[int, int]:
         return dict(self._location)

@@ -70,7 +70,9 @@ class RoadKNN(KNNSolution):
             return []
         index = self._index
         leaf_of = index.leaf_of
-        offsets, adj_targets, adj_weights = index.network.csr
+        # ROAD's inner loop indexes Python lists; declare the O(n)
+        # mirror materialization explicitly for guarded networks.
+        offsets, adj_targets, adj_weights = index.network.allow_mirrors().csr
         home_leaf = leaf_of[location]
 
         found: list[Neighbor] = []

@@ -9,7 +9,10 @@ throughput for a given workload.
 Our implementation realizes the same design space with a CH **core
 threshold**:
 
-* a full contraction hierarchy is built once (:class:`ContractionHierarchy`);
+* a full contraction hierarchy is built once — by the array-based
+  engine in :mod:`repro.graph.ch` (re-exported here as
+  :class:`ContractionHierarchy`); this module consumes its ``rank``,
+  ``edges`` and ``up_adj`` views and is now a thin adapter over it;
 * a *core fraction* ``rho`` designates the top ``rho``-ranked nodes as the
   core; the CH shortcut set restricted to core nodes is a distance-
   preserving overlay (the classic CH/CRP property);
@@ -39,152 +42,25 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Iterable, Mapping, Sequence
 
+from ..graph.ch import WITNESS_SETTLE_LIMIT, ContractionHierarchy
 from ..graph.road_network import RoadNetwork
 from ..graph.shortest_path import INFINITY
 from .base import KNNSolution, Neighbor, canonical_knn
+
+__all__ = [
+    "DEFAULT_CORE_FRACTION",
+    "DEFAULT_FAMILY",
+    "WITNESS_SETTLE_LIMIT",  # re-export: lives in repro.graph.ch now
+    "ContractionHierarchy",  # re-export: lives in repro.graph.ch now
+    "ToainIndex",
+    "ToainKNN",
+    "choose_core_fraction",
+]
 
 #: The SCOB family: candidate core fractions from query-optimized (small
 #: core) to update-optimized (large core).
 DEFAULT_FAMILY: tuple[float, ...] = (0.01, 0.03, 0.08, 0.15, 0.30)
 DEFAULT_CORE_FRACTION = 0.08
-
-#: Witness-search effort bound during CH construction.  Hitting the
-#: bound conservatively adds the shortcut, which preserves correctness.
-WITNESS_SETTLE_LIMIT = 60
-
-
-class ContractionHierarchy:
-    """A full contraction hierarchy over a road network.
-
-    Nodes are contracted in lazy edge-difference order; shortcuts keep
-    shortest distances intact among uncontracted nodes.  The result is a
-    node ``rank`` and the final undirected edge set (original edges plus
-    shortcuts), from which upward adjacency lists are derived.
-    """
-
-    def __init__(self, network: RoadNetwork, seed: int = 0) -> None:
-        self.network = network
-        n = network.num_nodes
-        self.rank: list[int] = [0] * n
-        # Working adjacency: dict-of-dicts, mutated during contraction.
-        adjacency: list[dict[int, float]] = [dict() for _ in range(n)]
-        for edge in network.edges():
-            prior = adjacency[edge.u].get(edge.v)
-            if prior is None or edge.weight < prior:
-                adjacency[edge.u][edge.v] = edge.weight
-                adjacency[edge.v][edge.u] = edge.weight
-        final_edges: dict[tuple[int, int], float] = {}
-        for edge in network.edges():
-            key = (edge.u, edge.v) if edge.u < edge.v else (edge.v, edge.u)
-            prior = final_edges.get(key)
-            if prior is None or edge.weight < prior:
-                final_edges[key] = edge.weight
-
-        contracted = [False] * n
-        deleted_neighbors = [0] * n
-
-        def priority(v: int) -> float:
-            needed = self._count_shortcuts(adjacency, contracted, v)
-            return needed - len(adjacency[v]) + 0.7 * deleted_neighbors[v]
-
-        heap: list[tuple[float, int]] = [(priority(v), v) for v in range(n)]
-        heap.sort()
-        next_rank = 0
-        while heap:
-            _, v = heappop(heap)
-            if contracted[v]:
-                continue
-            fresh = priority(v)
-            if heap and fresh > heap[0][0]:
-                heappush(heap, (fresh, v))
-                continue
-            # Contract v.
-            self.rank[v] = next_rank
-            next_rank += 1
-            contracted[v] = True
-            shortcuts = self._shortcuts_for(adjacency, contracted, v)
-            for u, w, weight in shortcuts:
-                prior = adjacency[u].get(w)
-                if prior is None or weight < prior:
-                    adjacency[u][w] = weight
-                    adjacency[w][u] = weight
-                key = (u, w) if u < w else (w, u)
-                prior = final_edges.get(key)
-                if prior is None or weight < prior:
-                    final_edges[key] = weight
-            for u in adjacency[v]:
-                if not contracted[u]:
-                    deleted_neighbors[u] += 1
-                    adjacency[u].pop(v, None)
-            adjacency[v].clear()
-
-        self.edges = final_edges
-        # Upward adjacency: v -> [(u, w)] with rank[u] > rank[v].
-        self.up_adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
-        for (u, v), w in final_edges.items():
-            if self.rank[u] < self.rank[v]:
-                self.up_adj[u].append((v, w))
-            else:
-                self.up_adj[v].append((u, w))
-
-    @staticmethod
-    def _count_shortcuts(
-        adjacency: list[dict[int, float]], contracted: list[bool], v: int
-    ) -> int:
-        neighbors = [u for u in adjacency[v] if not contracted[u]]
-        count = 0
-        for i, u in enumerate(neighbors):
-            for w in neighbors[i + 1:]:
-                count += 1
-        return count
-
-    @staticmethod
-    def _shortcuts_for(
-        adjacency: list[dict[int, float]], contracted: list[bool], v: int
-    ) -> list[tuple[int, int, float]]:
-        """Shortcuts required when removing ``v`` (with witness searches)."""
-        neighbors = [u for u in adjacency[v] if not contracted[u]]
-        shortcuts: list[tuple[int, int, float]] = []
-        for i, u in enumerate(neighbors):
-            du = adjacency[v][u]
-            for w in neighbors[i + 1:]:
-                through = du + adjacency[v][w]
-                if not ContractionHierarchy._witness_exists(
-                    adjacency, contracted, u, w, v, through
-                ):
-                    shortcuts.append((u, w, through))
-        return shortcuts
-
-    @staticmethod
-    def _witness_exists(
-        adjacency: list[dict[int, float]],
-        contracted: list[bool],
-        source: int,
-        target: int,
-        skip: int,
-        bound: float,
-    ) -> bool:
-        """Bounded Dijkstra avoiding ``skip``: is there a path <= bound?"""
-        dist = {source: 0.0}
-        heap = [(0.0, source)]
-        settled = 0
-        while heap and settled < WITNESS_SETTLE_LIMIT:
-            d, node = heappop(heap)
-            if d > dist.get(node, INFINITY):
-                continue
-            if node == target:
-                return d <= bound
-            if d > bound:
-                return False
-            settled += 1
-            for nxt, weight in adjacency[node].items():
-                if nxt == skip or contracted[nxt]:
-                    continue
-                nd = d + weight
-                if nd <= bound and nd < dist.get(nxt, INFINITY):
-                    dist[nxt] = nd
-                    heappush(heap, (nd, nxt))
-        return dist.get(target, INFINITY) <= bound
 
 
 class ToainIndex:
@@ -206,7 +82,7 @@ class ToainIndex:
             raise ValueError("contraction hierarchy built over a different network")
         n = network.num_nodes
         threshold = max(n - max(int(n * core_fraction), 1), 0)
-        self.is_core = [self.ch.rank[v] >= threshold for v in range(n)]
+        self.is_core = (self.ch.rank >= threshold).tolist()
         # Core overlay adjacency (undirected) among core nodes.
         self.core_adj: dict[int, list[tuple[int, float]]] = {}
         for (u, v), w in self.ch.edges.items():

@@ -449,11 +449,19 @@ class ProcessPoolService(MPRExecutor):
         — then ships a ~100-byte attach token instead of the CSR arrays.
         Networks already published by an outer owner are borrowed as-is
         (their token is inherited by the pickles; lifecycle untouched).
+        Networks attached from a disk cache (``RoadNetwork.open_cache``)
+        need no segment at all: their pickle already ships the memmap
+        attach token, and each worker maps the same files in O(1), so
+        shared-memory publication is skipped for them.
         """
         network = getattr(self._solution, "network", None)
         if network is None:
             network = getattr(self._solution, "_network", None)
-        if network is None or getattr(network, "_shared_meta", None) is not None:
+        if (
+            network is None
+            or getattr(network, "_shared_meta", None) is not None
+            or getattr(network, "_cache_meta", None) is not None
+        ):
             return
         from ..graph.shared import publish_shared_graph
 

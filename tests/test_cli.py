@@ -98,3 +98,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Feasibility frontier" in out
         assert "max λu" in out
+
+
+class TestGraphCache:
+    def test_build_then_inspect(self, capsys, tmp_path) -> None:
+        target = str(tmp_path / "cache")
+        assert main(["graph-cache", "build", target, "--grid", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "content hash:" in out
+        assert main(["graph-cache", "inspect", target, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "indptr.npy" in out
+        assert "mirrors guarded: True" in out
+
+    def test_inspect_missing_cache_exits_1(self, capsys, tmp_path) -> None:
+        assert main(["graph-cache", "inspect", str(tmp_path / "nope")]) == 1
+        assert "not a graph cache" in capsys.readouterr().err

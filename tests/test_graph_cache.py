@@ -1,0 +1,161 @@
+"""The memmapped graph cache: save, O(1) attach, guard, pickle token.
+
+The contract: ``save_cache`` writes the CSR arrays as raw ``.npy``
+files plus a hashed manifest; ``open_cache`` attaches them via
+``np.memmap`` without copying; the attached network answers queries
+bit-identically to the in-memory original but refuses to materialize
+O(n) Python mirrors until :meth:`RoadNetwork.allow_mirrors`; and its
+pickle collapses to a tiny directory token so pool workers map the
+files instead of receiving the graph by value.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CacheError,
+    MirrorMaterializationError,
+    attach_cached_graph,
+    cache_info,
+    grid_network,
+    open_cache,
+    save_cache,
+)
+from repro.graph.cache import MANIFEST_NAME
+
+
+@pytest.fixture()
+def network():
+    return grid_network(9, 9, seed=4, name="cache-grid")
+
+
+@pytest.fixture()
+def cached(network, tmp_path):
+    network.save_cache(tmp_path)
+    return open_cache(tmp_path)
+
+
+def test_round_trip_arrays_and_answers(network, cached) -> None:
+    for mine, theirs in zip(network.csr_arrays, cached.csr_arrays):
+        assert np.array_equal(mine, theirs)
+    assert np.array_equal(network.coord_arrays, cached.coord_arrays)
+    assert cached.num_nodes == network.num_nodes
+    assert cached.num_edges == network.num_edges
+    assert cached.name == network.name
+    assert cached == network
+    # Kernel answers are bit-identical: same arrays, same code.
+    dist_a = network.kernels.sssp(0)
+    dist_b = cached.kernels.sssp(0)
+    assert np.array_equal(dist_a, dist_b)
+
+
+def _memmap_backed(array: np.ndarray) -> bool:
+    while array is not None:
+        if isinstance(array, np.memmap):
+            return True
+        array = array.base
+    return False
+
+
+def test_attach_is_memmapped_not_copied(cached) -> None:
+    indptr, indices, weights = cached.csr_arrays
+    for array in (indptr, indices, weights, cached.coord_arrays):
+        assert _memmap_backed(array)
+
+
+def test_guard_blocks_mirrors_until_opt_in(cached) -> None:
+    with pytest.raises(MirrorMaterializationError):
+        cached.csr
+    with pytest.raises(MirrorMaterializationError):
+        cached.coordinates
+    with pytest.raises(MirrorMaterializationError):
+        next(cached.edges())
+    assert not cached.mirrors_allowed
+    assert cached.allow_mirrors() is cached  # chains
+    offsets, targets, weights = cached.csr
+    assert offsets[0] == 0 and len(offsets) == cached.num_nodes + 1
+    assert len(cached.coordinates) == cached.num_nodes
+
+
+def test_pickle_is_a_token_not_the_graph(network, cached) -> None:
+    blob = pickle.dumps(cached)
+    # The by-value pickle of the original ships all four arrays; the
+    # token is just a directory + hash.
+    assert len(blob) < len(pickle.dumps(network)) / 4
+    assert len(blob) < 2048
+    reattached = pickle.loads(blob)
+    assert reattached == cached
+    assert not reattached.mirrors_allowed
+
+
+def test_token_attach_rejects_rewritten_cache(network, cached, tmp_path) -> None:
+    blob = pickle.dumps(cached)
+    grid_network(7, 7, seed=5, name="other").save_cache(tmp_path)
+    with pytest.raises(CacheError, match="rewritten"):
+        pickle.loads(blob)
+
+
+def test_verify_rejects_tampered_array(network, tmp_path) -> None:
+    network.save_cache(tmp_path)
+    weights = np.load(tmp_path / "weights.npy")
+    weights[0] += 1.0
+    np.save(tmp_path / "weights.npy", weights)
+    # Structural checks cannot see a flipped value...
+    open_cache(tmp_path)
+    # ...the full hash can.
+    with pytest.raises(CacheError, match="hash"):
+        open_cache(tmp_path, verify=True)
+
+
+def test_structural_checks_reject_truncated_file(network, tmp_path) -> None:
+    network.save_cache(tmp_path)
+    path = tmp_path / "indices.npy"
+    path.write_bytes(path.read_bytes()[:-8])
+    with pytest.raises(CacheError):
+        open_cache(tmp_path)
+
+
+def test_missing_and_malformed_manifest(network, tmp_path) -> None:
+    with pytest.raises(CacheError):
+        open_cache(tmp_path / "nope")
+    network.save_cache(tmp_path)
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    manifest["format_version"] = 999
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(CacheError, match="format_version"):
+        open_cache(tmp_path)
+
+
+def test_save_is_idempotent_and_rewritable(network, tmp_path) -> None:
+    meta_first = save_cache(network, tmp_path)
+    meta_again = save_cache(network, tmp_path)
+    assert meta_first.content_hash == meta_again.content_hash
+    other = grid_network(5, 5, seed=9, name="smaller")
+    meta_other = save_cache(other, tmp_path)
+    assert meta_other.content_hash != meta_first.content_hash
+    assert open_cache(tmp_path) == other
+
+
+def test_cache_info_reports_layout(network, tmp_path) -> None:
+    meta = network.save_cache(tmp_path)
+    info = cache_info(tmp_path)
+    assert info["name"] == network.name
+    assert info["num_nodes"] == network.num_nodes
+    assert info["content_hash"] == meta.content_hash
+    names = {entry["file"] for entry in info["files"].values()}
+    assert names == {"indptr.npy", "indices.npy", "weights.npy", "coords.npy"}
+    assert info["total_bytes"] == sum(
+        e["bytes_on_disk"] for e in info["files"].values()
+    )
+
+
+def test_attach_cached_graph_direct(network, tmp_path) -> None:
+    meta = network.save_cache(tmp_path)
+    attached = attach_cached_graph(meta)
+    assert attached == network
+    assert attached._cache_meta == meta

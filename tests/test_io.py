@@ -110,3 +110,46 @@ class TestEdgeList:
         path.write_text("0 1\n")
         with pytest.raises(FormatError):
             load_edge_list(path)
+
+
+class TestStreamingChunks:
+    """The chunked parser behaves identically across flush boundaries."""
+
+    def test_round_trip_with_tiny_chunks(self, tmp_path, monkeypatch) -> None:
+        import repro.graph.io as io_mod
+        from repro.graph import grid_network, save_dimacs
+
+        net = grid_network(8, 8, seed=6)
+        gr, co = tmp_path / "g.gr", tmp_path / "g.co"
+        save_dimacs(net, gr, co)
+        first_gr, first_co = gr.read_bytes(), co.read_bytes()
+        monkeypatch.setattr(io_mod, "_CHUNK_LINES", 5)
+        loaded = load_dimacs(gr, co, name=net.name)
+        save_dimacs(loaded, tmp_path / "g2.gr", tmp_path / "g2.co")
+        assert (tmp_path / "g2.gr").read_bytes() == first_gr
+        assert (tmp_path / "g2.co").read_bytes() == first_co
+
+    def test_bad_line_in_later_chunk_reports_line_number(
+        self, tmp_path, monkeypatch
+    ) -> None:
+        import repro.graph.io as io_mod
+
+        monkeypatch.setattr(io_mod, "_CHUNK_LINES", 4)
+        gr = tmp_path / "bad.gr"
+        arcs = [f"a {i + 1} {i + 2} 1" for i in range(10)]
+        arcs.append("a 90 91")  # malformed, lands in the final chunk
+        gr.write_text("p sp 100 11\n" + "\n".join(arcs) + "\n")
+        with pytest.raises(FormatError, match=r"bad\.gr:12: bad arc"):
+            load_dimacs(gr)
+
+    def test_under_declared_arc_count_still_loads(self, tmp_path, monkeypatch) -> None:
+        """Files whose 'p sp' under-declares force buffer growth."""
+        import repro.graph.io as io_mod
+
+        monkeypatch.setattr(io_mod, "_CHUNK_LINES", 3)
+        gr = tmp_path / "grow.gr"
+        arcs = "\n".join(f"a {i + 1} {i + 2} 1" for i in range(9))
+        gr.write_text("p sp 10 0\n" + arcs + "\n")
+        net = load_dimacs(gr)
+        assert net.num_nodes == 10
+        assert net.num_edges == 9

@@ -22,6 +22,13 @@ with resilience disabled vs enabled (no faults injected) and records
 bound is overhead within 5% (best-of-N, so occasional negative values
 are noise).
 
+A ``graph_scale`` entry summarizes the graph-tier scaling curve
+(memmap attach flatness, CH-vs-kernel long-range speedup).  It is
+folded in from the checked-in ``benchmarks/results/graph_scale.json``
+artifact when present (the full sweep reaches ~1M nodes and takes
+minutes — see ``tools/bench_graph_scale.py``); otherwise a quick
+inline sweep at small sizes is run.
+
 ``p50_us``/``p95_us`` are per-operation latency percentiles in
 microseconds; ``qps`` is operations per wall-clock second over the
 whole run.  Everything is deterministic given the seeds; timings move
@@ -119,6 +126,49 @@ def bench_pool_resilience_overhead() -> dict[str, float]:
     }
 
 
+def bench_graph_scale_summary() -> dict[str, object]:
+    """Graph-tier scaling summary for ``BENCH_knn.json``.
+
+    Prefers the checked-in full-sweep artifact (which reaches ~1M
+    nodes); falls back to a fresh inline sweep at small sizes so the
+    entry is always present and fresh clones still get a number.
+    """
+    artifact = ROOT / "benchmarks" / "results" / "graph_scale.json"
+    if artifact.exists():
+        sweep = json.loads(artifact.read_text())
+        source = "artifact"
+    else:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_graph_scale
+
+        sweep = {"sizes": [
+            bench_graph_scale.bench_side(side, engines=True)
+            for side in (64, 128)
+        ]}
+        attaches = [entry["attach_ms"] for entry in sweep["sizes"]]
+        sweep["attach_flatness"] = round(max(attaches) / min(attaches), 2)
+        best = sweep["sizes"][-1]
+        sweep["ch_at_nodes"] = best["nodes"]
+        sweep["ch_speedup_vs_kernel"] = round(
+            best["kernel_knn_p50_us"] / best["ch_knn_p50_us"], 2
+        )
+        if "heapq_knn_p50_us" in best:
+            sweep["kernel_speedup_vs_heapq"] = round(
+                best["heapq_knn_p50_us"] / best["kernel_knn_p50_us"], 2
+            )
+        source = "inline"
+    biggest = sweep["sizes"][-1]
+    return {
+        "source": source,
+        "max_nodes": biggest["nodes"],
+        "attach_ms_at_max": biggest["attach_ms"],
+        "attach_flatness": sweep["attach_flatness"],
+        "ch_at_nodes": sweep["ch_at_nodes"],
+        "ch_speedup_vs_kernel": sweep["ch_speedup_vs_kernel"],
+        "kernel_speedup_vs_heapq": sweep.get("kernel_speedup_vs_heapq"),
+    }
+
+
 def main() -> None:
     rng = random.Random(SEED)
     network = grid_network(SIDE, SIDE, seed=7, name="bench-repo")
@@ -182,8 +232,23 @@ def main() -> None:
         f"overhead {overhead['overhead_pct']:+.2f}%"
     )
 
+    scale = bench_graph_scale_summary()
+    report["graph_scale"] = scale
+    print(
+        f"{'graph_scale':<24} "
+        f"max {scale['max_nodes']:>9,} nodes   "
+        f"attach {scale['attach_ms_at_max']:>6.2f} ms "
+        f"({scale['attach_flatness']:.1f}x spread)   "
+        f"CH {scale['ch_speedup_vs_kernel']:.1f}x @ "
+        f"{scale['ch_at_nodes']:,} [{scale['source']}]"
+    )
+
     out = ROOT / "BENCH_knn.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    # Merge over entries owned by other tools (e.g. validate_run.py's
+    # ``model_validation``) instead of clobbering the whole file.
+    merged = json.loads(out.read_text()) if out.exists() else {}
+    merged.update(report)
+    out.write_text(json.dumps(merged, indent=2) + "\n")
     print(f"wrote {out}")
 
 

@@ -5,6 +5,7 @@
 #   CI_SLOW=1 bash tools/ci.sh  # include the slow lane (faults, pool)
 #   CI_CHAOS=1 bash tools/ci.sh # also run the chaos scenario sweep
 #   CI_VALIDATE=1 bash tools/ci.sh # also run the model-validation grid
+#   CI_SCALE=1 bash tools/ci.sh # also run the ~1M-node cache/attach smoke
 #
 # Ruff is optional — environments without the binary skip the lint step
 # instead of failing, so the gate works in the minimal container too.
@@ -25,6 +26,10 @@ fi
 
 if [ "${CI_VALIDATE:-0}" = "1" ]; then
     python tools/validate_run.py --no-artifacts
+fi
+
+if [ "${CI_SCALE:-0}" = "1" ]; then
+    python tools/bench_graph_scale.py --smoke
 fi
 
 if command -v ruff >/dev/null 2>&1; then

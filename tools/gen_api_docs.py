@@ -25,6 +25,8 @@ PACKAGES = [
     "repro.graph",
     "repro.graph.kernels",
     "repro.graph.shared",
+    "repro.graph.cache",
+    "repro.graph.ch",
     "repro.objects",
     "repro.knn",
     "repro.obs",
@@ -89,6 +91,56 @@ workers are down.  A network already published by an outer owner is
 borrowed, not re-published, and its segment is left alone.  The owning
 `SharedGraph` handle unlinks exactly once; a `weakref.finalize` guard
 prevents leaked `/dev/shm` segments if the owner crashes.
+""",
+    ),
+    (
+        "Large graphs: cache, memmap attach, and the CH engine",
+        """\
+The continental-scale tier is build-once/attach-forever.
+`network.save_cache(directory)` writes the four canonical arrays as raw
+`.npy` files plus a JSON manifest carrying sizes and a SHA-256 content
+hash; `RoadNetwork.open_cache(directory)` (or `repro.graph.open_cache`)
+attaches them via `np.memmap` in O(1) regardless of graph size — only
+the manifest is read eagerly, array pages fault in on demand, and the
+OS page cache shares them across every process on the host.  Pass
+`verify=True` to re-hash the files (O(bytes)) when you suspect
+corruption; the default attach does structural checks only.  The recipe:
+
+```python
+net = load_dimacs("USA-road-d.E.gr", "USA-road-d.E.co")   # once, streamed
+net.save_cache("cache/usa-e")                              # once
+...
+net = RoadNetwork.open_cache("cache/usa-e")                # every run, O(1)
+```
+
+A cache-attached network pickles to a tiny directory token
+(`GraphCacheMeta`), so handing a solution to
+`build_executor(mode="process")` makes every worker — initial, `fork`,
+`spawn`, and SIGKILL-respawned alike — re-memmap the same files; the
+pool skips shared-memory publication entirely (`tests/
+test_pool_cache_attach.py` pins this).  Attached networks are
+**mirror-guarded**: accessors that would materialize O(n) Python
+containers (`csr`, `coordinates`, `edges()`) raise
+`MirrorMaterializationError` until you opt in with
+`network.allow_mirrors()`; the kernels and everything built on them
+never need the mirrors.
+
+`repro.graph.ch` is the long-range query engine for that tier: an
+array-based contraction hierarchy (`ContractionHierarchy`) whose
+upward/downward CSR halves are swept by the same `CSRKernels`
+delta-stepping machinery, with per-node hub labels cached and kNN
+answered by a vectorized label/object-bucket join (`CHKernels.
+topk_objects` / `knn_batch` / `point_to_point`).  On integral-weight
+networks (`ch.exact`) every path sum is exact in float64 and CH answers
+are **bit-identical** to the plain kernels (`tests/test_ch.py` pins
+this); pass `ch=` to `DijkstraKNN`/`IERKNN` and queries whose plain
+expansion would settle ≳ `ch_cutoff` nodes (expected `k·n/|objects|`)
+are routed to the CH path automatically — `calibrate_ch_cutoff`
+measures the crossover for a given graph.  On float-weight networks
+`ch.exact` is False and auto-routing stays off (last-ulp sums differ).
+`tools/bench_graph_scale.py` records the scaling curve — build/save/
+attach times and kNN latency, CH vs plain kernels vs the `heapq`
+baseline — into `benchmarks/results/graph_scale.{json,txt}`.
 """,
     ),
     (
