@@ -9,6 +9,7 @@ Gives the headline experiments and utilities a no-pytest entry point:
 * ``profile``         — measure (tq, Vq, tu, Vu) of a solution on a replica
 * ``plan``            — pick an MPR configuration for a given workload
 * ``pool``            — run a workload through the real process pool
+* ``serve``           — serve an MPRSystem over TCP (repro.serve)
 * ``stats``           — run a workload with telemetry and report
                         per-stage p50/p95/p99 from real traces
 * ``validate``        — sweep the model-validation grid (Eq. 5/7 vs
@@ -276,7 +277,13 @@ def _pool(args: argparse.Namespace) -> int:
 
     from .graph import grid_network
     from .harness import format_duration
-    from .mpr import MPRConfig, ResilienceConfig, build_executor
+    from .mpr import (
+        MPRConfig,
+        ResilienceConfig,
+        ResultStatus,
+        build_executor,
+        envelope_answers,
+    )
     from .sim import machine_spec_from_pool, measured_tau_prime
     from .workload import generate_workload
 
@@ -310,11 +317,21 @@ def _pool(args: argparse.Namespace) -> int:
         answers = pool.run(workload.tasks)
         wall = time.perf_counter() - start
         metrics = pool.metrics
+    results = envelope_answers(answers)
+    by_status = {
+        status: sum(
+            1 for result in results.values() if result.status is status
+        )
+        for status in ResultStatus
+    }
     rows = [
         ["tasks (queries/updates)",
          f"{metrics.tasks_submitted} ({metrics.queries_submitted}/"
          f"{metrics.updates_submitted})"],
-        ["answers aggregated", str(len(answers))],
+        ["answers (ok/partial/overloaded)",
+         f"{len(results)} ({by_status[ResultStatus.OK]}/"
+         f"{by_status[ResultStatus.PARTIAL]}/"
+         f"{by_status[ResultStatus.OVERLOADED]})"],
         ["batches sent", str(metrics.batches_sent)],
         ["mean batch size", f"{metrics.mean_batch_size:.1f}"],
         ["messages per task", f"{metrics.messages_per_task:.3f}"],
@@ -422,12 +439,85 @@ def _validate(args: argparse.Namespace) -> int:
         include_sim=not args.no_sim, include_live=not args.no_live
     )
     print(report.format_table())
+    anomalies = sum(c.anomalies for c in report.cells_for("live"))
+    if anomalies:
+        print(
+            f"live sweep: {anomalies} queries returned non-OK "
+            "QueryResult envelopes (shed/degraded/lost)"
+        )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
             handle.write("\n")
         print(f"report written to {args.json}")
     return 0 if report.ok else 1
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import random
+
+    from .graph import grid_network
+    from .mpr import MPRConfig, MPRSystem, ResilienceConfig
+    from .serve import MPRServer, ServeConfig
+
+    try:
+        solution_cls = SOLUTIONS[args.solution]
+    except KeyError:
+        known = ", ".join(sorted(SOLUTIONS))
+        print(f"unknown solution {args.solution!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    network = grid_network(args.grid, args.grid, seed=args.seed)
+    rng = random.Random(args.seed)
+    objects = {
+        i: rng.randrange(network.num_nodes) for i in range(args.objects)
+    }
+    config = MPRConfig(args.x, args.y, args.z)
+    resilience = None
+    if args.deadline is not None or args.max_outstanding is not None:
+        resilience = ResilienceConfig(
+            default_deadline=args.deadline,
+            max_outstanding=args.max_outstanding,
+        )
+    system = MPRSystem(
+        config, solution_cls(network), objects,
+        mode=args.mode, resilience=resilience,
+        **({"batch_size": args.batch_size} if args.mode == "process" else {}),
+    )
+    serve_config = ServeConfig(
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, window=args.window,
+        default_deadline=args.deadline,
+    )
+
+    async def run_server() -> None:
+        server = MPRServer(system, serve_config)
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {config.describe()} ({args.mode} mode, "
+            f"{args.objects} objects on grid {args.grid}x{args.grid}) "
+            f"on {host}:{port} — Ctrl-C to stop"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+            print()
+            stats = server.stats()
+            for key, value in sorted(stats["counters"].items()):
+                print(f"  {key}: {value}")
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        system.close()
+    return 0
 
 
 def _graph_cache(args: argparse.Namespace) -> int:
@@ -616,6 +706,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the live process-pool sweep")
     validate.add_argument("--json", help="write the report to this JSON file")
     validate.set_defaults(func=_validate)
+
+    serve = sub.add_parser(
+        "serve", help="serve an MPRSystem over TCP (repro.serve protocol)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7474)
+    serve.add_argument("--mode", choices=("thread", "process"),
+                       default="thread")
+    serve.add_argument("--solution", default="Dijkstra")
+    serve.add_argument("--grid", type=int, default=24,
+                       help="grid network side length")
+    serve.add_argument("--x", type=int, default=2)
+    serve.add_argument("--y", type=int, default=1)
+    serve.add_argument("--z", type=int, default=1)
+    serve.add_argument("--batch-size", type=int, default=16)
+    serve.add_argument("--objects", type=int, default=100)
+    serve.add_argument("--window", type=int, default=32,
+                       help="default per-connection backpressure window")
+    serve.add_argument("--max-inflight", type=int, default=512,
+                       help="global bound on ops inside the executor")
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-query SLO in seconds (enables resilience)",
+    )
+    serve.add_argument(
+        "--max-outstanding", type=int, default=None,
+        help="admission bound per worker (enables resilience)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_serve)
 
     cache = sub.add_parser(
         "graph-cache", help="build or inspect an on-disk memmap graph cache"

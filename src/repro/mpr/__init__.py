@@ -2,7 +2,8 @@
 
 Executor construction goes through :mod:`repro.mpr.api` —
 :func:`build_executor` / :class:`MPRSystem` — which is re-exported
-here; the per-class constructors are deprecation shims.
+here and is the only public construction path; query outcomes travel
+as the typed :class:`QueryResult` envelope from :mod:`repro.mpr.results`.
 """
 
 from .api import MPRSystem, build_executor
@@ -60,11 +61,17 @@ from .balancing import (
 )
 from .executor import MPRExecutor, ThreadedMPRExecutor, run_serial_reference
 from .process_executor import (
-    ProcessMPRExecutor,
     ProcessPoolService,
+    QuiesceTimeout,
     SpeedupReport,
     WorkerCrash,
     run_batch_speedup,
+)
+from .results import (
+    RETRYABLE_STATUSES,
+    QueryResult,
+    ResultStatus,
+    envelope_answers,
 )
 from .resilience import (
     NULL_RESILIENCE,
@@ -131,11 +138,15 @@ __all__ = [
     "MPRExecutor",
     "ThreadedMPRExecutor",
     "run_serial_reference",
-    "ProcessMPRExecutor",
     "ProcessPoolService",
+    "QuiesceTimeout",
     "SpeedupReport",
     "WorkerCrash",
     "run_batch_speedup",
+    "RETRYABLE_STATUSES",
+    "QueryResult",
+    "ResultStatus",
+    "envelope_answers",
     "NULL_RESILIENCE",
     "RESILIENCE_COUNTERS",
     "AdmissionController",

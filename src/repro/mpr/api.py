@@ -8,9 +8,8 @@ picked a class, not a configuration.  This module inverts that:
   arrangement first (``config`` is the decision MPR's optimizer makes;
   the substrate is an implementation detail), picks the substrate via
   ``mode``, and threads a :class:`repro.obs.Telemetry` through every
-  layer it builds.  The legacy constructors remain as deprecation
-  shims that forward here conceptually (they warn; this path does
-  not).
+  layer it builds.  There is no other public way to construct an
+  executor — the PR-3-era per-class deprecation shims are gone.
 * :class:`MPRSystem` — a convenience wrapper owning an executor plus a
   default-enabled telemetry handle, for scripts and notebooks that
   want answers *and* a latency report without wiring either.
@@ -19,18 +18,32 @@ Every executor built here satisfies the :class:`repro.mpr.executor.
 MPRExecutor` contract: ``start()``/``submit()``/``flush()``/
 ``drain()``/``run()``/``close()`` plus the context-manager form, with
 serial-equivalent answers across substrates.
+
+For serving, :meth:`MPRSystem.submit_async` returns a
+:class:`concurrent.futures.Future` resolving to a typed
+:class:`~repro.mpr.results.QueryResult` envelope.  Underneath it a
+:class:`_CompletionPump` thread takes exclusive ownership of the
+executor and turns the batch-oriented ``submit``/``drain`` cycle into
+per-task completions, so a caller (the ``repro.serve`` event loop in
+particular) never sits in a ``drain()`` barrier.
 """
 
 from __future__ import annotations
 
+import inspect
+import queue as queue_module
+import threading
+from concurrent.futures import Future
 from typing import Any, Mapping, Sequence
 
 from ..knn.base import KNNSolution, Neighbor
-from ..objects.tasks import Task
+from ..objects.tasks import Task, TaskKind
 from ..obs import Telemetry
 from .config import MPRConfig
 from .executor import MPRExecutor, ThreadedMPRExecutor
+from .process_executor import QuiesceTimeout, WorkerCrash
 from .resilience import ResilienceConfig
+from .results import QueryResult, envelope_answers
 
 __all__ = ["MPRSystem", "build_executor"]
 
@@ -99,7 +112,7 @@ max_respawns, metrics:
     if objects is None:
         objects = {}
     if mode == "thread":
-        return ThreadedMPRExecutor._create(
+        return ThreadedMPRExecutor(
             solution, config, objects,
             check_invariants=check_invariants, telemetry=telemetry,
             resilience=resilience,
@@ -111,7 +124,7 @@ max_respawns, metrics:
             )
         from .process_executor import ProcessPoolService
 
-        return ProcessPoolService._create(
+        return ProcessPoolService(
             solution, config, objects,
             batch_size=batch_size,
             start_method=start_method,
@@ -127,6 +140,181 @@ max_respawns, metrics:
     )
 
 
+class _CompletionPump:
+    """A thread turning the batch ``submit``/``drain`` cycle into futures.
+
+    The executor contract is batch-synchronous: answers only exist
+    after a ``drain()`` barrier, and neither executor is thread-safe.
+    The pump is the one thread that touches the executor once serving
+    starts: it pulls ``(task, future)`` pairs from a queue in FCFS
+    order, submits a micro-batch (everything queued, up to
+    ``max_batch``), drains, and resolves each query's future with a
+    :class:`QueryResult` envelope (update futures resolve to ``None``
+    after the drain that made them visible).  Callers — the asyncio
+    server above all — therefore get per-task completion without ever
+    blocking in the barrier themselves.
+
+    Failure mapping, so a sick pool cannot hang an RPC forever:
+
+    * :class:`QuiesceTimeout` — the queries it names resolve as
+      ``TIMEOUT``; the rest of the cycle gets one short follow-up
+      drain, then times out too.
+    * :class:`WorkerCrash`/``RuntimeError`` — every future of the
+      cycle resolves as ``ERROR`` with the crash detail.
+    * ``stop()`` — queued-but-unsubmitted tasks resolve as ``TIMEOUT``
+      ("shutting down"); the in-flight cycle finishes first.
+    """
+
+    def __init__(
+        self,
+        executor: MPRExecutor,
+        *,
+        max_batch: int = 256,
+        drain_timeout: float | None = 30.0,
+    ) -> None:
+        self._executor = executor
+        self._max_batch = max_batch
+        self._drain_timeout = drain_timeout
+        self._queue: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        self._stopping = threading.Event()
+        self._accepts_timeout = "timeout" in inspect.signature(
+            executor.drain
+        ).parameters
+        self._thread = threading.Thread(
+            target=self._loop, name="mpr-completion-pump", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, task: Task) -> "Future[QueryResult | None]":
+        """Enqueue one task; the future resolves when its drain lands."""
+        if self._stopping.is_set():
+            raise RuntimeError("completion pump is stopped")
+        future: Future = Future()
+        self._queue.put((task, future))
+        return future
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Finish the in-flight cycle, fail the queue, join the thread."""
+        if not self._stopping.is_set():
+            self._stopping.set()
+            self._queue.put(None)
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> dict[int, Any]:
+        if self._accepts_timeout:
+            return self._executor.drain(timeout=self._drain_timeout)
+        return self._executor.drain()
+
+    def _next_cycle(self) -> list[tuple[Task, Future]] | None:
+        """Block for the first item, then sweep the queue (bounded)."""
+        item = self._queue.get()
+        if item is None:
+            return None
+        cycle = [item]
+        while len(cycle) < self._max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if item is None:
+                return cycle  # drain this cycle, then exit the loop
+            cycle.append(item)
+        return cycle
+
+    def _resolve(self, cycle: list[tuple[Task, Future]]) -> None:
+        """Run one submit→drain cycle and settle every future in it."""
+        submitted: list[tuple[Task, Future]] = []
+        for task, future in cycle:
+            try:
+                self._executor.submit(task)
+            except Exception as exc:  # routing/admission blew up
+                future.set_exception(exc)
+                continue
+            submitted.append((task, future))
+        if not submitted:
+            return
+        try:
+            answers = self._drain()
+        except QuiesceTimeout as exc:
+            answers = self._recover_timeout(submitted, exc)
+        except (WorkerCrash, RuntimeError) as exc:
+            for task, future in submitted:
+                if task.kind is TaskKind.QUERY:
+                    future.set_result(
+                        QueryResult.failed(task.query_id, str(exc))
+                    )
+                else:
+                    future.set_exception(exc)
+            return
+        results = envelope_answers(answers)
+        for task, future in submitted:
+            if task.kind is TaskKind.QUERY:
+                result = results.get(task.query_id)
+                if result is None:
+                    result = QueryResult.timed_out(
+                        task.query_id,
+                        "query lost by the executor drain",
+                    )
+                future.set_result(result)
+            else:
+                future.set_result(None)
+
+    def _recover_timeout(
+        self, submitted: list[tuple[Task, Future]], exc: QuiesceTimeout
+    ) -> dict[int, Any]:
+        """Fail the queries a drain timeout names; salvage the rest.
+
+        The :class:`QuiesceTimeout` carries the affected query ids
+        (the satellite fix this PR makes) precisely so we can fail the
+        right in-flight RPCs and give everyone else one more — short —
+        chance to surface answers that were already merged.
+        """
+        stuck = set(exc.query_ids)
+        for task, future in submitted:
+            if task.kind is TaskKind.QUERY and task.query_id in stuck:
+                future.set_result(
+                    QueryResult.timed_out(task.query_id, str(exc))
+                )
+        remaining = [
+            (task, future)
+            for task, future in submitted
+            if not (task.kind is TaskKind.QUERY and task.query_id in stuck)
+        ]
+        submitted[:] = remaining
+        try:
+            if self._accepts_timeout:
+                return self._executor.drain(timeout=1.0)
+            return self._executor.drain()
+        except Exception:
+            return {}
+
+    def _loop(self) -> None:
+        while True:
+            cycle = self._next_cycle()
+            if cycle is None:
+                break
+            self._resolve(cycle)
+            if self._stopping.is_set() and self._queue.empty():
+                break
+        # Fail whatever raced in behind the sentinel — never hang a
+        # caller on a future nobody will resolve.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if item is None:
+                continue
+            task, future = item
+            if task.kind is TaskKind.QUERY:
+                future.set_result(
+                    QueryResult.timed_out(task.query_id, "shutting down")
+                )
+            else:
+                future.set_exception(RuntimeError("shutting down"))
+
+
 class MPRSystem:
     """An executor bundled with always-on telemetry and reporting.
 
@@ -140,6 +328,18 @@ class MPRSystem:
     ``telemetry`` to a fresh *enabled* handle — the wrapper exists to
     make the traced path the easy path.  All executor lifecycle methods
     delegate; :meth:`stats` and :meth:`report` expose the telemetry.
+
+    Two surfaces share the executor, mutually exclusively:
+
+    * the **batch surface** — ``submit``/``flush``/``drain``/``run``,
+      the historical blocking cycle; and
+    * the **async surface** — :meth:`submit_async` returns a
+      :class:`concurrent.futures.Future` per task, resolving to a
+      :class:`~repro.mpr.results.QueryResult` envelope (``None`` for
+      updates).  First use starts the :class:`_CompletionPump`, which
+      then owns the executor: the batch surface raises until
+      :meth:`close`, because neither executor is thread-safe and
+      interleaving the two would corrupt the drain accounting.
     """
 
     def __init__(
@@ -153,11 +353,17 @@ class MPRSystem:
         **options: Any,
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._pump_options = {
+            key[len("pump_"):]: options.pop(key)
+            for key in ("pump_max_batch", "pump_drain_timeout")
+            if key in options
+        }
         self.executor = build_executor(
             config, solution, objects,
             mode=mode, telemetry=self.telemetry, **options,
         )
         self.mode = mode
+        self._pump: _CompletionPump | None = None
 
     @property
     def config(self) -> MPRConfig:
@@ -168,19 +374,74 @@ class MPRSystem:
         return self
 
     def close(self) -> None:
+        if self._pump is not None:
+            self._pump.stop()
+            self._pump = None
         self.executor.close()
 
+    def _guard_batch_surface(self, method: str) -> None:
+        if self._pump is not None:
+            raise RuntimeError(
+                f"MPRSystem.{method}() is unavailable while submit_async's "
+                "completion pump owns the executor; use submit_async/"
+                "run_results (or close() first)"
+            )
+
     def submit(self, task: Task) -> None:
+        self._guard_batch_surface("submit")
         self.executor.submit(task)
 
     def flush(self) -> None:
+        self._guard_batch_surface("flush")
         self.executor.flush()
 
     def drain(self) -> dict[int, list[Neighbor]]:
+        self._guard_batch_surface("drain")
         return self.executor.drain()
 
     def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
+        self._guard_batch_surface("run")
         return self.executor.run(tasks)
+
+    # ------------------------------------------------------------------
+    # The async surface (futures + QueryResult envelopes)
+    # ------------------------------------------------------------------
+    def submit_async(self, task: Task) -> "Future[QueryResult | None]":
+        """Submit one task; get a future instead of joining a barrier.
+
+        The returned :class:`concurrent.futures.Future` resolves to a
+        :class:`~repro.mpr.results.QueryResult` for queries (every
+        outcome — full answer, degraded ``PARTIAL``, shed
+        ``OVERLOADED``, drain ``TIMEOUT``, crash ``ERROR`` — is a
+        *result*, never an exception) and to ``None`` for updates once
+        the drain that made them visible completes.  FCFS order across
+        calls is preserved.  First call starts the completion pump and
+        locks out the batch surface until :meth:`close`.
+        """
+        if self._pump is None:
+            self.executor.start()
+            self._pump = _CompletionPump(self.executor, **self._pump_options)
+        return self._pump.submit(task)
+
+    def run_results(
+        self, tasks: Sequence[Task]
+    ) -> dict[int, QueryResult]:
+        """Execute a task stream; return enveloped per-query outcomes.
+
+        The envelope-typed counterpart of :meth:`run`: one
+        :class:`~repro.mpr.results.QueryResult` per query id, whatever
+        the outcome.  Goes through :meth:`submit_async` when the pump
+        is already running, else through one batch ``run()``.
+        """
+        if self._pump is not None:
+            futures = [(task, self.submit_async(task)) for task in tasks]
+            return {
+                task.query_id: future.result()
+                for task, future in futures
+                if task.kind is TaskKind.QUERY
+            }
+        self.start()
+        return envelope_answers(self.executor.run(tasks))
 
     def __enter__(self) -> "MPRSystem":
         return self.start()

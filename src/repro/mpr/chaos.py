@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from ..graph.generators import grid_network
-from ..knn.base import KNNSolution, Neighbor, PartialResult
+from ..knn.base import KNNSolution, Neighbor
 from ..knn.dijkstra_knn import DijkstraKNN
 from ..objects.tasks import InsertTask, QueryTask, Task
 from ..obs import Telemetry
@@ -51,7 +51,8 @@ from .api import build_executor
 from .config import MPRConfig
 from .executor import run_serial_reference
 from .process_executor import ProcessPoolService
-from .resilience import Overloaded, ResilienceConfig
+from .resilience import ResilienceConfig
+from .results import ResultStatus, envelope_answers
 
 __all__ = [
     "ChaosReport",
@@ -450,29 +451,29 @@ def _check_answers(
     config: MPRConfig,
     telemetry: Telemetry,
 ) -> None:
-    """Classify every answer and append invariant violations."""
+    """Classify every answer via the envelope; append violations."""
     valid_columns = {
         (layer, column)
         for layer in range(config.z)
         for column in range(config.x)
     }
-    for query_id, answer in sorted(answers.items()):
-        if isinstance(answer, Overloaded):
+    for query_id, result in sorted(envelope_answers(answers).items()):
+        if result.status is ResultStatus.OVERLOADED:
             report.shed += 1
             continue
-        if isinstance(answer, PartialResult) and not answer.complete:
+        if result.status is ResultStatus.PARTIAL:
             report.degraded += 1
-            if not set(answer.missing_columns) <= valid_columns:
+            if not set(result.missing_columns) <= valid_columns:
                 report.violations.append(
                     f"query {query_id}: degraded answer names unknown "
-                    f"columns {answer.missing_columns}"
+                    f"columns {result.missing_columns}"
                 )
-            if sorted(answer) != list(answer):
+            if sorted(result.neighbors) != list(result.neighbors):
                 report.violations.append(
                     f"query {query_id}: degraded answer is not canonical"
                 )
             truth = {n.object_id: n.distance for n in oracle[query_id]}
-            for neighbor in answer:
+            for neighbor in result.neighbors:
                 known = truth.get(neighbor.object_id)
                 if known is not None and known != neighbor.distance:
                     report.violations.append(
@@ -481,10 +482,10 @@ def _check_answers(
                     )
             continue
         report.plain += 1
-        if list(answer) != list(oracle[query_id]):
+        if list(result.neighbors) != list(oracle[query_id]):
             report.violations.append(
-                f"query {query_id}: wrong answer {list(answer)!r} != "
-                f"{list(oracle[query_id])!r}"
+                f"query {query_id}: wrong answer "
+                f"{list(result.neighbors)!r} != {list(oracle[query_id])!r}"
             )
         trace = telemetry.trace(query_id)
         if trace is None or not trace.spans:

@@ -13,8 +13,8 @@ discrete-event model of the 19-core machine — DESIGN.md substitution
 paper's semantic claims: every scheme returns exactly the answers of a
 serial execution in arrival order, for any solution and configuration.
 
-Construction goes through :func:`repro.mpr.api.build_executor` (the
-direct constructor is a deprecation shim); the lifecycle —
+Construction goes through :func:`repro.mpr.api.build_executor`; the
+lifecycle —
 ``start()``/``submit()``/``flush()``/``drain()``/``close()`` plus the
 context-manager form — is shared verbatim with the process pool, so the
 two substrates are drop-in interchangeable.
@@ -25,7 +25,6 @@ from __future__ import annotations
 import queue
 import threading
 import time
-import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -336,39 +335,12 @@ class ThreadedMPRExecutor(MPRExecutor):
     them until :meth:`close`.  ``flush()`` is a no-op — the threaded
     path dispatches per task, there is nothing buffered.
 
-    .. deprecated:: construct via
-       :func:`repro.mpr.api.build_executor` (``mode="thread"``).
+    Construct via :func:`repro.mpr.api.build_executor`
+    (``mode="thread"``), the one public construction path; the direct
+    constructor exists for the facade and for tests.
     """
 
     def __init__(
-        self,
-        solution: KNNSolution,
-        config: MPRConfig,
-        objects: Mapping[int, int],
-        check_invariants: bool = False,
-        *,
-        telemetry: Telemetry | None = None,
-    ) -> None:
-        warnings.warn(
-            "Constructing ThreadedMPRExecutor directly is deprecated; use "
-            "repro.mpr.api.build_executor(config, solution, objects, "
-            "mode='thread')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._init(
-            solution, config, objects,
-            check_invariants=check_invariants, telemetry=telemetry,
-        )
-
-    @classmethod
-    def _create(cls, *args, **kwargs) -> "ThreadedMPRExecutor":
-        """Warning-free construction path used by the facade."""
-        self = cls.__new__(cls)
-        self._init(*args, **kwargs)
-        return self
-
-    def _init(
         self,
         solution: KNNSolution,
         config: MPRConfig,

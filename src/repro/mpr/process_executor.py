@@ -47,8 +47,9 @@ calibration (:func:`repro.sim.measurement.machine_spec_from_pool`)
 consume.
 
 Use :func:`run_batch_speedup` for the historical headline
-demonstration (1 vs N workers); :class:`ProcessMPRExecutor` remains as
-the one-shot compatibility wrapper.
+demonstration (1 vs N workers).  Construction goes through
+:func:`repro.mpr.api.build_executor` (``mode="process"``), the one
+public construction path.
 """
 
 from __future__ import annotations
@@ -56,7 +57,6 @@ from __future__ import annotations
 import heapq
 import multiprocessing as mp
 import time
-import warnings
 from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -251,6 +251,29 @@ class WorkerCrash(RuntimeError):
     """A worker died irrecoverably (poison task or respawn limit)."""
 
 
+class QuiesceTimeout(TimeoutError):
+    """``drain(timeout=)`` expired with batches still outstanding.
+
+    Carries the stuck ``(worker_id, seq)`` batches *and* the affected
+    query ids, so a serving tier can fail exactly the in-flight RPCs
+    that will never get an answer instead of failing the connection.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pending: Sequence[tuple[WorkerId, int]] = (),
+        query_ids: Sequence[int] = (),
+    ) -> None:
+        super().__init__(message)
+        #: Unacknowledged ``(worker_id, seq)`` batches at expiry.
+        self.pending: tuple[tuple[WorkerId, int], ...] = tuple(pending)
+        #: Every query implicated in those batches (plus, with the
+        #: resilience layer on, queries still unresolved at expiry).
+        self.query_ids: tuple[int, ...] = tuple(query_ids)
+
+
 class ProcessPoolService(MPRExecutor):
     """A persistent process pool realizing one MPR core matrix.
 
@@ -312,28 +335,12 @@ class ProcessPoolService(MPRExecutor):
     ``drain()``/``run()`` calls → ``close()``.  The context manager
     form does start/close automatically; ``close()`` is idempotent.
 
-    .. deprecated:: construct via
-       :func:`repro.mpr.api.build_executor` (``mode="process"``).
+    Construct via :func:`repro.mpr.api.build_executor`
+    (``mode="process"``), the one public construction path; the direct
+    constructor exists for the facade and for tests.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "Constructing ProcessPoolService directly is deprecated; use "
-            "repro.mpr.api.build_executor(config, solution, objects, "
-            "mode='process')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._init(*args, **kwargs)
-
-    @classmethod
-    def _create(cls, *args, **kwargs) -> "ProcessPoolService":
-        """Warning-free construction path used by the facade."""
-        self = cls.__new__(cls)
-        self._init(*args, **kwargs)
-        return self
-
-    def _init(
+    def __init__(
         self,
         solution: KNNSolution,
         config: MPRConfig,
@@ -730,7 +737,7 @@ class ProcessPoolService(MPRExecutor):
         deadline = None if timeout is None else time.monotonic() + timeout
         while self._outstanding():
             if deadline is not None and time.monotonic() >= deadline:
-                raise TimeoutError(self._quiesce_failure(timeout))
+                raise self._quiesce_failure(timeout)
             with self.metrics.timed("wait", events=0):
                 readers = self._live_readers()
                 if readers:
@@ -752,16 +759,42 @@ class ProcessPoolService(MPRExecutor):
                 self._handle(message)
         return self._finish_answers()
 
-    def _quiesce_failure(self, timeout: float | None) -> str:
-        """Diagnostic for a drain timeout: name every unacked batch."""
+    def _quiesce_failure(self, timeout: float | None) -> QuiesceTimeout:
+        """Diagnostic for a drain timeout: name every unacked batch and
+        every query id those batches (or unresolved hedges) strand."""
         pending = sorted(
             (state.worker_id, seq)
             for state in self._workers.values()
             for seq in state.unacked
         )
-        return (
+        query_ids = {
+            op[1]
+            for state in self._workers.values()
+            for ops in state.unacked.values()
+            for op in ops
+            if op[0] == "query"
+        }
+        if self._resilience.enabled:
+            query_ids.update(
+                query_id for query_id in self._columns
+                if not self._is_resolved(query_id)
+            )
+        else:
+            # Without resilience no answer is delivered on a timeout at
+            # all, but the *stuck* queries are the ones named: any query
+            # whose partials are incomplete is implicated.
+            query_ids.update(
+                query_id
+                for query_id, expected in self._expected.items()
+                if len(self._partials.get(query_id, ())) != expected
+            )
+        affected = sorted(query_ids)
+        return QuiesceTimeout(
             f"pool did not quiesce within {timeout} s; "
-            f"{len(pending)} batches outstanding (worker, seq): {pending}"
+            f"{len(pending)} batches outstanding (worker, seq): {pending}; "
+            f"affected query ids: {affected}",
+            pending=pending,
+            query_ids=affected,
         )
 
     def _drain_resilient(
@@ -784,7 +817,7 @@ class ProcessPoolService(MPRExecutor):
             if not outstanding and not self._has_unresolved():
                 break
             if wall is not None and now >= wall:
-                raise TimeoutError(self._quiesce_failure(timeout))
+                raise self._quiesce_failure(timeout)
             if not outstanding:
                 self._force_resolve(now)
                 continue
@@ -1516,79 +1549,6 @@ class ProcessPoolService(MPRExecutor):
             self.metrics.messages_sent += 1
 
 
-class ProcessMPRExecutor(MPRExecutor):
-    """One-shot batch wrapper over :class:`ProcessPoolService`.
-
-    Preserved for compatibility with the original executor: workers are
-    spawned per :meth:`run` and torn down afterwards, with per-task
-    dispatch (``batch_size=1``).  New code should hold a process-mode
-    executor from :func:`repro.mpr.api.build_executor` instead.
-
-    .. deprecated:: construct via
-       :func:`repro.mpr.api.build_executor` (``mode="process"``).
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "Constructing ProcessMPRExecutor directly is deprecated; use "
-            "repro.mpr.api.build_executor(config, solution, objects, "
-            "mode='process')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._init(*args, **kwargs)
-
-    @classmethod
-    def _create(cls, *args, **kwargs) -> "ProcessMPRExecutor":
-        """Warning-free construction path used by the facade."""
-        self = cls.__new__(cls)
-        self._init(*args, **kwargs)
-        return self
-
-    def _init(
-        self,
-        solution: KNNSolution,
-        config: MPRConfig,
-        objects: Mapping[int, int],
-        start_method: str = "fork",
-        *,
-        telemetry: Telemetry | None = None,
-    ) -> None:
-        self._service = ProcessPoolService._create(
-            solution, config, objects,
-            batch_size=1, start_method=start_method, telemetry=telemetry,
-        )
-
-    @property
-    def config(self) -> MPRConfig:
-        return self._service.config
-
-    @property
-    def telemetry(self) -> Telemetry:
-        return self._service.telemetry
-
-    def start(self) -> "ProcessMPRExecutor":
-        self._service.start()
-        return self
-
-    def close(self) -> None:
-        self._service.close()
-
-    def submit(self, task: Task) -> None:
-        self._service.submit(task)
-
-    def flush(self) -> None:
-        self._service.flush()
-
-    def drain(self) -> dict[int, list[Neighbor]]:
-        return self._service.drain()
-
-    def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
-        """One-shot: spawn workers, run the batch, tear them down."""
-        with self._service as pool:
-            return pool.run(tasks)
-
-
 @dataclass(frozen=True)
 class SpeedupReport:
     """Wall-clock comparison of 1-worker vs N-worker batch execution."""
@@ -1633,7 +1593,7 @@ def run_batch_speedup(
 
     def timed_run(num_workers: int) -> float:
         config = MPRConfig(1, num_workers, 1)
-        with ProcessPoolService._create(
+        with ProcessPoolService(
             solution, config, dict(objects),
             batch_size=batch_size, start_method=start_method,
         ) as pool:

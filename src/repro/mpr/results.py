@@ -1,0 +1,216 @@
+"""The typed query-result envelope shared by library and wire protocol.
+
+Before this module, an executor answer was one of three shapes a caller
+had to ``isinstance``-sniff: a plain ``list[Neighbor]``, a degraded
+:class:`~repro.knn.base.PartialResult`, or a typed falsy
+:class:`~repro.mpr.resilience.Overloaded` verdict — and a drain timeout
+was a fourth shape (an exception).  :class:`QueryResult` collapses all
+of them into one envelope with an explicit :class:`ResultStatus`, used
+identically by the in-process API (:meth:`repro.mpr.api.MPRSystem.
+submit_async`, :meth:`~repro.mpr.api.MPRSystem.run_results`) and by the
+``repro.serve`` wire protocol: :meth:`QueryResult.to_wire` is the
+payload a server frame carries, and ``from_wire(to_wire(r)) == r``
+round-trips byte-for-byte under the protocol's canonical JSON encoding.
+
+The raw answer shapes remain constructible from the envelope via
+:attr:`QueryResult.answer` — the thin compat accessor that keeps
+``run()``-era callers working on plain neighbor lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping
+
+from ..knn.base import Neighbor, PartialResult
+from .resilience import Overloaded
+
+__all__ = ["QueryResult", "ResultStatus", "envelope_answers"]
+
+
+class ResultStatus(Enum):
+    """Why a query finished the way it did (wire values are the enum
+    values, stable by contract — see docs/API.md "Serving").
+
+    * ``OK`` — complete top-k over every partition column.
+    * ``PARTIAL`` — degraded: the top-k over the *surviving* columns
+      only; ``missing_columns`` names the dead ``(layer, column)``
+      cells.  Not retryable through the same replica set, but still a
+      usable (lower-bound) answer.
+    * ``OVERLOADED`` — shed by admission control before execution;
+      retryable after ``retry_after`` seconds.
+    * ``TIMEOUT`` — the query was in flight when its drain deadline
+      expired (or the server shut down around it); the executor never
+      produced an answer.  Queries are read-only, so retrying is safe.
+    * ``ERROR`` — the executor failed irrecoverably underneath the
+      query (e.g. a poison task exhausting every replica).
+    """
+
+    OK = "ok"
+    PARTIAL = "partial"
+    OVERLOADED = "overloaded"
+    TIMEOUT = "timeout"
+    ERROR = "error"
+
+
+#: Statuses a client may retry verbatim (queries never mutate state).
+RETRYABLE_STATUSES = (ResultStatus.OVERLOADED, ResultStatus.TIMEOUT)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One query's outcome: status, neighbors, and failure context.
+
+    ``neighbors`` is the (possibly partial, possibly empty) canonical
+    top-k.  ``missing_columns`` is non-empty exactly for ``PARTIAL``;
+    ``outstanding``/``bound`` carry the admission verdict for
+    ``OVERLOADED``; ``retry_after`` is the backoff hint a server
+    attaches to retryable statuses; ``detail`` is a human-readable
+    failure note for ``TIMEOUT``/``ERROR``.
+    """
+
+    query_id: int
+    status: ResultStatus
+    neighbors: tuple[Neighbor, ...] = ()
+    missing_columns: tuple[tuple[int, int], ...] = ()
+    outstanding: int | None = None
+    bound: int | None = None
+    retry_after: float | None = None
+    detail: str | None = field(default=None, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResultStatus.OK
+
+    @property
+    def retryable(self) -> bool:
+        """Whether resubmitting the same query verbatim is sensible."""
+        return self.status in RETRYABLE_STATUSES
+
+    @property
+    def answer(self):
+        """The legacy answer shape (the thin ``run()`` compat accessor).
+
+        ``OK`` yields a plain ``list[Neighbor]``, ``PARTIAL`` a
+        :class:`~repro.knn.base.PartialResult`, ``OVERLOADED`` the
+        typed falsy :class:`~repro.mpr.resilience.Overloaded` verdict.
+        ``TIMEOUT``/``ERROR`` have no answer shape and yield ``None``.
+        """
+        if self.status is ResultStatus.OK:
+            return list(self.neighbors)
+        if self.status is ResultStatus.PARTIAL:
+            return PartialResult(self.neighbors, self.missing_columns)
+        if self.status is ResultStatus.OVERLOADED:
+            return Overloaded(
+                self.query_id, self.outstanding or 0, self.bound or 0
+            )
+        return None
+
+    def with_retry_after(self, retry_after: float | None) -> "QueryResult":
+        """A copy carrying a server-side backoff hint (no-op if None)."""
+        if retry_after is None:
+            return self
+        return QueryResult(
+            self.query_id, self.status, self.neighbors,
+            self.missing_columns, self.outstanding, self.bound,
+            retry_after, self.detail,
+        )
+
+    # ------------------------------------------------------------------
+    # Classification from the legacy shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_answer(cls, query_id: int, answer: Any) -> "QueryResult":
+        """Wrap one raw executor answer into the envelope.
+
+        ``None`` (no answer produced — e.g. a drain timeout swallowed
+        the query) maps to ``TIMEOUT``; the three legacy shapes map to
+        their statuses.
+        """
+        if answer is None:
+            return cls(
+                query_id, ResultStatus.TIMEOUT,
+                detail="no answer before the drain deadline",
+            )
+        if isinstance(answer, Overloaded):
+            return cls(
+                query_id, ResultStatus.OVERLOADED,
+                outstanding=answer.outstanding, bound=answer.bound,
+            )
+        if isinstance(answer, PartialResult) and not answer.complete:
+            return cls(
+                query_id, ResultStatus.PARTIAL,
+                neighbors=tuple(answer),
+                missing_columns=tuple(answer.missing_columns),
+            )
+        return cls(query_id, ResultStatus.OK, neighbors=tuple(answer))
+
+    @classmethod
+    def timed_out(cls, query_id: int, detail: str) -> "QueryResult":
+        return cls(query_id, ResultStatus.TIMEOUT, detail=detail)
+
+    @classmethod
+    def failed(cls, query_id: int, detail: str) -> "QueryResult":
+        return cls(query_id, ResultStatus.ERROR, detail=detail)
+
+    # ------------------------------------------------------------------
+    # Wire form (shared verbatim with repro.serve.protocol)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON-ready dict a protocol frame carries.
+
+        Optional fields are omitted when absent so the canonical
+        encoding stays minimal and stable; neighbors travel as
+        ``[distance, object_id]`` pairs.
+        """
+        payload: dict[str, Any] = {
+            "query_id": self.query_id,
+            "status": self.status.value,
+            "neighbors": [
+                [neighbor.distance, neighbor.object_id]
+                for neighbor in self.neighbors
+            ],
+        }
+        if self.missing_columns:
+            payload["missing_columns"] = [
+                list(column) for column in self.missing_columns
+            ]
+        if self.outstanding is not None:
+            payload["outstanding"] = self.outstanding
+        if self.bound is not None:
+            payload["bound"] = self.bound
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        if self.detail is not None:
+            payload["detail"] = self.detail
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "QueryResult":
+        """Inverse of :meth:`to_wire` (raises ``KeyError``/``ValueError``
+        on malformed payloads, which servers map to protocol errors)."""
+        return cls(
+            query_id=int(payload["query_id"]),
+            status=ResultStatus(payload["status"]),
+            neighbors=tuple(
+                Neighbor(float(distance), int(object_id))
+                for distance, object_id in payload.get("neighbors", ())
+            ),
+            missing_columns=tuple(
+                (int(layer), int(column))
+                for layer, column in payload.get("missing_columns", ())
+            ),
+            outstanding=payload.get("outstanding"),
+            bound=payload.get("bound"),
+            retry_after=payload.get("retry_after"),
+            detail=payload.get("detail"),
+        )
+
+
+def envelope_answers(answers: Mapping[int, Any]) -> dict[int, QueryResult]:
+    """Wrap a ``drain()``/``run()`` answers dict into envelopes."""
+    return {
+        query_id: QueryResult.from_answer(query_id, answer)
+        for query_id, answer in answers.items()
+    }

@@ -29,6 +29,10 @@ class QueryTask:
     ``None`` falls back to the executor's configured default; with the
     resilience layer enabled, a query past its deadline is hedged to a
     different replica row instead of waiting on recovery.
+
+    ``tenant`` names the originating tenant for the serving tier's
+    weighted fairness (``repro.serve.fairness``); it never affects
+    routing or answers, only scheduling order at the server edge.
     """
 
     arrival_time: float
@@ -36,6 +40,7 @@ class QueryTask:
     location: int
     k: int
     deadline: float | None = field(default=None, compare=False)
+    tenant: str | None = field(default=None, compare=False)
 
     kind: TaskKind = field(default=TaskKind.QUERY, compare=False)
 

@@ -58,6 +58,7 @@ from ..mpr.analysis import (
 )
 from ..mpr.api import build_executor
 from ..mpr.config import MPRConfig
+from ..mpr.results import envelope_answers
 from ..obs import Telemetry
 from ..sim.measurement import (
     find_max_throughput,
@@ -183,6 +184,9 @@ class CellVerdict:
     under_capacity: bool
     within_tolerance: bool
     detail: str = ""
+    #: Live cells: answers whose QueryResult status was not OK (shed,
+    #: degraded, or lost); the sim backend has no answer objects.
+    anomalies: int = 0
 
     @property
     def ratio(self) -> float:
@@ -218,6 +222,7 @@ class CellVerdict:
             "enforced": self.enforced,
             "passed": self.passed,
             "detail": self.detail,
+            "anomalies": self.anomalies,
         }
 
 
@@ -502,9 +507,13 @@ def validate_live(
                     mode="process", telemetry=telemetry, batch_size=1,
                 )
                 try:
-                    replay_timed(executor, workload.tasks)
+                    answers = replay_timed(executor, workload.tasks)
                 finally:
                     executor.close()
+                anomalies = sum(
+                    1 for result in envelope_answers(answers).values()
+                    if not result.ok
+                )
 
                 profile = profile_from_telemetry(telemetry, "live-dijkstra")
                 machine = machine_spec_from_telemetry(
@@ -551,6 +560,7 @@ def validate_live(
                     utilization=utilization,
                     under_capacity=under, within_tolerance=within,
                     detail=detail,
+                    anomalies=anomalies,
                 ))
     return cells
 

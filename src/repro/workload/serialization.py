@@ -37,6 +37,8 @@ def _task_to_dict(task: Task) -> dict[str, Any]:
         }
         if task.deadline is not None:
             payload["deadline"] = task.deadline
+        if task.tenant is not None:
+            payload["tenant"] = task.tenant
         return payload
     if isinstance(task, InsertTask):
         payload: dict[str, Any] = {
@@ -65,6 +67,7 @@ def _task_from_dict(payload: dict[str, Any]) -> Task:
             deadline=(
                 float(payload["deadline"]) if "deadline" in payload else None
             ),
+            tenant=payload.get("tenant"),
         )
     if kind == "insert":
         return InsertTask(

@@ -1,8 +1,10 @@
-"""The unified construction API: build_executor, MPRSystem, shims.
+"""The unified construction API: build_executor, MPRSystem.
 
 Pins the redesign's contract: one entry point builds every substrate,
-the facade path is warning-free, every legacy constructor warns, and
-telemetry threads through whichever substrate is chosen.
+construction is warning-free everywhere (the PR-3-era deprecation
+shims are gone), telemetry threads through whichever substrate is
+chosen, and the async surface (submit_async/run_results) returns
+QueryResult envelopes while locking out the batch surface.
 """
 
 from __future__ import annotations
@@ -18,8 +20,8 @@ from repro.mpr import (
     build_executor,
     run_serial_reference,
 )
+from repro.mpr import QueryResult, ResultStatus
 from repro.mpr.api import EXECUTOR_MODES
-from repro.mpr.process_executor import ProcessMPRExecutor
 from repro.obs import NULL_TELEMETRY, TRACE_STAGES, Telemetry
 from repro.workload import UpdateMode, generate_workload
 
@@ -105,37 +107,37 @@ def test_process_executor_via_facade_matches_oracle(small_grid) -> None:
 
 
 # ----------------------------------------------------------------------
-# Legacy constructors are deprecation shims
+# Direct construction is warning-free (the deprecation shims are gone)
 # ----------------------------------------------------------------------
-def test_threaded_constructor_warns(small_grid) -> None:
-    with pytest.deprecated_call():
-        executor = ThreadedMPRExecutor(DijkstraKNN(small_grid), CONFIG, {})
+@pytest.mark.filterwarnings("error::DeprecationWarning")
+def test_direct_constructors_no_longer_warn(small_grid) -> None:
+    executor = ThreadedMPRExecutor(DijkstraKNN(small_grid), CONFIG, {})
     executor.close()
-
-
-def test_pool_constructor_warns(small_grid) -> None:
-    with pytest.deprecated_call():
-        pool = ProcessPoolService(DijkstraKNN(small_grid), CONFIG, {})
+    pool = ProcessPoolService(DijkstraKNN(small_grid), CONFIG, {})
     pool.close()  # never started
 
 
-def test_process_executor_constructor_warns(small_grid) -> None:
-    with pytest.deprecated_call():
-        executor = ProcessMPRExecutor(DijkstraKNN(small_grid), CONFIG, {})
-    executor.close()
+def test_one_shot_process_wrapper_is_gone() -> None:
+    """The PR-1-era one-shot wrapper left with the shims."""
+    import repro.mpr as mpr
+    import repro.mpr.process_executor as pe
+
+    assert not hasattr(pe, "ProcessMPRExecutor")
+    assert "ProcessMPRExecutor" not in mpr.__all__
 
 
-def test_shim_still_behaves_like_the_facade_product(small_grid) -> None:
-    """The shims deprecate the *spelling*, not the object: a directly
-    constructed executor still answers identically."""
+def test_direct_construction_behaves_like_the_facade_product(
+    small_grid,
+) -> None:
+    """Direct construction builds the same object the facade does —
+    just without the facade's defaulting conveniences."""
     workload = make_workload(small_grid, seed=23)
     oracle = run_serial_reference(
         DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
     )
-    with pytest.deprecated_call():
-        executor = ThreadedMPRExecutor(
-            DijkstraKNN(small_grid), CONFIG, workload.initial_objects
-        )
+    executor = ThreadedMPRExecutor(
+        DijkstraKNN(small_grid), CONFIG, workload.initial_objects
+    )
     with executor:
         assert executor.run(workload.tasks) == oracle
 
@@ -212,3 +214,69 @@ def test_cli_stats_prints_percentiles(capsys) -> None:
         assert column in out
     for stage in TRACE_STAGES:
         assert stage in out
+
+
+# ----------------------------------------------------------------------
+# The async surface: submit_async futures + QueryResult envelopes
+# ----------------------------------------------------------------------
+def test_submit_async_matches_oracle_and_locks_batch_surface(
+    small_grid,
+) -> None:
+    workload = make_workload(small_grid, seed=41)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    system = MPRSystem(
+        CONFIG, DijkstraKNN(small_grid), workload.initial_objects
+    )
+    try:
+        futures = [
+            (task, system.submit_async(task)) for task in workload.tasks
+        ]
+        answers = {}
+        for task, future in futures:
+            outcome = future.result(timeout=30)
+            if task.kind.value == "query":
+                assert isinstance(outcome, QueryResult)
+                assert outcome.status is ResultStatus.OK
+                answers[task.query_id] = outcome.answer
+            else:
+                assert outcome is None
+        assert answers == oracle
+        # The pump owns the executor now: the batch surface is locked.
+        with pytest.raises(RuntimeError, match="completion pump"):
+            system.submit(workload.tasks[0])
+        with pytest.raises(RuntimeError, match="completion pump"):
+            system.flush()
+        with pytest.raises(RuntimeError, match="completion pump"):
+            system.drain()
+        with pytest.raises(RuntimeError, match="completion pump"):
+            system.run(workload.tasks)
+    finally:
+        system.close()
+
+
+def test_run_results_envelopes_without_pump(small_grid) -> None:
+    workload = make_workload(small_grid, seed=43)
+    oracle = run_serial_reference(
+        DijkstraKNN(small_grid), workload.initial_objects, workload.tasks
+    )
+    with MPRSystem(
+        CONFIG, DijkstraKNN(small_grid), workload.initial_objects
+    ) as system:
+        results = system.run_results(workload.tasks)
+    assert set(results) == set(oracle)
+    for query_id, result in results.items():
+        assert result.status is ResultStatus.OK
+        assert result.answer == oracle[query_id]
+
+
+def test_submit_async_after_close_raises(small_grid) -> None:
+    workload = make_workload(small_grid, seed=47)
+    system = MPRSystem(
+        CONFIG, DijkstraKNN(small_grid), workload.initial_objects
+    )
+    future = system.submit_async(workload.tasks[0])
+    future.result(timeout=30)
+    system.close()
+    assert system._pump is None

@@ -1,0 +1,529 @@
+"""The serving tier: protocol, fairness, and server/client end-to-end.
+
+No pytest-asyncio in the toolchain, so every async scenario drives its
+own event loop via ``asyncio.run`` inside a synchronous test.  The
+e2e tests bind an ephemeral localhost port per test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.knn import DijkstraKNN
+from repro.mpr import (
+    MPRConfig,
+    MPRSystem,
+    QueryResult,
+    ResilienceConfig,
+    ResultStatus,
+)
+from repro.knn.base import KNNSolution, Neighbor
+from repro.serve import (
+    FrameError,
+    MPRServer,
+    ServeClient,
+    ServeConfig,
+    WeightedFairQueue,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.client import RetryableServeError, ServeError
+
+CONFIG = MPRConfig(2, 1, 1)
+
+
+def make_system(small_grid, grid_objects, *, resilience=None, **options):
+    return MPRSystem(
+        CONFIG, DijkstraKNN(small_grid), grid_objects,
+        resilience=resilience, **options,
+    )
+
+
+async def start_server(system, **overrides):
+    server = MPRServer(system, ServeConfig(port=0, **overrides))
+    await server.start()
+    return server
+
+
+# ----------------------------------------------------------------------
+# QueryResult envelope: wire round-trip shared byte-for-byte
+# ----------------------------------------------------------------------
+def test_query_result_round_trips_every_status() -> None:
+    samples = [
+        QueryResult(1, ResultStatus.OK, neighbors=(Neighbor(1.5, 7),)),
+        QueryResult(
+            2, ResultStatus.PARTIAL,
+            neighbors=(Neighbor(0.5, 3),), missing_columns=((0, 1),),
+        ),
+        QueryResult(3, ResultStatus.OVERLOADED, outstanding=9, bound=4,
+                    retry_after=0.25),
+        QueryResult(4, ResultStatus.TIMEOUT, detail="drain expired"),
+        QueryResult(5, ResultStatus.ERROR, detail="poison"),
+    ]
+    for result in samples:
+        assert QueryResult.from_wire(result.to_wire()) == result
+        # Canonical JSON: the wire bytes are deterministic.
+        assert encode_frame(result.to_wire()) == encode_frame(
+            QueryResult.from_wire(result.to_wire()).to_wire()
+        )
+
+
+def test_envelope_answer_compat_accessor() -> None:
+    from repro.knn.base import PartialResult
+    from repro.mpr import Overloaded
+
+    ok = QueryResult.from_answer(1, [Neighbor(1.0, 2)])
+    assert ok.answer == [Neighbor(1.0, 2)]
+    partial = QueryResult.from_answer(
+        2, PartialResult([Neighbor(1.0, 2)], missing_columns=[(0, 0)])
+    )
+    assert isinstance(partial.answer, PartialResult)
+    assert partial.answer.missing_columns == ((0, 0),)
+    shed = QueryResult.from_answer(3, Overloaded(3, 10, 4))
+    assert isinstance(shed.answer, Overloaded)
+    assert not shed.answer  # the verdict stays falsy through the envelope
+    assert QueryResult.from_answer(4, None).status is ResultStatus.TIMEOUT
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+def test_frame_round_trip_and_errors() -> None:
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame({"op": "query", "id": 1}))
+        frame = await read_frame(reader)
+        assert frame == {"op": "query", "id": 1}
+        # clean EOF between frames -> None
+        reader.feed_eof()
+        assert await read_frame(reader) is None
+
+        bad = asyncio.StreamReader()
+        bad.feed_data(b"\x00\x00\x00\x05notjs")
+        with pytest.raises(FrameError, match="not valid JSON"):
+            await read_frame(bad)
+
+        oversized = asyncio.StreamReader()
+        oversized.feed_data(b"\xff\xff\xff\xff")
+        with pytest.raises(FrameError, match="exceeds"):
+            await read_frame(oversized)
+
+        truncated = asyncio.StreamReader()
+        truncated.feed_data(b"\x00\x00\x00\x10{\"op\":")
+        truncated.feed_eof()
+        with pytest.raises(FrameError, match="mid-frame"):
+            await read_frame(truncated)
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Weighted fairness (unit)
+# ----------------------------------------------------------------------
+def test_wfq_interleaves_a_hog_with_a_light_tenant() -> None:
+    wfq = WeightedFairQueue()
+    for i in range(10):
+        wfq.push("hog", f"hog-{i}")
+    for i in range(3):
+        wfq.push("light", f"light-{i}")
+    order = [wfq.pop() for _ in range(len(wfq))]
+    # All three light items are served within the first 8 pops even
+    # though ten hog items arrived first.
+    light_positions = [
+        pos for pos, (tenant, _) in enumerate(order) if tenant == "light"
+    ]
+    assert max(light_positions) < 8
+
+
+def test_wfq_respects_weights_over_a_busy_interval() -> None:
+    wfq = WeightedFairQueue()
+    wfq.set_weight("heavy", 3.0)
+    wfq.set_weight("light", 1.0)
+    for i in range(30):
+        wfq.push("heavy", i)
+        wfq.push("light", i)
+    first = [wfq.pop()[0] for _ in range(20)]
+    heavy_share = first.count("heavy")
+    # 3:1 weights -> ~15 of the first 20; allow slack for tag ties.
+    assert heavy_share >= 12
+
+
+def test_wfq_rejects_bad_weight() -> None:
+    with pytest.raises(ValueError):
+        WeightedFairQueue().set_weight("t", 0.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: query/update/subscribe over TCP
+# ----------------------------------------------------------------------
+def test_serve_query_update_subscribe(small_grid, grid_objects) -> None:
+    async def scenario():
+        system = make_system(small_grid, grid_objects)
+        server = await start_server(system)
+        host, port = server.address
+        try:
+            client = await ServeClient.connect(host, port, tenant="t0")
+            result = await client.query(5, 3)
+            assert result.status is ResultStatus.OK
+            assert len(result.neighbors) == 3
+            # matches the in-process answer exactly
+            free_object = max(grid_objects) + 1000
+            await client.insert(free_object, 5)
+            after = await client.query(5, 1)
+            assert after.neighbors[0].object_id == free_object
+
+            sub = await client.subscribe(5, 1)
+            baseline = await sub.next_push(timeout=10)
+            assert baseline.neighbors[0].object_id == free_object
+            await client.delete(free_object)
+            push = await sub.next_push(timeout=10)
+            assert push.neighbors[0].object_id != free_object
+            await sub.cancel()
+
+            stats = await client.stats()
+            assert stats["counters"]["queries"] >= 2
+            await client.aclose()
+        finally:
+            await server.stop()
+            system.close()
+
+    asyncio.run(scenario())
+
+
+def test_serve_deadline_propagates_to_query_task(
+    small_grid, grid_objects
+) -> None:
+    """Client deadline → QueryTask.deadline → resilience miss counters."""
+
+    async def scenario():
+        system = make_system(
+            small_grid, grid_objects,
+            resilience=ResilienceConfig(default_deadline=30.0),
+        )
+        server = await start_server(system)
+        host, port = server.address
+        try:
+            client = await ServeClient.connect(host, port)
+            # An SLO no executor can meet: every query misses it, which
+            # is only possible if the client's deadline reached
+            # QueryTask.deadline (the 30s server default never misses).
+            for _ in range(5):
+                result = await client.query(5, 3, deadline=1e-9)
+                assert result.status is ResultStatus.OK
+            misses = system.telemetry.counters.get(
+                "resilience.deadline_misses", 0
+            )
+            assert misses >= 5
+            # Control: a lenient explicit deadline adds no misses.
+            await client.query(5, 3, deadline=30.0)
+            assert system.telemetry.counters.get(
+                "resilience.deadline_misses", 0
+            ) == misses
+            await client.aclose()
+        finally:
+            await server.stop()
+            system.close()
+
+    asyncio.run(scenario())
+
+
+def test_serve_overloaded_round_trip_is_retryable(
+    small_grid, grid_objects
+) -> None:
+    async def scenario():
+        system = make_system(
+            small_grid, grid_objects,
+            resilience=ResilienceConfig(max_outstanding=1),
+        )
+        server = await start_server(system, max_inflight=256)
+        host, port = server.address
+        try:
+            client = await ServeClient.connect(
+                host, port, tenant="burst", window=256
+            )
+            results = await asyncio.gather(
+                *(client.query(5, 3) for _ in range(80))
+            )
+            statuses = {result.status for result in results}
+            assert ResultStatus.OVERLOADED in statuses, (
+                "a 1-deep admission bound must shed part of an 80-query "
+                "burst"
+            )
+            assert ResultStatus.OK in statuses
+            shed = [
+                r for r in results if r.status is ResultStatus.OVERLOADED
+            ]
+            for result in shed:
+                assert result.retryable
+                assert result.retry_after is not None  # backoff hint
+                assert result.bound == 1
+            # Wire-level: those envelopes travelled as retryable errors.
+            assert server.counters["retryable_errors"] >= len(shed)
+            assert server.counters["shed"] >= len(shed)
+            assert system.telemetry.counters.get("resilience.shed", 0) > 0
+
+            # And the retry path converges once the burst is over.
+            settled = await client.query(5, 3, retries=5)
+            assert settled.status is ResultStatus.OK
+            await client.aclose()
+        finally:
+            await server.stop()
+            system.close()
+
+    asyncio.run(scenario())
+
+
+def test_serve_backpressure_slow_reader_does_not_starve_others(
+    small_grid, grid_objects
+) -> None:
+    """A client that floods queries and never reads responses stalls
+    only itself: its window stops the server reading its frames, and a
+    well-behaved client on the same server stays fast."""
+
+    async def scenario():
+        system = make_system(small_grid, grid_objects)
+        server = await start_server(system, window=4)
+        host, port = server.address
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            # No hello: defaults apply (window=4).  Flood 100 query
+            # frames and never read a byte of response.
+            for i in range(100):
+                writer.write(encode_frame(
+                    {"op": "query", "id": i, "location": 5, "k": 3}
+                ))
+            await writer.drain()
+
+            good = await ServeClient.connect(host, port, tenant="good")
+            started = time.monotonic()
+            result = await asyncio.wait_for(good.query(5, 3), timeout=10)
+            elapsed = time.monotonic() - started
+            assert result.status is ResultStatus.OK
+            assert elapsed < 5.0
+            # The slow reader's backlog is bounded by its window, not
+            # its flood: the server has read at most window + a few
+            # frames, everything else sits in socket buffers.
+            assert server.stats()["queued"] <= 8
+            await good.aclose()
+            writer.close()
+        finally:
+            await server.stop()
+            system.close()
+
+    asyncio.run(scenario())
+
+
+class _ThrottledSolution(KNNSolution):
+    """Delegates to a real solution, adding a fixed per-query cost so
+    scheduling order becomes observable in completion order."""
+
+    def __init__(self, inner: KNNSolution, delay: float) -> None:
+        self._inner = inner
+        self._delay = delay
+
+    def query(self, location: int, k: int):
+        time.sleep(self._delay)
+        return self._inner.query(location, k)
+
+    def insert(self, object_id: int, location: int) -> None:
+        self._inner.insert(object_id, location)
+
+    def delete(self, object_id: int) -> None:
+        self._inner.delete(object_id)
+
+    def spawn(self, objects):
+        return _ThrottledSolution(self._inner.spawn(objects), self._delay)
+
+    def object_locations(self):
+        return self._inner.object_locations()
+
+
+def test_serve_fairness_hog_cannot_starve_light_tenant(
+    small_grid, grid_objects
+) -> None:
+    async def scenario():
+        # ~4ms per query + max_inflight=1 serializes the executor:
+        # scheduling order is fully visible in completion order.
+        system = MPRSystem(
+            CONFIG,
+            _ThrottledSolution(DijkstraKNN(small_grid), 0.004),
+            grid_objects,
+        )
+        server = await start_server(system, max_inflight=1)
+        host, port = server.address
+        try:
+            hog = await ServeClient.connect(
+                host, port, tenant="hog", window=512
+            )
+            light = await ServeClient.connect(host, port, tenant="light")
+            hog_futures = [
+                asyncio.ensure_future(hog.query(5, 3)) for _ in range(60)
+            ]
+            await asyncio.sleep(0.05)  # hog's backlog is queued first
+            for _ in range(5):
+                result = await asyncio.wait_for(
+                    light.query(5, 3), timeout=30
+                )
+                assert result.status is ResultStatus.OK
+            # The light tenant finished all 5 while most of the hog's
+            # backlog was still queued: SFQ interleaved ~1:1 rather
+            # than draining the 60-deep FIFO first.
+            assert server.tenant_completed.get("light", 0) == 5
+            assert server.tenant_completed.get("hog", 0) < 50
+            await asyncio.gather(*hog_futures)
+            await hog.aclose()
+            await light.aclose()
+        finally:
+            await server.stop()
+            system.close()
+
+    asyncio.run(scenario())
+
+
+def test_serve_clean_shutdown_answers_or_fails_in_flight(
+    small_grid, grid_objects
+) -> None:
+    async def scenario():
+        system = make_system(small_grid, grid_objects)
+        server = await start_server(system, max_inflight=2)
+        host, port = server.address
+        client = await ServeClient.connect(host, port, window=256)
+        futures = [
+            asyncio.ensure_future(client.query(5, 3)) for _ in range(30)
+        ]
+        await asyncio.sleep(0.02)
+        await asyncio.wait_for(server.stop(), timeout=30)
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(*futures, return_exceptions=True), timeout=30
+        )
+        answered = sum(
+            1 for o in outcomes
+            if isinstance(o, QueryResult) and o.status is ResultStatus.OK
+        )
+        failed_retryable = sum(
+            1 for o in outcomes
+            if isinstance(o, QueryResult) and o.retryable
+        )
+        errored = sum(1 for o in outcomes if isinstance(o, Exception))
+        # Every single RPC settled (no hangs), each one either answered
+        # or failed with a retryable verdict / closed-connection error.
+        assert answered + failed_retryable + errored == 30
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                assert isinstance(
+                    outcome, (ServeError, RetryableServeError,
+                              asyncio.IncompleteReadError, ConnectionError)
+                )
+        await client.aclose()
+        system.close()
+
+    asyncio.run(scenario())
+
+
+def test_serve_rejects_malformed_frames_without_dying(
+    small_grid, grid_objects
+) -> None:
+    async def scenario():
+        system = make_system(small_grid, grid_objects)
+        server = await start_server(system)
+        host, port = server.address
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame({"op": "query"}))  # missing fields
+            await writer.drain()
+            frame = await read_frame(reader)
+            assert frame["op"] == "error"
+            assert frame["code"] == "bad-frame"
+            assert frame["retryable"] is False
+            # The connection survives a malformed op...
+            writer.write(encode_frame({"op": "nonsense"}))
+            await writer.drain()
+            frame = await read_frame(reader)
+            assert frame["code"] == "bad-op"
+            # ...but not a corrupt frame stream.
+            writer.write(b"\x00\x00\x00\x04oops")
+            await writer.drain()
+            frame = await read_frame(reader)
+            assert frame["code"] == "bad-frame"
+            writer.close()
+            # And the server still serves new connections.
+            client = await ServeClient.connect(host, port)
+            result = await client.query(5, 3)
+            assert result.status is ResultStatus.OK
+            await client.aclose()
+        finally:
+            await server.stop()
+            system.close()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Chaos while serving (process mode)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_serve_chaos_kill_column_degraded_results_reach_clients(
+    small_grid, grid_objects
+) -> None:
+    """SIGKILL a whole partition column mid-serving: clients must keep
+    getting envelopes, and once the column's breakers open the answers
+    degrade to PARTIAL naming the dead column — never a hang."""
+
+    async def scenario():
+        system = MPRSystem(
+            MPRConfig(2, 1, 1), DijkstraKNN(small_grid), grid_objects,
+            mode="process", batch_size=4,
+            resilience=ResilienceConfig(
+                default_deadline=0.5, breaker_failures=1,
+                backoff_base=5.0, stall_timeout=None,
+            ),
+            pump_drain_timeout=20.0,
+        )
+        server = await start_server(system)
+        host, port = server.address
+        try:
+            client = await ServeClient.connect(host, port)
+            first = await asyncio.wait_for(client.query(5, 3), timeout=60)
+            assert first.status is ResultStatus.OK
+
+            pool = system.executor
+            statuses = []
+            killed = False
+            for round_ in range(40):
+                if not killed:
+                    for worker_id, pid in pool.worker_pids().items():
+                        if worker_id[2] == 0:
+                            os.kill(pid, signal.SIGKILL)
+                    killed = True
+                result = await asyncio.wait_for(
+                    client.query(5, 3), timeout=60
+                )
+                statuses.append(result)
+                if result.status is ResultStatus.PARTIAL:
+                    break
+                if result.status is ResultStatus.OK:
+                    # respawn beat the breaker: kill again next round
+                    killed = False
+                await asyncio.sleep(0.05)
+            partials = [
+                r for r in statuses if r.status is ResultStatus.PARTIAL
+            ]
+            assert partials, (
+                "killing column 0 repeatedly must eventually surface a "
+                f"degraded PARTIAL envelope; saw {[r.status for r in statuses]}"
+            )
+            degraded = partials[0]
+            assert degraded.missing_columns  # names the dead cells
+            for _layer, column in degraded.missing_columns:
+                assert column == 0
+            await client.aclose()
+        finally:
+            await asyncio.wait_for(server.stop(), timeout=60)
+            system.close()
+
+    asyncio.run(scenario())

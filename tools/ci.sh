@@ -6,6 +6,7 @@
 #   CI_CHAOS=1 bash tools/ci.sh # also run the chaos scenario sweep
 #   CI_VALIDATE=1 bash tools/ci.sh # also run the model-validation grid
 #   CI_SCALE=1 bash tools/ci.sh # also run the ~1M-node cache/attach smoke
+#   CI_SERVE=1 bash tools/ci.sh # also run the serving-tier load smoke
 #
 # Ruff is optional — environments without the binary skip the lint step
 # instead of failing, so the gate works in the minimal container too.
@@ -30,6 +31,10 @@ fi
 
 if [ "${CI_SCALE:-0}" = "1" ]; then
     python tools/bench_graph_scale.py --smoke
+fi
+
+if [ "${CI_SERVE:-0}" = "1" ]; then
+    python tools/serve_loadtest.py --smoke --no-artifacts
 fi
 
 if command -v ruff >/dev/null 2>&1; then

@@ -33,7 +33,9 @@ PACKAGES = [
     "repro.mpr",
     "repro.mpr.api",
     "repro.mpr.resilience",
+    "repro.mpr.results",
     "repro.mpr.chaos",
+    "repro.serve",
     "repro.sim",
     "repro.workload",
     "repro.validation",
@@ -173,16 +175,20 @@ wraps an executor with a default-*enabled* telemetry handle and
 `stats()`/`report()` accessors; `repro.cli stats` is the command-line
 face of the same loop, and `machine_spec_from_telemetry` /
 `profile_from_telemetry` feed measured `(tq, tu, τ)` back into the
-optimizer.  The legacy constructors remain as `DeprecationWarning`
-shims:
+optimizer.
 
-| Before (deprecated) | After |
+The transitional `DeprecationWarning` shims are **gone**: direct
+construction (`ThreadedMPRExecutor(solution, config, objects)` /
+`ProcessPoolService(solution, config, objects)`) is warning-free and
+builds exactly what the facade builds, and the one-shot
+`ProcessMPRExecutor` wrapper has been removed outright.
+
+| Removed form | Use instead |
 | --- | --- |
-| `ThreadedMPRExecutor(solution, config, objects, check_invariants=True)` | `build_executor(config, solution, objects, check_invariants=True)` |
-| `ProcessPoolService(solution, config, objects, batch_size=8)` | `build_executor(config, solution, objects, mode="process", batch_size=8)` |
+| legacy keyword shims on the direct constructors | the canonical signatures (solution, config, objects) — now warning-free |
 | `ProcessMPRExecutor(solution, config, objects, start_method="fork")` | `build_executor(config, solution, objects, mode="process", batch_size=1, start_method="fork")` |
 
-Note the argument-order flip: the legacy constructors took the solution
+Note the argument-order flip: the direct constructors take the solution
 first; `build_executor` takes the `MPRConfig` first.
 """,
     ),
@@ -291,6 +297,77 @@ terminated, plain answers equal the serial oracle, degraded answers are
 internally consistent, traces are complete, and the deadline-miss rate
 is bounded.  `tools/chaos_run.py` (or `repro.cli chaos`) runs the sweep
 from the command line; CI runs it as the `chaos` job.
+""",
+    ),
+    (
+        "Serving",
+        """\
+`repro.serve` multiplexes thousands of remote clients onto one
+`MPRSystem` over an asyncio TCP server, and the future-based query API
+underneath it is usable in-process too.
+
+**The `QueryResult` envelope.**  Every query outcome — in-process and
+on the wire — is one frozen `QueryResult` carrying a `ResultStatus`:
+`ok` (complete top-k), `partial` (degraded: top-k over the surviving
+columns, `missing_columns` naming the dead `(layer, column)` cells),
+`overloaded` (shed by admission control; retryable after
+`retry_after`), `timeout` (in flight when the drain deadline expired —
+queries are read-only, retrying is safe), and `error` (irrecoverable
+executor failure).  `RETRYABLE_STATUSES` is `(overloaded, timeout)`.
+`QueryResult.to_wire()` / `from_wire()` round-trip byte-for-byte under
+the protocol's canonical JSON, so the library and the wire share one
+result type; the `.answer` property reconstructs the legacy shape
+(`list[Neighbor]` / `PartialResult` / `Overloaded`) for `run()`-era
+callers.
+
+**The async surface.**  `MPRSystem.submit_async(task)` returns a
+`concurrent.futures.Future` resolving to a `QueryResult` (queries) or
+`None` (updates) — no `drain()` barrier.  First use starts a
+completion pump that owns the executor and locks out the batch surface
+(`submit`/`flush`/`drain`/`run` raise) until `close()`;
+`run_results(tasks)` is the batched envelope-returning equivalent on
+either surface.  A `drain(timeout=)` expiry raises `QuiesceTimeout`
+whose `query_ids` lists every affected query.
+
+**Wire protocol.**  Frames are 4-byte big-endian length + canonical
+JSON (`sort_keys`, no spaces), capped at `MAX_FRAME_BYTES` (1 MiB).
+Client ops: `hello` (tenant, SFQ weight, window), `query`, `insert`,
+`delete`, `subscribe`/`unsubscribe` (standing kNN: the server pushes a
+fresh `result` whenever updates change the answer), `stats`, `bye`.
+Server frames: `welcome`, `result` (a `QueryResult` wire payload),
+`error` (`code`, `retryable`, `retry_after`, and — for shed/timeout
+queries — the embedded `result` envelope), `push`.  Backpressure is
+two-layer: a per-connection window (the server stops *reading* a
+connection at its window, letting TCP push back on floods) and a
+global `max_inflight` semaphore whose tokens are released before
+response writes, so a slow reader can never pin executor capacity.
+Scheduling between tenants is start-time fair queueing
+(`WeightedFairQueue`): service under contention is proportional to the
+`hello`-declared weight, so a flooding tenant cannot starve a light
+one.  Client deadlines propagate into `QueryTask.deadline` and the
+executor's resilience machinery (`resilience.deadline_misses` moves).
+`ServeClient` is the asyncio client: `query(..., retries=n)` honors
+`retry_after` backoff hints and returns the final envelope either way.
+`repro.cli serve` starts a server; `tools/serve_loadtest.py` drives
+≥1000 concurrent clients with non-stationary arrivals and records
+qps/p50/p99, shed rate, and fairness spread into
+`benchmarks/results/serve.{json,txt}` and the `serve` row of
+`BENCH_knn.json` (`CI_SERVE=1 bash tools/ci.sh` runs the smoke-sized
+version).
+
+**Migration (old → new).**
+
+| Before | After |
+| --- | --- |
+| `answers = system.run(tasks)` then `isinstance`-sniffing `list` / `PartialResult` / `Overloaded` | `system.run_results(tasks)` → `dict[int, QueryResult]`, branch on `result.status` |
+| `system.submit(t)`; `system.flush()`; `system.drain()` | `future = system.submit_async(t)`; `future.result()` |
+| `drain(timeout=...)` raising a bare `TimeoutError` | `QuiesceTimeout` with `.query_ids` naming the affected queries |
+| shed query → falsy `Overloaded` in the answers dict | `ResultStatus.OVERLOADED` envelope (`retryable`, `retry_after`) |
+| degraded query → `PartialResult` in the answers dict | `ResultStatus.PARTIAL` envelope (`missing_columns`) |
+| n/a (no remote access) | `repro.serve.MPRServer` / `ServeClient` over the framed protocol |
+
+`result.answer` bridges the first two rows during migration: it yields
+exactly the old shape.
 """,
     ),
     (
