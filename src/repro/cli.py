@@ -540,6 +540,26 @@ def _graph_cache(args: argparse.Namespace) -> int:
             f"in {elapsed:.2f}s"
         )
         print(f"content hash: {meta.content_hash}")
+        if args.ch:
+            from .graph.cache import save_ch_cache
+            from .graph.ch import ContractionHierarchy
+
+            cached = open_cache(args.directory)
+            start = time.perf_counter()
+            ch = ContractionHierarchy(cached, workers=args.workers)
+            build_s = time.perf_counter() - start
+            start = time.perf_counter()
+            ch_meta = save_ch_cache(ch, args.directory,
+                                    label_core=args.ch_label_core)
+            save_s = time.perf_counter() - start
+            print(
+                f"contraction hierarchy: {ch_meta.num_shortcuts:,} "
+                f"shortcuts, exact={ch_meta.exact}, built in {build_s:.2f}s, "
+                f"persisted in {save_s:.2f}s"
+                + (f" (core labels: {ch_meta.label_core:,} nodes)"
+                   if ch_meta.label_core else "")
+            )
+            print(f"ch content hash: {ch_meta.content_hash}")
         return 0
 
     try:
@@ -573,6 +593,32 @@ def _graph_cache(args: argparse.Namespace) -> int:
         f"{attach*1e3:.1f} ms; network: {network.num_nodes:,} nodes, "
         f"mirrors guarded: {not network.mirrors_allowed}"
     )
+    ch_section = info.get("ch")
+    if isinstance(ch_section, dict):
+        rows = [
+            [entry["file"], entry["dtype"],
+             "x".join(map(str, entry["shape"])),
+             f"{entry['bytes_on_disk']:,}"]
+            for entry in ch_section["files"].values()
+        ]
+        rows.append(["total", "", "", f"{ch_section['total_bytes']:,}"])
+        state = "STALE (graph rewritten)" if ch_section.get("stale") else "ok"
+        print(
+            format_table(
+                ["file", "dtype", "shape", "bytes"],
+                rows,
+                title=(
+                    f"CH artifacts — {ch_section['num_shortcuts']:,} "
+                    f"shortcuts, exact={ch_section['exact']}, "
+                    f"builder={ch_section.get('builder', '?')}, "
+                    f"label_core={ch_section.get('label_core', 0):,}, "
+                    f"{state}"
+                ),
+            )
+        )
+        print(f"ch content hash: {ch_section['content_hash']}")
+    else:
+        print("no persisted contraction hierarchy (build with --ch)")
     return 0
 
 
@@ -750,6 +796,18 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--verify", action="store_true",
         help="inspect: re-hash the array files instead of O(1) checks",
+    )
+    cache.add_argument(
+        "--ch", action="store_true",
+        help="build: also contract and persist a hierarchy",
+    )
+    cache.add_argument(
+        "--ch-label-core", type=int, default=0, metavar="N",
+        help="with --ch: prebuild hub labels for the N top-ranked nodes",
+    )
+    cache.add_argument(
+        "--workers", type=int, default=None,
+        help="with --ch: witness-search worker processes",
     )
     cache.set_defaults(func=_graph_cache)
     return parser

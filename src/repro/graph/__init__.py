@@ -10,13 +10,23 @@ them from those modules directly.
 from .road_network import Edge, MirrorMaterializationError, RoadNetwork
 from .cache import (
     CacheError,
+    CHCacheMeta,
     GraphCacheMeta,
+    attach_cached_ch,
     attach_cached_graph,
+    cache_has_ch,
     cache_info,
+    load_cached_ch,
     open_cache,
     save_cache,
+    save_ch_cache,
 )
-from .ch import CHKernels, ContractionHierarchy, calibrate_ch_cutoff
+from .ch import (
+    CHKernels,
+    ContractionHierarchy,
+    build_core_labels,
+    calibrate_ch_cutoff,
+)
 from .generators import (
     DEFAULT_SCALE,
     TABLE1_NETWORKS,
@@ -61,13 +71,19 @@ __all__ = [
     "MirrorMaterializationError",
     "RoadNetwork",
     "CacheError",
+    "CHCacheMeta",
     "GraphCacheMeta",
+    "attach_cached_ch",
     "attach_cached_graph",
+    "cache_has_ch",
     "cache_info",
+    "load_cached_ch",
     "open_cache",
     "save_cache",
+    "save_ch_cache",
     "CHKernels",
     "ContractionHierarchy",
+    "build_core_labels",
     "calibrate_ch_cutoff",
     "DEFAULT_SCALE",
     "TABLE1_NETWORKS",

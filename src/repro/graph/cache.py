@@ -44,15 +44,21 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .ch import ContractionHierarchy
     from .road_network import RoadNetwork
 
 __all__ = [
     "CacheError",
+    "CHCacheMeta",
     "GraphCacheMeta",
+    "attach_cached_ch",
     "attach_cached_graph",
+    "cache_has_ch",
     "cache_info",
+    "load_cached_ch",
     "open_cache",
     "save_cache",
+    "save_ch_cache",
 ]
 
 FORMAT_VERSION = 1
@@ -64,6 +70,32 @@ ARRAY_FILES: tuple[tuple[str, str], ...] = (
     ("indices", "indices.npy"),
     ("weights", "weights.npy"),
     ("coords", "coords.npy"),
+)
+
+#: Contraction-hierarchy artifacts, in hashing order.  Written by
+#: :func:`save_ch_cache` next to the graph arrays; referenced from the
+#: manifest's ``"ch"`` section so :func:`save_cache` rewriting the
+#: manifest automatically invalidates a hierarchy built on the old
+#: graph.
+CH_ARRAY_FILES: tuple[tuple[str, str, str], ...] = (
+    ("rank", "ch_rank.npy", "i"),
+    ("up_indptr", "ch_up_indptr.npy", "i"),
+    ("up_indices", "ch_up_indices.npy", "i"),
+    ("up_weights", "ch_up_weights.npy", "f"),
+    ("down_indptr", "ch_down_indptr.npy", "i"),
+    ("down_indices", "ch_down_indices.npy", "i"),
+    ("down_weights", "ch_down_weights.npy", "f"),
+    ("shortcut_u", "ch_shortcut_u.npy", "i"),
+    ("shortcut_v", "ch_shortcut_v.npy", "i"),
+    ("shortcut_w", "ch_shortcut_w.npy", "f"),
+)
+
+#: Optional prebuilt hub labels for the top-ranked core (present when
+#: the hierarchy was saved with ``label_core > 0``).
+CH_LABEL_FILES: tuple[tuple[str, str, str], ...] = (
+    ("label_indptr", "ch_label_indptr.npy", "i"),
+    ("label_hubs", "ch_label_hubs.npy", "i"),
+    ("label_dists", "ch_label_dists.npy", "f"),
 )
 
 _HASH_CHUNK = 1 << 22  # 4 MiB read chunks while hashing
@@ -89,6 +121,25 @@ class GraphCacheMeta:
     content_hash: str
 
 
+@dataclass(frozen=True)
+class CHCacheMeta:
+    """The picklable token for one on-disk contraction hierarchy.
+
+    Shipped instead of the hierarchy arrays when a cache-backed
+    :class:`~repro.graph.ch.ContractionHierarchy` is pickled;
+    :func:`attach_cached_ch` re-memmaps graph and hierarchy in the
+    receiving process in O(1).
+    """
+
+    directory: str
+    num_nodes: int
+    num_shortcuts: int
+    exact: bool
+    label_core: int
+    content_hash: str  # over the CH artifact files
+    graph_hash: str  # the graph content hash the CH was built against
+
+
 def save_cache(network: "RoadNetwork", directory: str | os.PathLike) -> GraphCacheMeta:
     """Write ``network``'s CSR arrays into ``directory`` as a cache.
 
@@ -110,6 +161,10 @@ def save_cache(network: "RoadNetwork", directory: str | os.PathLike) -> GraphCac
     }
     manifest_path = path / MANIFEST_NAME
     manifest_path.unlink(missing_ok=True)  # invalidate the old cache first
+    # Any hierarchy in the directory was built on the previous graph;
+    # the fresh manifest carries no "ch" section, so drop the orphans.
+    for _, filename, _ in CH_ARRAY_FILES + CH_LABEL_FILES:
+        (path / filename).unlink(missing_ok=True)
     files: dict[str, dict] = {}
     for key, filename in ARRAY_FILES:
         np.save(path / filename, arrays[key])
@@ -127,9 +182,7 @@ def save_cache(network: "RoadNetwork", directory: str | os.PathLike) -> GraphCac
         "files": files,
         "content_hash": _content_hash(path),
     }
-    tmp = path / (MANIFEST_NAME + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
-    os.replace(tmp, manifest_path)
+    _write_manifest(path, manifest)
     return GraphCacheMeta(
         directory=str(path.resolve()),
         name=network.name,
@@ -226,7 +279,289 @@ def cache_info(directory: str | os.PathLike) -> dict:
         total += size
     manifest["total_bytes"] = total
     manifest["directory"] = str(path.resolve())
+    ch_section = manifest.get("ch")
+    if isinstance(ch_section, dict):
+        ch_total = 0
+        for entry in ch_section.get("files", {}).values():
+            file_path = path / entry["file"]
+            size = file_path.stat().st_size if file_path.exists() else 0
+            entry["bytes_on_disk"] = size
+            ch_total += size
+        ch_section["total_bytes"] = ch_total
+        ch_section["stale"] = ch_section.get("graph_hash") != manifest.get(
+            "content_hash"
+        )
     return manifest
+
+
+# ----------------------------------------------------------------------
+# Contraction-hierarchy artifacts
+# ----------------------------------------------------------------------
+def save_ch_cache(
+    ch: "ContractionHierarchy",
+    directory: str | os.PathLike,
+    *,
+    label_core: int = 0,
+) -> CHCacheMeta:
+    """Persist ``ch`` into an existing graph cache directory.
+
+    Writes the rank vector, both CSR halves, and the shortcut triples
+    as ``ch_*.npy`` files next to the graph arrays, then rewrites the
+    manifest with a ``"ch"`` section recording sizes, a content hash
+    over the artifact files, and the graph content hash the hierarchy
+    belongs to.  A later :func:`save_cache` into the same directory
+    drops the section (and the files), so a hierarchy can never
+    silently outlive its graph.
+
+    With ``label_core > 0``, hub labels for the ``label_core``
+    top-ranked nodes (closed upward) are prebuilt via
+    :func:`~repro.graph.ch.build_core_labels` and persisted too;
+    :func:`load_cached_ch` hands them to every :class:`CHKernels` as a
+    shared static label store.
+
+    The hierarchy must have been built on the graph cached in
+    ``directory``.  Returns the attach token and stamps it on ``ch``,
+    so pickling ``ch`` from now on ships the token.
+    """
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    n = len(ch.rank)
+    if int(manifest["num_nodes"]) != n:
+        raise CacheError(
+            f"{path}: cached graph has {manifest['num_nodes']} nodes, "
+            f"hierarchy was built on {n}; save the matching graph first"
+        )
+    net_meta = getattr(ch.network, "_cache_meta", None)
+    if net_meta is not None and net_meta.content_hash != manifest["content_hash"]:
+        raise CacheError(
+            f"{path}: hierarchy was built on a different graph than the "
+            f"cache now holds (network {net_meta.content_hash[:12]}…, "
+            f"manifest {manifest['content_hash'][:12]}…)"
+        )
+    arrays: dict[str, np.ndarray] = {
+        "rank": np.ascontiguousarray(ch.rank, dtype=np.int64),
+        "up_indptr": np.ascontiguousarray(ch.up_indptr, dtype=np.int64),
+        "up_indices": np.ascontiguousarray(ch.up_indices, dtype=np.int64),
+        "up_weights": np.ascontiguousarray(ch.up_weights, dtype=np.float64),
+        "down_indptr": np.ascontiguousarray(ch.down_indptr, dtype=np.int64),
+        "down_indices": np.ascontiguousarray(ch.down_indices, dtype=np.int64),
+        "down_weights": np.ascontiguousarray(ch.down_weights, dtype=np.float64),
+        "shortcut_u": np.ascontiguousarray(ch.shortcut_u, dtype=np.int64),
+        "shortcut_v": np.ascontiguousarray(ch.shortcut_v, dtype=np.int64),
+        "shortcut_w": np.ascontiguousarray(ch.shortcut_w, dtype=np.float64),
+    }
+    label_core = int(label_core)
+    file_specs = list(CH_ARRAY_FILES)
+    if label_core > 0:
+        from .ch import build_core_labels
+
+        label_indptr, label_hubs, label_dists = build_core_labels(
+            ch, label_core
+        )
+        arrays["label_indptr"] = np.ascontiguousarray(
+            label_indptr, dtype=np.int64
+        )
+        arrays["label_hubs"] = np.ascontiguousarray(label_hubs, dtype=np.int64)
+        arrays["label_dists"] = np.ascontiguousarray(
+            label_dists, dtype=np.float64
+        )
+        file_specs += list(CH_LABEL_FILES)
+
+    # Invalidate any previous hierarchy first: rewrite the manifest
+    # without a "ch" section, then write the files, then commit the new
+    # section — a crash mid-save leaves a cache whose graph still loads
+    # and whose hierarchy is simply absent.
+    stale = dict(manifest)
+    stale.pop("ch", None)
+    _write_manifest(path, stale)
+    for _, filename, _ in CH_ARRAY_FILES + CH_LABEL_FILES:
+        if not any(filename == f for _, f, _ in file_specs):
+            (path / filename).unlink(missing_ok=True)
+    files: dict[str, dict] = {}
+    for key, filename, _ in file_specs:
+        np.save(path / filename, arrays[key])
+        files[key] = {
+            "file": filename,
+            "bytes": (path / filename).stat().st_size,
+            "dtype": str(arrays[key].dtype),
+            "shape": list(arrays[key].shape),
+        }
+    content_hash = _hash_files(path, [f for _, f, _ in file_specs])
+    manifest = dict(stale)
+    manifest["ch"] = {
+        "files": files,
+        "exact": bool(ch.exact),
+        "builder": str(getattr(ch, "builder", "unknown")),
+        "num_shortcuts": int(len(ch.shortcut_u)),
+        "label_core": label_core,
+        "content_hash": content_hash,
+        "graph_hash": str(manifest["content_hash"]),
+    }
+    _write_manifest(path, manifest)
+    meta = CHCacheMeta(
+        directory=str(path.resolve()),
+        num_nodes=n,
+        num_shortcuts=int(len(ch.shortcut_u)),
+        exact=bool(ch.exact),
+        label_core=label_core,
+        content_hash=content_hash,
+        graph_hash=str(manifest["content_hash"]),
+    )
+    ch._cache_meta = meta
+    return meta
+
+
+def load_cached_ch(
+    network: "RoadNetwork", *, verify: bool = False
+) -> "ContractionHierarchy":
+    """Attach the persisted hierarchy of a cache-attached ``network``.
+
+    O(1) in hierarchy size by default: reads the manifest's ``"ch"``
+    section, checks that it belongs to the graph the manifest currently
+    describes (a hash string compare), checks file sizes and shapes,
+    and memmaps the arrays.  ``verify=True`` re-hashes the artifact
+    files.  Raises :class:`CacheError` when the directory holds no
+    hierarchy or a stale one.
+    """
+    from .ch import ContractionHierarchy
+    from .kernels import KERNEL_CALLS
+
+    net_meta = getattr(network, "_cache_meta", None)
+    if net_meta is None:
+        raise CacheError(
+            "network is not cache-attached; open it with open_cache() "
+            "before loading its hierarchy"
+        )
+    path = Path(net_meta.directory)
+    manifest = _read_manifest(path)
+    section = manifest.get("ch")
+    if not isinstance(section, dict):
+        raise CacheError(
+            f"{path}: cache has no persisted hierarchy; build one with "
+            "save_ch_cache or `repro.cli graph-cache build --ch`"
+        )
+    if section.get("graph_hash") != manifest["content_hash"]:
+        raise CacheError(
+            f"{path}: persisted hierarchy belongs to an older graph "
+            f"(built on {str(section.get('graph_hash'))[:12]}…, cache "
+            f"now holds {manifest['content_hash'][:12]}…); rebuild it"
+        )
+    label_core = int(section.get("label_core", 0))
+    file_specs = list(CH_ARRAY_FILES)
+    if label_core > 0:
+        file_specs += list(CH_LABEL_FILES)
+    for key, filename, kind in file_specs:
+        entry = section.get("files", {}).get(key)
+        if not isinstance(entry, dict) or "file" not in entry:
+            raise CacheError(f"{path}: ch section missing file entry {key!r}")
+        file_path = path / entry["file"]
+        if not file_path.exists():
+            raise CacheError(f"{path}: missing ch array file {entry['file']!r}")
+        expected = entry.get("bytes")
+        if expected is not None and file_path.stat().st_size != expected:
+            raise CacheError(
+                f"{file_path}: size changed since save_ch_cache "
+                f"({file_path.stat().st_size} bytes on disk, "
+                f"{expected} in manifest)"
+            )
+    if verify:
+        actual = _hash_files(path, [entry[1] for entry in file_specs])
+        if actual != section["content_hash"]:
+            raise CacheError(
+                f"{path}: ch content hash mismatch "
+                f"(manifest {section['content_hash'][:12]}…, files "
+                f"{actual[:12]}…); the artifacts were modified after "
+                "save_ch_cache"
+            )
+    arrays: dict[str, np.ndarray] = {}
+    n = int(manifest["num_nodes"])
+    for key, filename, kind in file_specs:
+        array = _load_memmap(path / section["files"][key]["file"])
+        expected_shape = tuple(section["files"][key].get("shape", array.shape))
+        _check_shape(path, key, array, expected_shape, kind)
+        arrays[key] = array
+    _check_shape(path, "rank", arrays["rank"], (n,), "i")
+    _check_shape(path, "up_indptr", arrays["up_indptr"], (n + 1,), "i")
+    _check_shape(path, "down_indptr", arrays["down_indptr"], (n + 1,), "i")
+    static_labels = None
+    if label_core > 0:
+        _check_shape(path, "label_indptr", arrays["label_indptr"], (n + 1,), "i")
+        static_labels = (
+            arrays["label_indptr"],
+            arrays["label_hubs"],
+            arrays["label_dists"],
+        )
+    ch = ContractionHierarchy.from_arrays(
+        network,
+        rank=arrays["rank"],
+        up_indptr=arrays["up_indptr"],
+        up_indices=arrays["up_indices"],
+        up_weights=arrays["up_weights"],
+        down_indptr=arrays["down_indptr"],
+        down_indices=arrays["down_indices"],
+        down_weights=arrays["down_weights"],
+        shortcut_u=arrays["shortcut_u"],
+        shortcut_v=arrays["shortcut_v"],
+        shortcut_w=arrays["shortcut_w"],
+        exact=bool(section.get("exact", False)),
+        builder=str(section.get("builder", "cached")),
+        static_labels=static_labels,
+    )
+    ch._cache_meta = CHCacheMeta(
+        directory=str(path.resolve()),
+        num_nodes=n,
+        num_shortcuts=int(section.get("num_shortcuts", len(ch.shortcut_u))),
+        exact=bool(section.get("exact", False)),
+        label_core=label_core,
+        content_hash=str(section["content_hash"]),
+        graph_hash=str(section["graph_hash"]),
+    )
+    KERNEL_CALLS["ch.cache_attach"] += 1
+    return ch
+
+
+def attach_cached_ch(meta: CHCacheMeta) -> "ContractionHierarchy":
+    """Re-attach a persisted hierarchy from its token (unpickle hook).
+
+    Runs inside pool workers when a cache-backed hierarchy arrives:
+    re-memmaps the graph, then the hierarchy, and rejects the attach if
+    either was rewritten since the token was issued (string compares
+    against the manifest, no re-hash — O(1) like the graph attach).
+    """
+    network = open_cache(meta.directory, verify=False)
+    if network._cache_meta.content_hash != meta.graph_hash:
+        raise CacheError(
+            f"{meta.directory}: graph was rewritten since the CH attach "
+            f"token was issued (token {meta.graph_hash[:12]}…, manifest "
+            f"{network._cache_meta.content_hash[:12]}…)"
+        )
+    ch = load_cached_ch(network, verify=False)
+    if ch._cache_meta.content_hash != meta.content_hash:
+        raise CacheError(
+            f"{meta.directory}: hierarchy was rewritten since the attach "
+            f"token was issued (token {meta.content_hash[:12]}…, "
+            f"manifest {ch._cache_meta.content_hash[:12]}…)"
+        )
+    return ch
+
+
+def cache_has_ch(directory: str | os.PathLike) -> bool:
+    """True when ``directory`` holds a hierarchy for its current graph."""
+    try:
+        manifest = _read_manifest(Path(directory))
+    except CacheError:
+        return False
+    section = manifest.get("ch")
+    return (
+        isinstance(section, dict)
+        and section.get("graph_hash") == manifest.get("content_hash")
+    )
+
+
+def _write_manifest(path: Path, manifest: dict) -> None:
+    tmp = path / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    os.replace(tmp, path / MANIFEST_NAME)
 
 
 def _read_manifest(path: Path) -> dict:
@@ -269,8 +604,13 @@ def _read_manifest(path: Path) -> dict:
 
 def _content_hash(path: Path) -> str:
     """SHA-256 over the raw bytes of the array files, in fixed order."""
+    return _hash_files(path, [f for _, f in ARRAY_FILES])
+
+
+def _hash_files(path: Path, filenames: list[str]) -> str:
+    """SHA-256 over the raw bytes of ``filenames``, in the given order."""
     digest = hashlib.sha256()
-    for _, filename in ARRAY_FILES:
+    for filename in filenames:
         with open(path / filename, "rb") as handle:
             while True:
                 chunk = handle.read(_HASH_CHUNK)

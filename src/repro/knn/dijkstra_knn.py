@@ -34,9 +34,28 @@ from .base import KNNSolution, Neighbor
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.ch import ContractionHierarchy
 
-#: Default expected-settled-node crossover for routing to the CH path.
-#: Calibrate per graph with :func:`repro.graph.ch.calibrate_ch_cutoff`.
+#: Fallback expected-settled-node crossover for routing to the CH path,
+#: used when the measured calibration cannot run (no hierarchy, inexact
+#: weights, empty graph).  With ``ch_cutoff=None`` (the default) routed
+#: solutions measure the real crossover on their own graph via
+#: :func:`repro.graph.ch.calibrate_ch_cutoff` at the first routing
+#: decision and cache it; pass an explicit value to skip the probe.
 DEFAULT_CH_CUTOFF = 4096.0
+
+
+def _calibrated_cutoff(network: RoadNetwork, ch) -> float:
+    """Resolve an automatic cutoff: measure when possible, else default."""
+    if ch is None or not ch.exact or network.num_nodes == 0:
+        return DEFAULT_CH_CUTOFF
+    from ..graph.ch import calibrate_ch_cutoff
+
+    try:
+        measured = float(calibrate_ch_cutoff(network, ch, samples=3))
+    except Exception:  # pragma: no cover - probe must never break queries
+        return DEFAULT_CH_CUTOFF
+    if not np.isfinite(measured) or measured <= 0:
+        return DEFAULT_CH_CUTOFF
+    return measured
 
 
 class DijkstraKNN(KNNSolution):
@@ -50,7 +69,7 @@ class DijkstraKNN(KNNSolution):
         objects: Mapping[int, int] | None = None,
         *,
         ch: "ContractionHierarchy | None" = None,
-        ch_cutoff: float = DEFAULT_CH_CUTOFF,
+        ch_cutoff: float | None = None,
     ) -> None:
         self._network = network
         self._objects = ObjectSet(dict(objects) if objects else None)
@@ -59,7 +78,8 @@ class DijkstraKNN(KNNSolution):
                 "contraction hierarchy was built over a different network"
             )
         self._ch = ch
-        self._ch_cutoff = float(ch_cutoff)
+        # None = auto: measure the crossover on first routing decision.
+        self._ch_cutoff = None if ch_cutoff is None else float(ch_cutoff)
         # Per-node object counts for the top-k kernel; derived data,
         # built lazily on first query and maintained incrementally.
         self._counts: np.ndarray | None = None
@@ -79,9 +99,16 @@ class DijkstraKNN(KNNSolution):
         if total == 0:
             return self._network.kernels
         expected_settled = k * self._network.num_nodes / total
-        if expected_settled >= self._ch_cutoff:
+        if expected_settled >= self.ch_cutoff:
             return ch.kernels
         return self._network.kernels
+
+    @property
+    def ch_cutoff(self) -> float:
+        """The routing crossover, measuring it on first use if needed."""
+        if self._ch_cutoff is None:
+            self._ch_cutoff = _calibrated_cutoff(self._network, self._ch)
+        return self._ch_cutoff
 
     def _object_counts(self) -> np.ndarray:
         if self._counts is None:

@@ -120,7 +120,7 @@ class IERKNN(KNNSolution):
         cell_size: float | None = None,
         *,
         ch: "ContractionHierarchy | None" = None,
-        ch_cutoff: float = DEFAULT_CH_CUTOFF,
+        ch_cutoff: float | None = None,
     ) -> None:
         self._network = network
         if ch is not None and ch.network is not network:
@@ -128,7 +128,8 @@ class IERKNN(KNNSolution):
                 "contraction hierarchy was built over a different network"
             )
         self._ch = ch
-        self._ch_cutoff = float(ch_cutoff)
+        # None = auto: measure the crossover on first routing decision.
+        self._ch_cutoff = None if ch_cutoff is None else float(ch_cutoff)
         if cell_size is None:
             cell_size = self._default_cell_size(network)
         self._grid = _GridIndex(network, cell_size)
@@ -162,7 +163,16 @@ class IERKNN(KNNSolution):
         if ch is None or not ch.exact or not self._location:
             return False
         expected_settled = k * self._network.num_nodes / len(self._location)
-        return expected_settled >= self._ch_cutoff
+        return expected_settled >= self.ch_cutoff
+
+    @property
+    def ch_cutoff(self) -> float:
+        """The routing crossover, measuring it on first use if needed."""
+        if self._ch_cutoff is None:
+            from .dijkstra_knn import _calibrated_cutoff
+
+            self._ch_cutoff = _calibrated_cutoff(self._network, self._ch)
+        return self._ch_cutoff
 
     # ------------------------------------------------------------------
     # KNNSolution interface

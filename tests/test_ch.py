@@ -212,3 +212,134 @@ def test_calibrate_ch_cutoff_runs() -> None:
     network = int_network(90, 12)
     cutoff = calibrate_ch_cutoff(network, samples=3, num_objects=12, k=3)
     assert math.isfinite(cutoff) and cutoff > 0
+
+
+# ----------------------------------------------------------------------
+# Batched builder
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batched_and_lazy_builders_both_exact(seed: int) -> None:
+    """Contraction order is a degree of freedom: the two builders pick
+    different orders (and shortcut sets) but both must answer exactly."""
+    network = int_network(90, seed)
+    batched = ContractionHierarchy(network, seed=seed, builder="batched")
+    lazy = ContractionHierarchy(network, seed=seed, builder="lazy")
+    assert batched.exact and lazy.exact
+    kb, kl = batched.kernels, lazy.kernels
+    rng = random.Random(seed + 50)
+    for _ in range(40):
+        s, t = rng.randrange(90), rng.randrange(90)
+        expected = shortest_path_distance(network, s, t)
+        assert kb.point_to_point(s, t) == expected
+        assert kl.point_to_point(s, t) == expected
+
+
+def test_unknown_builder_rejected() -> None:
+    network = int_network(30, 0)
+    with pytest.raises(ValueError, match="unknown builder"):
+        ContractionHierarchy(network, builder="nope")
+
+
+@pytest.mark.slow
+def test_pooled_build_is_exact_and_deterministic() -> None:
+    """workers=2 splits witness sweeps across processes.  Sweep merging
+    differs per share, so the shortcut *set* may gain a few redundant
+    (still-correct) entries vs the serial build — but the pooled build
+    must be deterministic run-to-run and answer bit-exactly."""
+    network = int_network(400, 13)
+    pooled = ContractionHierarchy(
+        network, seed=13, builder="batched", workers=2
+    )
+    again = ContractionHierarchy(
+        network, seed=13, builder="batched", workers=2
+    )
+    for attr in (
+        "rank", "up_indptr", "up_indices", "up_weights",
+        "down_indptr", "down_indices", "down_weights",
+        "shortcut_u", "shortcut_v", "shortcut_w",
+    ):
+        assert np.array_equal(getattr(pooled, attr), getattr(again, attr)), attr
+    kern = pooled.kernels
+    rng = random.Random(13)
+    for _ in range(40):
+        s, t = rng.randrange(400), rng.randrange(400)
+        assert kern.point_to_point(s, t) == shortest_path_distance(
+            network, s, t
+        )
+
+
+# ----------------------------------------------------------------------
+# Label-cache byte budget
+# ----------------------------------------------------------------------
+
+
+def test_label_cache_respects_byte_budget() -> None:
+    """Adversarial access pattern — every query from a location never
+    seen before — must not grow the label cache past its byte budget."""
+    from repro.graph.kernels import KERNEL_CALLS
+
+    network = int_network(300, 5)
+    ch = ContractionHierarchy(network, seed=5)
+
+    unbounded = CHKernels(ch)
+    for node in range(300):
+        unbounded.label(node)
+    full_bytes = unbounded.label_cache_bytes
+    assert full_bytes > 0
+
+    budget = full_bytes // 8
+    bounded = CHKernels(ch, label_budget_bytes=budget)
+    assert bounded.label_budget_bytes == budget
+    before = KERNEL_CALLS["ch.label_evictions"]
+    order = list(range(300))
+    random.Random(0).shuffle(order)
+    for node in order:  # never repeats a location
+        bounded.label(node)
+        assert bounded.label_cache_bytes <= budget
+    assert KERNEL_CALLS["ch.label_evictions"] > before
+
+    # Eviction must never change answers: rebuilt labels are identical.
+    rng = random.Random(99)
+    for _ in range(25):
+        s, t = rng.randrange(300), rng.randrange(300)
+        assert bounded.point_to_point(s, t) == unbounded.point_to_point(s, t)
+        assert bounded.label_cache_bytes <= budget
+
+
+# ----------------------------------------------------------------------
+# Automatic ch_cutoff calibration
+# ----------------------------------------------------------------------
+
+
+def test_auto_cutoff_resolves_lazily() -> None:
+    network = int_network(90, 14)
+    ch = ContractionHierarchy(network, seed=14)
+    solution = DijkstraKNN(network, sample_objects(network, 8, 14), ch=ch)
+    assert solution._ch_cutoff is None  # not measured at construction
+    measured = solution.ch_cutoff  # first use triggers the probe
+    assert math.isfinite(measured) and measured > 0
+    assert solution._ch_cutoff == measured  # cached, not re-measured
+    ier = IERKNN(network, sample_objects(network, 8, 14), ch=ch)
+    assert ier._ch_cutoff is None
+    assert math.isfinite(ier.ch_cutoff) and ier.ch_cutoff > 0
+
+
+def test_auto_cutoff_fallback_and_override() -> None:
+    from repro.knn.dijkstra_knn import DEFAULT_CH_CUTOFF
+
+    network = int_network(60, 15)
+    # No hierarchy: nothing to measure, fall back to the static default.
+    plain = DijkstraKNN(network, {1: 0})
+    assert plain.ch_cutoff == DEFAULT_CH_CUTOFF
+    # Inexact hierarchy: routing is off, probe must not run.
+    floats = grid_network(6, 6, seed=2)
+    ch = ContractionHierarchy(floats)
+    assert not ch.exact
+    assert DijkstraKNN(floats, {1: 0}, ch=ch).ch_cutoff == DEFAULT_CH_CUTOFF
+    # Explicit override wins and survives spawn().
+    ch_int = ContractionHierarchy(network, seed=15)
+    forced = DijkstraKNN(network, {1: 0}, ch=ch_int, ch_cutoff=123.0)
+    assert forced.ch_cutoff == 123.0
+    assert forced.spawn({2: 1}).ch_cutoff == 123.0

@@ -1,0 +1,188 @@
+"""Persisted contraction hierarchies: integrity of the cache artifacts.
+
+A CH saved next to its graph cache must attach in O(1) (memmap, no
+contraction) with answers identical to the in-memory build — and must
+*refuse* to attach when anything moved underneath it: a rewritten
+graph, an edited manifest, or tampered artifact bytes.  Stale-but-
+plausible hierarchies silently answering wrong distances is the
+failure mode all of these guards exist for.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CacheError,
+    ContractionHierarchy,
+    attach_cached_ch,
+    cache_has_ch,
+    cache_info,
+    load_cached_ch,
+    open_cache,
+    save_ch_cache,
+)
+from repro.graph.cache import MANIFEST_NAME
+from repro.graph.kernels import KERNEL_CALLS
+from repro.graph.shortest_path import shortest_path_distance
+
+from test_ch import int_network
+
+
+@pytest.fixture()
+def original():
+    # The in-memory twin of the cached graph: list-mirror oracles
+    # (shortest_path_distance) are guarded on cache-attached networks.
+    return int_network(120, 21)
+
+
+@pytest.fixture()
+def cached(original, tmp_path):
+    original.save_cache(tmp_path)
+    return open_cache(tmp_path)
+
+
+def build_and_save(cached, **kwargs) -> ContractionHierarchy:
+    ch = ContractionHierarchy(cached, seed=21)
+    save_ch_cache(ch, cached._cache_meta.directory, **kwargs)
+    return ch
+
+
+def test_roundtrip_preserves_arrays_and_answers(original, cached, tmp_path) -> None:
+    built = build_and_save(cached)
+    assert cache_has_ch(tmp_path)
+    loaded = load_cached_ch(cached, verify=True)
+    assert loaded.exact == built.exact
+    assert loaded.builder == built.builder
+    for attr in (
+        "rank", "up_indptr", "up_indices", "up_weights",
+        "down_indptr", "down_indices", "down_weights",
+        "shortcut_u", "shortcut_v", "shortcut_w",
+    ):
+        assert np.array_equal(getattr(loaded, attr), getattr(built, attr)), attr
+    kern = loaded.kernels
+    rng = random.Random(3)
+    for _ in range(30):
+        s, t = rng.randrange(120), rng.randrange(120)
+        assert kern.point_to_point(s, t) == shortest_path_distance(
+            original, s, t
+        )
+
+
+def test_attach_is_a_memmap_not_a_rebuild(cached, tmp_path) -> None:
+    build_and_save(cached)
+    builds_before = KERNEL_CALLS["ch.build"]
+    attaches_before = KERNEL_CALLS["ch.cache_attach"]
+    loaded = load_cached_ch(cached)
+    assert KERNEL_CALLS["ch.build"] == builds_before  # no contraction ran
+    assert KERNEL_CALLS["ch.cache_attach"] == attaches_before + 1
+    assert isinstance(loaded.rank, np.memmap)
+
+
+def test_token_pickle_attaches_without_rebuild(cached, tmp_path) -> None:
+    build_and_save(cached)
+    loaded = load_cached_ch(cached)
+    payload = pickle.dumps(loaded)
+    assert len(payload) < 4096  # the token, not the arrays
+    builds_before = KERNEL_CALLS["ch.build"]
+    clone = pickle.loads(payload)
+    assert KERNEL_CALLS["ch.build"] == builds_before
+    assert np.array_equal(clone.rank, loaded.rank)
+    assert clone.kernels.point_to_point(5, 111) == (
+        loaded.kernels.point_to_point(5, 111)
+    )
+
+
+def test_unsaved_cache_has_no_ch(cached, tmp_path) -> None:
+    assert not cache_has_ch(tmp_path)
+    with pytest.raises(CacheError, match="no persisted hierarchy"):
+        load_cached_ch(cached)
+
+
+def test_graph_rewrite_invalidates_hierarchy(cached, tmp_path) -> None:
+    ch = build_and_save(cached)
+    token = ch._cache_meta
+    # Rewriting the graph cache must drop the hierarchy entirely.
+    other = int_network(120, 22)
+    other.save_cache(tmp_path)
+    assert not cache_has_ch(tmp_path)
+    reopened = open_cache(tmp_path)
+    with pytest.raises(CacheError, match="no persisted hierarchy"):
+        load_cached_ch(reopened)
+    with pytest.raises(CacheError, match="rewritten since"):
+        attach_cached_ch(token)
+
+
+def test_stale_manifest_section_rejected(cached, tmp_path) -> None:
+    build_and_save(cached)
+    manifest_path = tmp_path / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["ch"]["graph_hash"] = "0" * len(manifest["ch"]["graph_hash"])
+    manifest_path.write_text(json.dumps(manifest))
+    assert not cache_has_ch(tmp_path)
+    with pytest.raises(CacheError, match="older graph"):
+        load_cached_ch(cached)
+
+
+def test_tampered_artifact_bytes_rejected(cached, tmp_path) -> None:
+    build_and_save(cached)
+    # Same-size corruption: only the verify hash can catch it.
+    target = tmp_path / "ch_rank.npy"
+    raw = bytearray(target.read_bytes())
+    raw[-1] ^= 0xFF
+    target.write_bytes(bytes(raw))
+    with pytest.raises(CacheError, match="content hash mismatch"):
+        load_cached_ch(cached, verify=True)
+    # Truncation is caught even without verify (size check).
+    target.write_bytes(bytes(raw[:-8]))
+    with pytest.raises(CacheError, match="size changed"):
+        load_cached_ch(cached)
+
+
+def test_save_requires_matching_graph(tmp_path) -> None:
+    network = int_network(80, 23)
+    network.save_cache(tmp_path)
+    cached = open_cache(tmp_path)
+    other = int_network(90, 24)
+    ch = ContractionHierarchy(other, seed=24)
+    with pytest.raises(CacheError, match="nodes"):
+        save_ch_cache(ch, tmp_path)
+
+
+def test_core_labels_roundtrip(original, cached, tmp_path) -> None:
+    build_and_save(cached, label_core=32)
+    loaded = load_cached_ch(cached, verify=True)
+    assert loaded._static_labels is not None
+    kern = loaded.kernels
+    # Static labels must cover the top-ranked core (closed upward), and
+    # answers through them must stay exact.
+    rng = random.Random(7)
+    for _ in range(30):
+        s, t = rng.randrange(120), rng.randrange(120)
+        assert kern.point_to_point(s, t) == shortest_path_distance(
+            original, s, t
+        )
+    meta = loaded._cache_meta
+    assert meta.label_core == 32
+
+
+def test_cache_info_reports_ch(cached, tmp_path) -> None:
+    info = cache_info(tmp_path)
+    assert "ch" not in info
+    build_and_save(cached, label_core=16)
+    info = cache_info(tmp_path)
+    section = info["ch"]
+    assert section["num_shortcuts"] >= 0
+    assert section["exact"] is True
+    assert section["label_core"] == 16
+    assert section["total_bytes"] > 0
+    assert section["stale"] is False
+    # Rewrite the graph: info must flag the leftover state consistently
+    # (save_cache removes the section outright).
+    int_network(120, 25).save_cache(tmp_path)
+    assert "ch" not in cache_info(tmp_path)

@@ -142,7 +142,9 @@ def bench_graph_scale_summary() -> dict[str, object]:
         import bench_graph_scale
 
         sweep = {"sizes": [
-            bench_graph_scale.bench_side(side, engines=True)
+            bench_graph_scale.bench_side(
+                side, engines=True, ch_build=True, lazy_baseline=True
+            )
             for side in (64, 128)
         ]}
         attaches = [entry["attach_ms"] for entry in sweep["sizes"]]
@@ -156,6 +158,13 @@ def bench_graph_scale_summary() -> dict[str, object]:
             sweep["kernel_speedup_vs_heapq"] = round(
                 best["heapq_knn_p50_us"] / best["kernel_knn_p50_us"], 2
             )
+        sweep["ch_build"] = {
+            "nodes": best["nodes"],
+            "build_s": best["ch_build_s"],
+            "lazy_build_s": best["ch_lazy_build_s"],
+            "speedup_vs_seed": best["ch_build_speedup"],
+            "attach_ms": best["ch_attach_ms"],
+        }
         source = "inline"
     biggest = sweep["sizes"][-1]
     return {
@@ -166,6 +175,9 @@ def bench_graph_scale_summary() -> dict[str, object]:
         "ch_at_nodes": sweep["ch_at_nodes"],
         "ch_speedup_vs_kernel": sweep["ch_speedup_vs_kernel"],
         "kernel_speedup_vs_heapq": sweep.get("kernel_speedup_vs_heapq"),
+        # The tentpole row: batched contraction vs the seed lazy-heap
+        # builder, plus the persisted hierarchy's O(1) re-attach.
+        "ch_build": sweep.get("ch_build"),
     }
 
 

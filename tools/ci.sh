@@ -6,6 +6,7 @@
 #   CI_CHAOS=1 bash tools/ci.sh # also run the chaos scenario sweep
 #   CI_VALIDATE=1 bash tools/ci.sh # also run the model-validation grid
 #   CI_SCALE=1 bash tools/ci.sh # also run the ~1M-node cache/attach smoke
+#                               # (incl. CH build+persist+attach at 262k/1M)
 #   CI_SERVE=1 bash tools/ci.sh # also run the serving-tier load smoke
 #
 # Ruff is optional — environments without the binary skip the lint step

@@ -137,12 +137,60 @@ networks (`ch.exact`) every path sum is exact in float64 and CH answers
 are **bit-identical** to the plain kernels (`tests/test_ch.py` pins
 this); pass `ch=` to `DijkstraKNN`/`IERKNN` and queries whose plain
 expansion would settle ≳ `ch_cutoff` nodes (expected `k·n/|objects|`)
-are routed to the CH path automatically — `calibrate_ch_cutoff`
-measures the crossover for a given graph.  On float-weight networks
-`ch.exact` is False and auto-routing stays off (last-ulp sums differ).
-`tools/bench_graph_scale.py` records the scaling curve — build/save/
-attach times and kNN latency, CH vs plain kernels vs the `heapq`
-baseline — into `benchmarks/results/graph_scale.{json,txt}`.
+are routed to the CH path automatically.  With the default
+`ch_cutoff=None` the solution measures the real crossover on its own
+graph (`calibrate_ch_cutoff`, a cheap sampled probe) at the first
+routing decision and caches it; pass an explicit number to skip the
+probe.  On float-weight networks `ch.exact` is False and auto-routing
+stays off (last-ulp sums differ).
+
+**Construction** is the batched vectorized pipeline (the default
+`builder="batched"`): independent-set batches scored by edge
+difference, witness searches run as bounded multi-source array sweeps
+(merged per source, shrinking per-search bounds), and a tiny scalar
+endgame for the last dense core.  It is ~14x faster than the
+lazy-heap builder it replaced at 262k nodes (`ch_build` row in
+`benchmarks/results/graph_scale.json`) with the same bit-exactness
+story — contraction *order* is a free variable, so the two builders'
+shortcut sets may differ while every answer stays identical.  Pass
+`workers=N` to fan witness sweeps out across forked processes sharing
+the CSR via the cache/shm tokens (useful on multi-core hosts;
+deterministic run-to-run).
+
+**Persistence**: `save_ch_cache(ch, directory)` writes the rank
+vector, both CSR halves, and the shortcut triples as `ch_*.npy` files
+into the graph's cache directory — hash-guarded by a manifest section
+recording the graph content hash they belong to — and
+`load_cached_ch(network)` re-attaches them as an O(1) memmap
+(`cache_has_ch` probes, `verify=True` re-hashes).  A rewritten graph
+drops the hierarchy; a stale or tampered artifact refuses to load
+(`tests/test_ch_cache.py`).  With `label_core=N` the top-`N`-ranked
+hub labels are prebuilt and persisted too, shared read-only by every
+attaching process.  A cache-attached hierarchy pickles to a tiny
+`CHCacheMeta` token — pool workers and `repro.serve` restarts attach
+a ready CH in milliseconds instead of rebuilding
+(`tests/test_pool_cache_attach.py`).  The serving recipe:
+
+```python
+net = RoadNetwork.open_cache("cache/usa-e")
+ch = ContractionHierarchy(net, workers=8)     # once, offline
+save_ch_cache(ch, "cache/usa-e", label_core=4096)
+...
+net = RoadNetwork.open_cache("cache/usa-e")   # every run, O(1)
+ch = load_cached_ch(net)                      # every run, O(1)
+solution = DijkstraKNN(net, objects, ch=ch)   # cutoff auto-calibrates
+```
+
+Or from the shell: `repro.cli graph-cache build DIR --grid 512 --ch
+--ch-label-core 4096`, inspected by `repro.cli graph-cache inspect
+DIR` (per-artifact sizes, staleness).  The hub-label runtime cache is
+LRU-bounded by bytes (`CHKernels(ch, label_budget_bytes=...)`,
+default 128 MiB) with `ch.label_bytes` / `ch.label_evictions`
+counters, so adversarial never-repeating query locations cannot grow
+memory without bound.  `tools/bench_graph_scale.py` records the
+scaling curve — build/save/attach times for graph and hierarchy,
+batched-vs-lazy build, and kNN latency, CH vs plain kernels vs the
+`heapq` baseline — into `benchmarks/results/graph_scale.{json,txt}`.
 """,
     ),
     (
