@@ -389,19 +389,63 @@ def _stats(args: argparse.Namespace) -> int:
         k=args.k,
     )
     config = MPRConfig(args.x, args.y, args.z)
+    target = None
+    if args.reconfigure is not None:
+        if args.mode != "process":
+            print("--reconfigure requires --mode process", file=sys.stderr)
+            return 2
+        try:
+            x, y, z = (int(part) for part in args.reconfigure.split(","))
+            target = MPRConfig(x, y, z)
+        except ValueError as exc:
+            print(f"bad --reconfigure shape: {exc}", file=sys.stderr)
+            return 2
     options = {"batch_size": args.batch_size} if args.mode == "process" else {}
     with MPRSystem(
         config, solution_cls(network), workload.initial_objects,
         mode=args.mode, **options,
     ) as system:
-        answers = system.run(workload.tasks)
+        if target is not None:
+            # Reconfigure live, with the first half of the stream still
+            # in flight — the second half is routed by the new shape.
+            half = len(workload.tasks) // 2
+            for task in workload.tasks[:half]:
+                system.submit(task)
+            system.reconfigure(target, trigger="cli")
+            for task in workload.tasks[half:]:
+                system.submit(task)
+            answers = system.drain()
+        else:
+            answers = system.run(workload.tasks)
     telemetry = system.telemetry
     print(
-        f"{args.mode} executor {config.describe()} answered "
+        f"{args.mode} executor "
+        f"{system.config.describe()} answered "
         f"{len(answers)} queries on grid {args.grid}x{args.grid}"
     )
     print()
     print(system.report())
+    history = system.reconfig_history
+    if history:
+        import datetime
+
+        print()
+        print("reconfiguration history:")
+        for event in history:
+            stamp = datetime.datetime.fromtimestamp(
+                event.started_at
+            ).strftime("%H:%M:%S")
+            old, new = event.old_config, event.new_config
+            line = (
+                f"  {stamp}  [{event.trigger}] "
+                f"({old.x},{old.y},{old.z}) -> ({new.x},{new.y},{new.z})"
+                f"  {event.outcome}"
+            )
+            if event.phases.get("warm") is not None:
+                line += f"  warm={event.phases['warm'] * 1e3:.1f} ms"
+            if event.reason:
+                line += f"  ({event.reason})"
+            print(line)
     spec = machine_spec_from_telemetry(telemetry, total_cores=args.cores)
     print()
     print(
@@ -468,7 +512,30 @@ def _serve(args: argparse.Namespace) -> int:
         print(f"unknown solution {args.solution!r}; known: {known}",
               file=sys.stderr)
         return 2
-    network = grid_network(args.grid, args.grid, seed=args.seed)
+    ch = None
+    if args.graph_cache is not None:
+        from .graph import open_cache
+        from .graph.cache import cache_has_ch, load_cached_ch
+
+        network = open_cache(args.graph_cache)
+        if cache_has_ch(args.graph_cache):
+            ch = load_cached_ch(network)
+    else:
+        network = grid_network(args.grid, args.grid, seed=args.seed)
+    solution_kwargs = {}
+    index_tier = "none (plain graph expansion)"
+    if ch is not None:
+        import inspect as _inspect
+
+        if "ch" in _inspect.signature(solution_cls.__init__).parameters:
+            solution_kwargs["ch"] = ch
+            index_tier = "contraction hierarchy (cached)"
+        else:
+            index_tier = (
+                f"none ({args.solution} takes no contraction hierarchy; "
+                "cached CH ignored)"
+            )
+    print(f"attached index tier: {index_tier}")
     rng = random.Random(args.seed)
     objects = {
         i: rng.randrange(network.num_nodes) for i in range(args.objects)
@@ -481,7 +548,7 @@ def _serve(args: argparse.Namespace) -> int:
             max_outstanding=args.max_outstanding,
         )
     system = MPRSystem(
-        config, solution_cls(network), objects,
+        config, solution_cls(network, **solution_kwargs), objects,
         mode=args.mode, resilience=resilience,
         **({"batch_size": args.batch_size} if args.mode == "process" else {}),
     )
@@ -495,9 +562,13 @@ def _serve(args: argparse.Namespace) -> int:
         server = MPRServer(system, serve_config)
         await server.start()
         host, port = server.address
+        source = (
+            f"cache {args.graph_cache}" if args.graph_cache is not None
+            else f"grid {args.grid}x{args.grid}"
+        )
         print(
             f"serving {config.describe()} ({args.mode} mode, "
-            f"{args.objects} objects on grid {args.grid}x{args.grid}) "
+            f"{args.objects} objects on {source}) "
             f"on {host}:{port} — Ctrl-C to stop"
         )
         try:
@@ -738,6 +809,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--lambda-u", type=float, default=100.0)
     stats.add_argument("--duration", type=float, default=1.0)
     stats.add_argument("--k", type=int, default=5)
+    stats.add_argument(
+        "--reconfigure", metavar="X,Y,Z",
+        help="reconfigure the pool to this shape live, halfway through "
+             "the stream (process mode only); the history prints after",
+    )
     stats.add_argument("--cores", type=int, default=19,
                        help="core budget of the calibrated machine model")
     stats.add_argument("--seed", type=int, default=0)
@@ -779,6 +855,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-outstanding", type=int, default=None,
         help="admission bound per worker (enables resilience)",
+    )
+    serve.add_argument(
+        "--graph-cache", metavar="DIR",
+        help="serve a cache-attached network from this directory; a "
+             "persisted contraction hierarchy is attached automatically "
+             "when the cache carries one",
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_serve)

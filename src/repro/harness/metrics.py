@@ -71,6 +71,8 @@ class PoolMetrics:
     batches_quarantined: int = 0
     deadline_misses: int = 0
     duplicate_acks: int = 0
+    reconfigurations: int = 0
+    reconfig_rollbacks: int = 0
     dispatch: StageTimer = field(default_factory=StageTimer)
     wait: StageTimer = field(default_factory=StageTimer)
     aggregate: StageTimer = field(default_factory=StageTimer)

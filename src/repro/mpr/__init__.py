@@ -67,6 +67,13 @@ from .process_executor import (
     WorkerCrash,
     run_batch_speedup,
 )
+from .reconfig import (
+    RECONFIG_COUNTERS,
+    ReconfigEvent,
+    ReconfigManager,
+    ReconfigPolicy,
+    ReconfigRejected,
+)
 from .results import (
     RETRYABLE_STATUSES,
     QueryResult,
@@ -143,6 +150,11 @@ __all__ = [
     "SpeedupReport",
     "WorkerCrash",
     "run_batch_speedup",
+    "RECONFIG_COUNTERS",
+    "ReconfigEvent",
+    "ReconfigManager",
+    "ReconfigPolicy",
+    "ReconfigRejected",
     "RETRYABLE_STATUSES",
     "QueryResult",
     "ResultStatus",

@@ -42,6 +42,7 @@ from ..obs import Telemetry
 from .config import MPRConfig
 from .executor import MPRExecutor, ThreadedMPRExecutor
 from .process_executor import QuiesceTimeout, WorkerCrash
+from .reconfig import ReconfigEvent, ReconfigManager, ReconfigPolicy
 from .resilience import ResilienceConfig
 from .results import QueryResult, envelope_answers
 
@@ -140,6 +141,26 @@ max_respawns, metrics:
     )
 
 
+class _ReconfigureRequest:
+    """A pump control item: reconfigure between two drain cycles.
+
+    The pump thread owns the executor once serving starts, so a live
+    shape change must go through its queue like everything else — it
+    acts as a cycle boundary: tasks queued before it are submitted (and
+    ride through the cutover in flight), the reconfiguration runs, and
+    tasks queued after it are routed by the new shape.
+    """
+
+    __slots__ = ("new_config", "kwargs", "future")
+
+    def __init__(
+        self, new_config: MPRConfig, kwargs: dict[str, Any], future: Future
+    ) -> None:
+        self.new_config = new_config
+        self.kwargs = kwargs
+        self.future = future
+
+
 class _CompletionPump:
     """A thread turning the batch ``submit``/``drain`` cycle into futures.
 
@@ -193,6 +214,16 @@ class _CompletionPump:
         self._queue.put((task, future))
         return future
 
+    def reconfigure(
+        self, new_config: MPRConfig, **kwargs: Any
+    ) -> "Future[ReconfigEvent]":
+        """Enqueue a live shape change; FCFS with the task stream."""
+        if self._stopping.is_set():
+            raise RuntimeError("completion pump is stopped")
+        future: Future = Future()
+        self._queue.put(_ReconfigureRequest(new_config, kwargs, future))
+        return future
+
     def stop(self, timeout: float | None = None) -> None:
         """Finish the in-flight cycle, fail the queue, join the thread."""
         if not self._stopping.is_set():
@@ -212,6 +243,8 @@ class _CompletionPump:
         if item is None:
             return None
         cycle = [item]
+        if isinstance(item, _ReconfigureRequest):
+            return cycle
         while len(cycle) < self._max_batch:
             try:
                 item = self._queue.get_nowait()
@@ -220,18 +253,30 @@ class _CompletionPump:
             if item is None:
                 return cycle  # drain this cycle, then exit the loop
             cycle.append(item)
+            if isinstance(item, _ReconfigureRequest):
+                break  # cycle boundary: later tasks ride the new shape
         return cycle
 
-    def _resolve(self, cycle: list[tuple[Task, Future]]) -> None:
+    def _resolve(self, cycle: list[Any]) -> None:
         """Run one submit→drain cycle and settle every future in it."""
+        request: _ReconfigureRequest | None = None
         submitted: list[tuple[Task, Future]] = []
-        for task, future in cycle:
+        for item in cycle:
+            if isinstance(item, _ReconfigureRequest):
+                request = item
+                continue
+            task, future = item
             try:
                 self._executor.submit(task)
             except Exception as exc:  # routing/admission blew up
                 future.set_exception(exc)
                 continue
             submitted.append((task, future))
+        if request is not None:
+            # Reconfigure with this cycle's queries in flight: the wait
+            # loop keeps collecting their acks, the drain below settles
+            # them — under the old shape on rollback, the new on cutover.
+            self._run_reconfigure(request)
         if not submitted:
             return
         try:
@@ -259,6 +304,22 @@ class _CompletionPump:
                 future.set_result(result)
             else:
                 future.set_result(None)
+
+    def _run_reconfigure(self, request: _ReconfigureRequest) -> None:
+        reconfigure = getattr(self._executor, "reconfigure", None)
+        if reconfigure is None:
+            request.future.set_exception(
+                ValueError(
+                    "this executor does not support live reconfiguration"
+                )
+            )
+            return
+        try:
+            request.future.set_result(
+                reconfigure(request.new_config, **request.kwargs)
+            )
+        except Exception as exc:  # rejected / timed out / crashed
+            request.future.set_exception(exc)
 
     def _recover_timeout(
         self, submitted: list[tuple[Task, Future]], exc: QuiesceTimeout
@@ -305,6 +366,9 @@ class _CompletionPump:
             except queue_module.Empty:
                 break
             if item is None:
+                continue
+            if isinstance(item, _ReconfigureRequest):
+                item.future.set_exception(RuntimeError("shutting down"))
                 continue
             task, future = item
             if task.kind is TaskKind.QUERY:
@@ -364,6 +428,7 @@ class MPRSystem:
         )
         self.mode = mode
         self._pump: _CompletionPump | None = None
+        self._manager: ReconfigManager | None = None
 
     @property
     def config(self) -> MPRConfig:
@@ -374,6 +439,9 @@ class MPRSystem:
         return self
 
     def close(self) -> None:
+        if self._manager is not None:
+            self._manager.stop()
+            self._manager = None
         if self._pump is not None:
             self._pump.stop()
             self._pump = None
@@ -449,6 +517,91 @@ class MPRSystem:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # ------------------------------------------------------------------
+    # Live reconfiguration
+    # ------------------------------------------------------------------
+    def reconfigure(
+        self,
+        new_config: MPRConfig,
+        *,
+        trigger: str = "manual",
+        warm_timeout: float = 10.0,
+        retire_timeout: float = 10.0,
+        wait_retire: bool = False,
+        timeout: float = 30.0,
+    ) -> ReconfigEvent:
+        """Change the serving ``(x, y, z)`` live, without downtime.
+
+        Process mode only.  On the batch surface this delegates to
+        :meth:`ProcessPoolService.reconfigure
+        <repro.mpr.process_executor.ProcessPoolService.reconfigure>`
+        directly; once :meth:`submit_async` has started the completion
+        pump, the request is enqueued FCFS with the task stream and
+        executes between two drain cycles (queries already queued ride
+        through the cutover in flight).  Returns the terminal
+        :class:`~repro.mpr.reconfig.ReconfigEvent`; raises
+        :class:`~repro.mpr.reconfig.ReconfigRejected` when refused and
+        ``ValueError`` in thread mode.
+        """
+        kwargs = dict(
+            trigger=trigger,
+            warm_timeout=warm_timeout,
+            retire_timeout=retire_timeout,
+            wait_retire=wait_retire,
+            timeout=timeout,
+        )
+        if self._pump is not None:
+            return self._pump.reconfigure(new_config, **kwargs).result()
+        reconfigure = getattr(self.executor, "reconfigure", None)
+        if reconfigure is None:
+            raise ValueError(
+                f"executor mode {self.mode!r} does not support live "
+                "reconfiguration; use mode='process'"
+            )
+        self.executor.start()
+        return reconfigure(new_config, **kwargs)
+
+    def enable_auto_reconfigure(
+        self,
+        profile: Any,
+        machine: Any,
+        *,
+        policy: ReconfigPolicy | None = None,
+        estimator: Any | None = None,
+        interval: float | None = None,
+    ) -> ReconfigManager:
+        """Attach a :class:`~repro.mpr.reconfig.ReconfigManager`.
+
+        The manager watches this system's telemetry (router counter
+        deltas, resilience pressure counters), re-solves the Eq. 5/7
+        optimization with hysteresis + cooldown, and calls
+        :meth:`reconfigure` with an ``"auto"`` trigger when a switch
+        clearly pays.  With ``interval=None`` (default) nothing runs by
+        itself — call ``manager.poll()`` from your own loop (the soak
+        harness drives synthetic time this way).  With an interval, a
+        daemon thread polls continuously; that is only safe once the
+        async surface owns the executor, so the completion pump is
+        started as a side effect.  :meth:`close` stops the manager.
+        """
+        if self._manager is not None:
+            return self._manager
+        self._manager = ReconfigManager(
+            self, profile, machine, policy=policy, estimator=estimator
+        )
+        if interval is not None:
+            if self._pump is None:
+                self.executor.start()
+                self._pump = _CompletionPump(
+                    self.executor, **self._pump_options
+                )
+            self._manager.start(interval)
+        return self._manager
+
+    @property
+    def reconfig_history(self) -> list[ReconfigEvent]:
+        """Audited shape changes, oldest first (empty in thread mode)."""
+        return list(getattr(self.executor, "reconfig_history", ()) or ())
+
     def retune_batch_size(self, arrival_rate: float) -> int:
         """Adapt the pool's dispatch batch size to measured timings.
 
@@ -466,11 +619,39 @@ class MPRSystem:
         return retune(arrival_rate)
 
     def stats(self) -> dict[str, Any]:
-        """JSON-ready telemetry snapshot (stages, counters, traces)."""
-        return self.telemetry.summary()
+        """JSON-ready telemetry snapshot (stages, counters, traces).
+
+        When the executor has reconfigured, a ``"reconfigurations"``
+        list (one :meth:`~repro.mpr.reconfig.ReconfigEvent.to_dict`
+        entry per attempt, oldest first) rides along.
+        """
+        stats = self.telemetry.summary()
+        history = self.reconfig_history
+        if history:
+            stats["reconfigurations"] = [
+                event.to_dict() for event in history
+            ]
+        return stats
 
     def report(self) -> str:
-        """Human-readable per-stage latency table."""
+        """Human-readable per-stage latency table (+ reconfig history)."""
         from ..harness.report import telemetry_report
 
-        return telemetry_report(self.telemetry)
+        text = telemetry_report(self.telemetry)
+        history = self.reconfig_history
+        if history:
+            lines = ["reconfigurations:"]
+            for event in history:
+                old, new = event.old_config, event.new_config
+                line = (
+                    f"  [{event.trigger}] "
+                    f"({old.x},{old.y},{old.z}) -> ({new.x},{new.y},{new.z})"
+                    f"  {event.outcome}"
+                )
+                if event.reason:
+                    line += f"  ({event.reason})"
+                if event.generation is not None:
+                    line += f"  gen={event.generation}"
+                lines.append(line)
+            text = text.rstrip("\n") + "\n\n" + "\n".join(lines) + "\n"
+        return text

@@ -24,8 +24,12 @@ of one partition column mid-batch — the acceptance scenario),
 then stop and let the half-open trials recover it), ``stall`` (SIGSTOP a
 worker so only the watchdog can notice), ``slow`` (every query sleeps
 past the SLO), ``poison`` (a query that raises inside every replica),
-and ``dropped-ack`` (a worker that exits *before* acknowledging, forcing
-replay into a crash loop).
+``dropped-ack`` (a worker that exits *before* acknowledging, forcing
+replay into a crash loop), ``reconfig-kill-new-worker`` (SIGKILL a
+warming worker mid-transition: the transition must roll back and the
+untouched old shape stay oracle-exact), and ``reconfig-under-load`` (a
+live ``(x, y, z)`` transition while the stream is in flight: zero
+hangs, every answer exact under whichever shape routed it).
 
 The solution wrappers (:class:`SlowKNN`, :class:`PoisonKNN`,
 :class:`ExitingKNN`) live at module level so worker pickles resolve them
@@ -190,6 +194,13 @@ class _Scenario:
     with_updates: bool = True
     #: Inject a poison-location query into the stream.
     with_poison_query: bool = False
+    #: Extra shapes whose column sets are also acceptable trace
+    #: coverage — reconfiguration scenarios answer queries under both
+    #: the old arrangement and the target one.
+    alt_configs: tuple[MPRConfig, ...] = ()
+    #: Post-drain invariant check on the pool itself (e.g. the
+    #: reconfiguration outcome); returns violation strings.
+    verify: Callable[[ProcessPoolService], list[str]] | None = None
 
 
 def _no_fault(pool: ProcessPoolService) -> None:
@@ -255,6 +266,68 @@ def _stall(pool: ProcessPoolService) -> Callable[[], None]:
     return cleanup
 
 
+#: Target shapes for the reconfiguration scenarios (from the default
+#: ``MPRConfig(2, 2, 1)``): the rollback one shrinks the partition
+#: count, the live one grows it, so both exercise real repartitioning.
+RECONFIG_ROLLBACK_TARGET = MPRConfig(1, 2, 1)
+RECONFIG_LIVE_TARGET = MPRConfig(3, 1, 1)
+
+
+def _reconfig_kill_new_worker(pool: ProcessPoolService) -> None:
+    """Begin a transition, then SIGKILL a warming worker.
+
+    The kill lands strictly before the cutover — cutover only ever
+    happens inside the supervision step driven by later submits/drains,
+    never inside ``begin_reconfigure`` — so the transition must roll
+    back and the untouched old shape must stay oracle-exact.
+    """
+    pool.begin_reconfigure(
+        RECONFIG_ROLLBACK_TARGET, trigger="chaos", warm_timeout=5.0
+    )
+    pids = pool.transition_pids()
+    victim = sorted(pids)[0]
+    os.kill(pids[victim], signal.SIGKILL)
+    return None
+
+
+def _reconfig_under_load(pool: ProcessPoolService) -> None:
+    """Begin a transition mid-stream and let the load drive it home."""
+    pool.begin_reconfigure(
+        RECONFIG_LIVE_TARGET, trigger="chaos", warm_timeout=10.0
+    )
+    return None
+
+
+def _verify_rolled_back(pool: ProcessPoolService) -> list[str]:
+    violations: list[str] = []
+    outcomes = [event.outcome for event in pool.reconfig_history]
+    if outcomes != ["rolled_back"]:
+        violations.append(
+            f"expected exactly one rolled_back transition, got {outcomes}"
+        )
+    if pool.generation != 0:
+        violations.append(
+            f"generation advanced to {pool.generation} despite rollback"
+        )
+    if pool.config != MPRConfig(2, 2, 1):
+        violations.append(f"rollback left config {pool.config}")
+    return violations
+
+
+def _verify_completed(pool: ProcessPoolService) -> list[str]:
+    violations: list[str] = []
+    outcomes = [event.outcome for event in pool.reconfig_history]
+    if outcomes != ["completed"]:
+        violations.append(
+            f"expected exactly one completed transition, got {outcomes}"
+        )
+    if pool.generation != 1:
+        violations.append(f"generation is {pool.generation}, expected 1")
+    if pool.config != RECONFIG_LIVE_TARGET:
+        violations.append(f"cutover left config {pool.config}")
+    return violations
+
+
 SCENARIOS: dict[str, _Scenario] = {
     "none": _Scenario(
         "fault-free control: resilience on, nothing injected",
@@ -299,6 +372,18 @@ SCENARIOS: dict[str, _Scenario] = {
         wrap=ExitingKNN,
         with_updates=False,
         with_poison_query=True,
+    ),
+    "reconfig-kill-new-worker": _Scenario(
+        "SIGKILL a warming worker mid-transition (rollback, old shape "
+        "keeps serving)",
+        _reconfig_kill_new_worker,
+        verify=_verify_rolled_back,
+    ),
+    "reconfig-under-load": _Scenario(
+        "live (x,y,z) transition while the stream is in flight",
+        _reconfig_under_load,
+        alt_configs=(RECONFIG_LIVE_TARGET,),
+        verify=_verify_completed,
     ),
 }
 
@@ -413,6 +498,8 @@ def run_scenario(
         finally:
             if cleanup is not None:
                 cleanup()
+        if scenario.verify is not None:
+            violations.extend(scenario.verify(pool))
         metrics = dict(pool.metrics.to_dict())
     counters = telemetry.counters
     report = ChaosReport(
@@ -427,7 +514,10 @@ def run_scenario(
         counters=counters,
         violations=violations,
     )
-    _check_answers(report, answers, oracle, config, telemetry)
+    _check_answers(
+        report, answers, oracle, config, telemetry,
+        alt_configs=scenario.alt_configs,
+    )
     if report.queries:
         report.miss_rate = (
             metrics.get("deadline_misses", 0) / report.queries
@@ -450,13 +540,25 @@ def _check_answers(
     oracle: Mapping[int, Sequence[Neighbor]],
     config: MPRConfig,
     telemetry: Telemetry,
+    *,
+    alt_configs: Sequence[MPRConfig] = (),
 ) -> None:
-    """Classify every answer via the envelope; append violations."""
-    valid_columns = {
-        (layer, column)
-        for layer in range(config.z)
-        for column in range(config.x)
-    }
+    """Classify every answer via the envelope; append violations.
+
+    ``alt_configs`` lists additional shapes whose full column sets are
+    acceptable execute-span coverage: a reconfiguration scenario's
+    queries are answered entirely under whichever shape routed them, so
+    each trace must cover exactly one shape's columns — never a mix.
+    """
+    column_sets = [
+        {
+            (layer, column)
+            for layer in range(shape.z)
+            for column in range(shape.x)
+        }
+        for shape in (config, *alt_configs)
+    ]
+    valid_columns = set().union(*column_sets)
     for query_id, result in sorted(envelope_answers(answers).items()):
         if result.status is ResultStatus.OVERLOADED:
             report.shed += 1
@@ -496,8 +598,9 @@ def _check_answers(
             for span in trace.stage_spans("execute")
             if span.worker is not None
         }
-        if covered != valid_columns:
+        if covered not in column_sets:
             report.violations.append(
                 f"query {query_id}: execute spans cover {sorted(covered)}, "
-                f"expected every column of {sorted(valid_columns)}"
+                "expected every column of one shape among "
+                f"{[sorted(columns) for columns in column_sets]}"
             )

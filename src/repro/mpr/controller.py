@@ -62,6 +62,18 @@ class RateEstimator:
         self._advance(time)
         self._counts["update"] += 1
 
+    def observe_counts(
+        self, time: float, queries: int = 0, updates: int = 0
+    ) -> None:
+        """Fold a batch of arrivals in at once (counter-delta feeding).
+
+        The live reconfiguration loop reads cumulative router counters
+        and feeds the per-poll delta here instead of one call per task.
+        """
+        self._advance(time)
+        self._counts["query"] += queries
+        self._counts["update"] += updates
+
     def _advance(self, time: float) -> None:
         if time < self._window_start:
             raise ValueError("time moved backwards")
@@ -120,6 +132,10 @@ class AdaptiveController:
         beats the current configuration's by this relative margin
         (0.15 = must be 15% better).  Switching out of an overloaded
         configuration bypasses the threshold.
+    cooldown:
+        Minimum seconds between reconfigurations.  A switch out of an
+        overloaded configuration bypasses the cooldown, for the same
+        reason it bypasses the threshold.
     """
 
     profile: AlgorithmProfile
@@ -127,13 +143,17 @@ class AdaptiveController:
     objective: Objective = Objective.RESPONSE_TIME
     rq_bound: float = 0.1
     improvement_threshold: float = 0.15
+    cooldown: float = 0.0
     max_layers: int = DEFAULT_MAX_LAYERS
     estimator: RateEstimator = field(default_factory=RateEstimator)
 
     def __post_init__(self) -> None:
         if self.improvement_threshold < 0:
             raise ValueError("improvement_threshold must be non-negative")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
         self._config: MPRConfig | None = None
+        self._last_switch: float | None = None
         self.history: list[Reconfiguration] = []
 
     # ------------------------------------------------------------------
@@ -151,6 +171,16 @@ class AdaptiveController:
     @property
     def config(self) -> MPRConfig | None:
         return self._config
+
+    def sync_config(self, config: MPRConfig) -> None:
+        """Pin the controller's notion of the current configuration.
+
+        The live pool is the source of truth for the shape actually
+        serving traffic (a proposed switch may have been rolled back, or
+        an operator may have reconfigured manually); callers re-sync
+        before each control decision.
+        """
+        self._config = config
 
     def evaluate(self, config: MPRConfig, workload: Workload) -> float:
         """Predicted measure of a configuration (lower is better)."""
@@ -200,7 +230,17 @@ class AdaptiveController:
             improvement = (current_value - best_value) / max(
                 abs(current_value), 1e-12
             )
+        if improvement <= 0:
+            # Cost tie (or regression) between distinct shapes: keep the
+            # incumbent deterministically rather than flapping.
+            return None
         if improvement < self.improvement_threshold:
+            return None
+        if (
+            not math.isinf(improvement)
+            and self._last_switch is not None
+            and time - self._last_switch < self.cooldown
+        ):
             return None
 
         event = Reconfiguration(
@@ -211,5 +251,6 @@ class AdaptiveController:
             new_predicted=best_value,
         )
         self._config = best
+        self._last_switch = time
         self.history.append(event)
         return event

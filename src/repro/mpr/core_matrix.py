@@ -110,6 +110,16 @@ class MPRRouter:
     def config(self) -> MPRConfig:
         return self._config
 
+    def adopt_telemetry(self, telemetry: Telemetry) -> None:
+        """Swap the telemetry handle this router counts into.
+
+        A reconfiguration warms its replacement router against
+        ``NULL_TELEMETRY`` (dual-fed updates must not double-count
+        ``router.updates``); at cutover the new router inherits the live
+        handle in the same supervisor step that swaps it in.
+        """
+        self._telemetry = telemetry
+
     def preload_objects(
         self,
         objects: Mapping[int, int],
@@ -248,6 +258,10 @@ class RouteBatcher:
     @property
     def batch_size(self) -> int:
         return self._batch_size
+
+    def adopt_telemetry(self, telemetry: Telemetry) -> None:
+        """Swap the telemetry handle (see :meth:`MPRRouter.adopt_telemetry`)."""
+        self._telemetry = telemetry
 
     def set_batch_size(self, batch_size: int) -> None:
         """Retarget the release threshold (takes effect immediately).

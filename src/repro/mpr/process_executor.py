@@ -75,6 +75,7 @@ from .core_matrix import (
     WorkerId,
 )
 from .executor import MPRExecutor
+from .reconfig import ReconfigEvent, ReconfigRejected
 from .resilience import (
     NULL_RESILIENCE,
     CircuitBreaker,
@@ -222,6 +223,13 @@ class _WorkerState:
         #: True once a death has been processed (breaker fed, batches
         #: quarantined) so repeated health checks do not re-count it.
         self.down = False
+        #: Which fleet this worker belongs to: ``"current"`` (serving),
+        #: ``"transition"`` (warming toward a new shape), or
+        #: ``"retiring"`` (draining pre-cutover work before stopping).
+        self.group = "current"
+        #: True once a graceful stop message has been queued (retiring
+        #: workers are stopped exactly once).
+        self.stop_sent = False
         self.next_seq = 0
         self.respawns = 0
         self.failed: str | None = None
@@ -272,6 +280,47 @@ class QuiesceTimeout(TimeoutError):
         #: Every query implicated in those batches (plus, with the
         #: resilience layer on, queries still unresolved at expiry).
         self.query_ids: tuple[int, ...] = tuple(query_ids)
+
+
+class _Transition:
+    """The half-built replacement matrix of one in-flight shape change.
+
+    Holds everything the supervisor needs to either promote the new
+    shape at cutover or discard it wholesale on rollback: the target
+    router/batcher pair (warming against ``NULL_TELEMETRY`` so dual-fed
+    updates do not double-count), the warming worker states, and the
+    phase deadline.  The old shape's state is deliberately *not* here —
+    rollback must be a pure discard.
+    """
+
+    __slots__ = (
+        "event", "new_config", "router", "batcher", "workers",
+        "warm_deadline", "retire_timeout", "started", "fault",
+    )
+
+    def __init__(
+        self,
+        event: ReconfigEvent,
+        new_config: MPRConfig,
+        router: MPRRouter,
+        batcher: RouteBatcher,
+        workers: dict[WorkerId, "_WorkerState"],
+        *,
+        warm_deadline: float,
+        retire_timeout: float,
+        started: float,
+    ) -> None:
+        self.event = event
+        self.new_config = new_config
+        self.router = router
+        self.batcher = batcher
+        self.workers = workers
+        self.warm_deadline = warm_deadline
+        self.retire_timeout = retire_timeout
+        self.started = started
+        #: First fault observed while warming (worker death or error
+        #: report); processed by ``_advance_transition`` → rollback.
+        self.fault: str | None = None
 
 
 class ProcessPoolService(MPRExecutor):
@@ -387,6 +436,36 @@ class ProcessPoolService(MPRExecutor):
             worker_id: _WorkerState(worker_id, cell)
             for worker_id, cell in contents.items()
         }
+        #: Submit-time object ledger: the authoritative ``object ->
+        #: node`` map in FCFS submit order.  Per-worker acked cells lag
+        #: behind dispatch, and per-worker seqs are not globally
+        #: ordered, so this — not a merge of the cells — is the exact
+        #: snapshot a reconfiguration hands to the new shape.
+        self._objects: dict[int, int] = dict(objects)
+        #: Result-pipe reader -> owning worker state, across *all*
+        #: groups (current, transition, retiring).  The dispatch key:
+        #: after a cutover the retiring fleet shares worker ids with the
+        #: current one, so messages route by pipe identity, never by id.
+        self._reader_owners: dict = {}
+        #: Shape generation, bumped at every cutover.  Queries stamp the
+        #: generation they were routed under (resilience only, and only
+        #: once it is non-zero) so hedging never crosses a cutover.
+        self._generation = 0
+        self._query_gen: dict[int, int] = {}
+        self._transition: _Transition | None = None
+        self._retiring: list[_WorkerState] = []
+        self._retire_deadline = 0.0
+        self._retire_started = 0.0
+        self._retire_event: ReconfigEvent | None = None
+        #: Audit log of every reconfiguration attempt (completed,
+        #: rolled back, and rejected alike), oldest first.
+        self.reconfig_history: list[ReconfigEvent] = []
+        #: Trips after repeated rolled-back transitions; while open,
+        #: ``begin_reconfigure`` rejects instead of churning workers.
+        self._reconfig_breaker = CircuitBreaker(ResilienceConfig(
+            breaker_failures=2, backoff_base=5.0, backoff_factor=2.0,
+            backoff_max=60.0,
+        ))
         #: Pending query bookkeeping: expected partial count, requested
         #: k, and received partials keyed by worker (dedup on replay).
         self._expected: dict[int, int] = {}
@@ -432,6 +511,11 @@ class ProcessPoolService(MPRExecutor):
     @property
     def telemetry(self) -> Telemetry:
         return self._telemetry
+
+    @property
+    def generation(self) -> int:
+        """Shape generation: 0 at start, +1 per completed cutover."""
+        return self._generation
 
     @property
     def running(self) -> bool:
@@ -498,13 +582,21 @@ class ProcessPoolService(MPRExecutor):
         if not self._started:
             self._unpublish_graph()
             return
+        if self._transition is not None:
+            # A half-built shape dies with the pool; this is not a
+            # transition *failure*, so the reconfig breaker is not fed.
+            self._transition_failed("pool closed mid-transition",
+                                    feed_breaker=False)
+        targets = list(self._workers.values()) + list(self._retiring)
         try:
             live = {
-                state.worker_id: state
-                for state in self._workers.values()
+                state
+                for state in targets
                 if state.process is not None and state.process.is_alive()
             }
-            for state in live.values():
+            for state in live:
+                if state.stop_sent:
+                    continue
                 try:
                     state.inbox.put(_STOP)
                 except (OSError, ValueError):  # pragma: no cover - queue gone
@@ -523,15 +615,20 @@ class ProcessPoolService(MPRExecutor):
                 )
                 if not ready:
                     pending = {
-                        worker_id for worker_id in pending
-                        if self._workers[worker_id].process.is_alive()
+                        state for state in pending
+                        if state.process.is_alive()
                     }
                     continue
                 for reader in ready:
+                    owner = self._reader_owners.get(reader)
                     message = self._receive(reader)
-                    if message is not None and message[0] == "stopped":
-                        pending.discard(message[1])
-            for state in self._workers.values():
+                    if (
+                        message is not None
+                        and message[0] == "stopped"
+                        and owner is not None
+                    ):
+                        pending.discard(owner)
+            for state in targets:
                 process = state.process
                 if process is None:
                     continue
@@ -543,8 +640,10 @@ class ProcessPoolService(MPRExecutor):
                     process.kill()
                     process.join(timeout=1.0)
         finally:
-            for state in self._workers.values():
+            for state in targets:
                 self._retire_reader(state)
+            self._retiring.clear()
+            self._reader_owners.clear()
             # Only after every worker is down: no process can still be
             # mid-attach, so unlinking the segment cannot race a respawn.
             self._unpublish_graph()
@@ -568,6 +667,8 @@ class ProcessPoolService(MPRExecutor):
         resilience default, else the arrangement default).
         """
         self.start()
+        if self._transition is not None or self._retiring:
+            self._advance_transition(time.monotonic())
         if self._resilience.enabled:
             self._submit_resilient(task)
             return
@@ -585,6 +686,7 @@ class ProcessPoolService(MPRExecutor):
                 self._telemetry.begin_trace(task.query_id, route.workers)
         else:
             self.metrics.updates_submitted += 1
+            self._record_update(task)
         self._send_batches(ready)
         if stamping:
             query_id = task.query_id if task.kind is TaskKind.QUERY else None
@@ -633,10 +735,13 @@ class ProcessPoolService(MPRExecutor):
                         self._deadline_heap,
                         (time.monotonic() + slo, query_id),
                     )
+                if self._generation:
+                    self._query_gen[query_id] = self._generation
                 if stamping:
                     self._telemetry.begin_trace(query_id, route.workers)
         else:
             self.metrics.updates_submitted += 1
+            self._record_update(task)
         self._send_batches(ready)
         if stamping:
             query_id = task.query_id if task.kind is TaskKind.QUERY else None
@@ -644,6 +749,17 @@ class ProcessPoolService(MPRExecutor):
                 "dispatch", time.monotonic() - t0, start=t0, query_id=query_id
             )
         self._collect_ready()
+
+    def _record_update(self, task: Task) -> None:
+        """Advance the submit-time object ledger; dual-feed a warming
+        shape.  Runs *after* the serving router validated the update,
+        so the transition feed can never see an invalid op."""
+        if task.kind is TaskKind.INSERT:
+            self._objects[task.object_id] = task.location
+        else:
+            self._objects.pop(task.object_id, None)
+        if self._transition is not None:
+            self._feed_transition(task)
 
     def flush(self) -> None:
         """Dispatch every partial batch (latency over amortization)."""
@@ -735,7 +851,11 @@ class ProcessPoolService(MPRExecutor):
         if self._resilience.enabled:
             return self._drain_resilient(timeout)
         deadline = None if timeout is None else time.monotonic() + timeout
-        while self._outstanding():
+        while True:
+            if self._transition is not None or self._retiring:
+                self._advance_transition(time.monotonic())
+            if not self._outstanding():
+                break
             if deadline is not None and time.monotonic() >= deadline:
                 raise self._quiesce_failure(timeout)
             with self.metrics.timed("wait", events=0):
@@ -747,29 +867,31 @@ class ProcessPoolService(MPRExecutor):
                 else:  # every worker dead: wait out one interval
                     time.sleep(self._health_check_interval)
                     ready = []
-            messages = [
-                message
-                for reader in ready
-                if (message := self._receive(reader)) is not None
-            ]
-            if not messages:
+            handled = False
+            for reader in ready:
+                owner = self._reader_owners.get(reader)
+                message = self._receive(reader)
+                if message is not None:
+                    handled = True
+                    self._handle(message, owner)
+            if not handled:
                 self._check_health()
-                continue
-            for message in messages:
-                self._handle(message)
+        if self._transition is not None or self._retiring:
+            self._advance_transition(time.monotonic())
         return self._finish_answers()
 
     def _quiesce_failure(self, timeout: float | None) -> QuiesceTimeout:
         """Diagnostic for a drain timeout: name every unacked batch and
         every query id those batches (or unresolved hedges) strand."""
+        states = list(self._workers.values()) + list(self._retiring)
         pending = sorted(
             (state.worker_id, seq)
-            for state in self._workers.values()
+            for state in states
             for seq in state.unacked
         )
         query_ids = {
             op[1]
-            for state in self._workers.values()
+            for state in states
             for ops in state.unacked.values()
             for op in ops
             if op[0] == "query"
@@ -812,6 +934,8 @@ class ProcessPoolService(MPRExecutor):
         wall = None if timeout is None else time.monotonic() + timeout
         while True:
             now = time.monotonic()
+            if self._transition is not None or self._retiring:
+                self._advance_transition(now)
             self._enforce_deadlines(now)
             outstanding = self._outstanding()
             if not outstanding and not self._has_unresolved():
@@ -833,16 +957,17 @@ class ProcessPoolService(MPRExecutor):
                 else:
                     time.sleep(wait_for)
                     ready = []
-            messages = [
-                message
-                for reader in ready
-                if (message := self._receive(reader)) is not None
-            ]
-            if not messages:
+            handled = False
+            for reader in ready:
+                owner = self._reader_owners.get(reader)
+                message = self._receive(reader)
+                if message is not None:
+                    handled = True
+                    self._handle(message, owner)
+            if not handled:
                 self._check_health()
-                continue
-            for message in messages:
-                self._handle(message)
+        if self._transition is not None or self._retiring:
+            self._advance_transition(time.monotonic())
         return self._finish_answers_resilient()
 
     def run(self, tasks: Sequence[Task]) -> dict[int, list[Neighbor]]:
@@ -861,14 +986,13 @@ class ProcessPoolService(MPRExecutor):
         }
 
     def _outstanding(self) -> int:
-        return sum(len(state.unacked) for state in self._workers.values())
+        total = sum(len(state.unacked) for state in self._workers.values())
+        for state in self._retiring:
+            total += len(state.unacked)
+        return total
 
     def _live_readers(self) -> list:
-        return [
-            state.reader
-            for state in self._workers.values()
-            if state.reader is not None
-        ]
+        return list(self._reader_owners)
 
     def _receive(self, reader):
         """Read one message off a result pipe; retire it on EOF.
@@ -876,23 +1000,33 @@ class ProcessPoolService(MPRExecutor):
         EOF means the writing worker is gone (its buffered messages
         stay readable until then, so no surviving ack is lost); the
         reader is dropped from the wait set until a respawn replaces
-        it.  Returns the message, or None for a retired reader.
+        it.  A warming worker's EOF marks the in-flight transition
+        faulted — processed (as a rollback) by ``_advance_transition``.
+        Returns the message, or None for a retired reader.
         """
         try:
             return reader.recv()
         except (EOFError, OSError):
-            for state in self._workers.values():
-                if state.reader is reader:
-                    self._retire_reader(state)
-                    break
+            state = self._reader_owners.get(reader)
+            if state is not None:
+                self._retire_reader(state)
+                if (
+                    state.group == "transition"
+                    and self._transition is not None
+                    and self._transition.fault is None
+                ):
+                    self._transition.fault = (
+                        f"worker {state.worker_id} died while warming"
+                    )
             return None
 
-    @staticmethod
-    def _retire_reader(state: _WorkerState) -> None:
-        if state.reader is None:
+    def _retire_reader(self, state: _WorkerState) -> None:
+        reader = state.reader
+        if reader is None:
             return
+        self._reader_owners.pop(reader, None)
         try:
-            state.reader.close()
+            reader.close()
         except OSError:  # pragma: no cover - already closed
             pass
         state.reader = None
@@ -906,11 +1040,20 @@ class ProcessPoolService(MPRExecutor):
             if not ready:
                 return
             for reader in ready:
+                owner = self._reader_owners.get(reader)
                 message = self._receive(reader)
                 if message is not None:
-                    self._handle(message)
+                    self._handle(message, owner)
 
-    def _handle(self, message: tuple) -> None:
+    def _handle(self, message: tuple, state: _WorkerState | None = None) -> None:
+        """Process one worker message.
+
+        ``state`` is the pipe's owning worker (resolved by the caller
+        *before* the read, since EOF pops the owner map).  Dispatching
+        on the state object rather than the wire worker id is what
+        keeps a post-cutover retiring fleet — whose ids collide with
+        the current one — unambiguous.
+        """
         kind = message[0]
         if kind == "done":
             if len(message) == 5:
@@ -918,7 +1061,16 @@ class ProcessPoolService(MPRExecutor):
             else:
                 _, worker_id, seq, partials = message
                 stamps = None
-            state = self._workers[worker_id]
+            if state is None:
+                state = self._workers.get(worker_id)
+                if state is None:  # pragma: no cover - late stray ack
+                    return
+            if state.group == "transition":
+                # Probe or catch-up ack: no queries, no stamps recorded
+                # (dual-fed updates must not double-count histograms).
+                state.acknowledge(seq)
+                state.sent_at.pop(seq, None)
+                return
             resilient = self._resilience.enabled
             if not resilient:
                 if stamps is not None and self._telemetry.enabled:
@@ -934,14 +1086,25 @@ class ProcessPoolService(MPRExecutor):
             self._handle_done_resilient(state, seq, partials, stamps)
         elif kind == "error":
             _, worker_id, seq, detail = message
-            if self._resilience.enabled:
-                self._handle_poison(self._workers[worker_id], seq, detail)
+            if state is None:
+                state = self._workers.get(worker_id)
+                if state is None:  # pragma: no cover - late stray error
+                    return
+            if state.group == "transition":
+                if self._transition is not None and self._transition.fault is None:
+                    self._transition.fault = (
+                        f"worker {worker_id} failed while warming "
+                        f"batch {seq}: {detail}"
+                    )
                 return
-            self._workers[worker_id].failed = detail
+            if self._resilience.enabled:
+                self._handle_poison(state, seq, detail)
+                return
+            state.failed = detail
             raise WorkerCrash(
                 f"worker {worker_id} failed on batch {seq}: {detail}"
             )
-        elif kind == "stopped":  # late stop ack from a prior close
+        elif kind == "stopped":  # graceful exit ack (retire or close)
             pass
         else:  # pragma: no cover - protocol guard
             raise RuntimeError(f"unknown pool message {message!r}")
@@ -999,7 +1162,10 @@ class ProcessPoolService(MPRExecutor):
         if stamping:
             self._record_batch_stamps(state, seq, stamps, skip=duplicates)
         ops = state.unacked.get(seq)
-        if state.acknowledge(seq):
+        if state.acknowledge(seq) and state.group == "current":
+            # Retiring acks skip the ledgers: the cutover cleared the
+            # admission counts and breakers, whose keys now belong to
+            # the same-id workers of the new shape.
             self._resilience.admission.acked(worker_id, len(ops))
             breaker = self._resilience.breakers().get(worker_id)
             if breaker is not None:
@@ -1197,6 +1363,7 @@ class ProcessPoolService(MPRExecutor):
         self._slo.clear()
         self._deadline_heap.clear()
         self._ks.clear()
+        self._query_gen.clear()
         return answers
 
     # ------------------------------------------------------------------
@@ -1395,6 +1562,18 @@ class ProcessPoolService(MPRExecutor):
         """Hedge or degrade every unanswered column of one query."""
         accepted = self._accepted.get(query_id, ())
         missing = self._missing.get(query_id, set())
+        if self._query_gen.get(query_id, 0) != self._generation:
+            # Routed under a shape that has since cut over: its replica
+            # rows are retiring, and the current matrix holds different
+            # cells, so a hedge would return the wrong column contents.
+            # Wait for the retiring workers (which are respawned on
+            # death until drained); degrade only when forced — i.e.
+            # when nothing is in flight that could still answer.
+            if force:
+                for column in self._columns[query_id]:
+                    if column not in accepted and column not in missing:
+                        self._degrade(query_id, column)
+            return
         hedge_enabled = self._resilience.config.hedge
         for column in self._columns[query_id]:
             if column in accepted or column in missing:
@@ -1496,10 +1675,442 @@ class ProcessPoolService(MPRExecutor):
         """Give up on one column for one query: answer without it."""
         self._missing.setdefault(query_id, set()).add(column)
 
+    # ------------------------------------------------------------------
+    # Live reconfiguration (shape changes without downtime)
+    # ------------------------------------------------------------------
+    def begin_reconfigure(
+        self,
+        new_config: MPRConfig,
+        *,
+        trigger: str = "manual",
+        warm_timeout: float = 10.0,
+        retire_timeout: float = 10.0,
+    ) -> ReconfigEvent:
+        """Start a supervised transition to ``new_config``; non-blocking.
+
+        Spawns the new shape's workers (attaching to the already-
+        published shared-memory/memmap graph), hands each an exact
+        object-cell snapshot from the submit-time ledger, and sends an
+        empty *probe* batch whose ack proves the spawn + graph attach +
+        cell load completed end to end.  The old shape keeps serving
+        throughout; updates submitted from now on are dual-fed to the
+        warming cells.  The transition then advances opportunistically
+        from the submit/drain paths (or :meth:`reconfigure`'s wait
+        loop): once every probe is acked the router/batcher pair is
+        swapped atomically; any warming fault or the ``warm_timeout``
+        expiring rolls back to the old shape instead.
+
+        Raises :class:`ReconfigRejected` (recording a rejected event)
+        when the target equals the current shape, a transition is
+        already in flight, the previous shape is still retiring, or the
+        reconfiguration circuit breaker is open.
+        """
+        self.start()
+        now = time.monotonic()
+        if new_config == self._config:
+            self._reject_reconfigure(
+                new_config, trigger, "target equals the current shape"
+            )
+        if self._transition is not None:
+            self._reject_reconfigure(
+                new_config, trigger, "a transition is already in flight"
+            )
+        if self._retiring:
+            self._reject_reconfigure(
+                new_config, trigger, "the previous shape is still retiring"
+            )
+        if not self._reconfig_breaker.allow(now):
+            self._reject_reconfigure(
+                new_config, trigger,
+                "reconfiguration breaker open after repeated rollbacks",
+            )
+        event = ReconfigEvent(
+            started_at=time.time(),
+            old_config=self._config,
+            new_config=new_config,
+            trigger=trigger,
+        )
+        router = MPRRouter(new_config, telemetry=NULL_TELEMETRY)
+        contents = router.preload_objects(dict(self._objects))
+        workers: dict[WorkerId, _WorkerState] = {}
+        for worker_id, cell in contents.items():
+            state = _WorkerState(worker_id, cell)
+            state.group = "transition"
+            workers[worker_id] = state
+        batcher = RouteBatcher(
+            router, self._batcher.batch_size, telemetry=NULL_TELEMETRY
+        )
+        self._transition = _Transition(
+            event, new_config, router, batcher, workers,
+            warm_deadline=now + warm_timeout,
+            retire_timeout=retire_timeout,
+            started=now,
+        )
+        self.reconfig_history.append(event)
+        if self._telemetry.enabled:
+            self._telemetry.count("reconfig.attempts")
+        try:
+            for state in workers.values():
+                self._spawn(state)
+                seq = state.next_seq
+                state.next_seq += 1
+                state.unacked[seq] = ()
+                state.sent_at[seq] = time.monotonic()
+                state.inbox.put(("batch", seq, ()))
+        except Exception as exc:  # pragma: no cover - spawn failure
+            self._transition_failed(f"spawn failed: {exc!r}")
+            raise
+        return event
+
+    def reconfigure(
+        self,
+        new_config: MPRConfig,
+        *,
+        trigger: str = "manual",
+        warm_timeout: float = 10.0,
+        retire_timeout: float = 10.0,
+        wait_retire: bool = False,
+        timeout: float = 30.0,
+    ) -> ReconfigEvent:
+        """Transition to ``new_config`` and wait for the outcome.
+
+        Blocks until the transition completes (cutover done) or rolls
+        back; with ``wait_retire`` also until the old shape has fully
+        retired.  In-flight and newly arriving acks from the serving
+        shape keep being collected while waiting, so calling this with
+        queries outstanding is safe.  Returns the terminal
+        :class:`ReconfigEvent`; raises :class:`ReconfigRejected` as
+        :meth:`begin_reconfigure` does, or ``TimeoutError`` if the
+        transition does not settle within ``timeout`` seconds.
+        """
+        event = self.begin_reconfigure(
+            new_config, trigger=trigger,
+            warm_timeout=warm_timeout, retire_timeout=retire_timeout,
+        )
+        deadline = time.monotonic() + timeout
+        while True:
+            now = time.monotonic()
+            self._advance_transition(now)
+            if event.outcome != "pending" and not (
+                wait_retire and self._retiring
+            ):
+                break
+            if now >= deadline:
+                raise TimeoutError(
+                    f"reconfiguration to ({new_config.x}, {new_config.y}, "
+                    f"{new_config.z}) did not settle within {timeout} s "
+                    f"(outcome={event.outcome!r})"
+                )
+            readers = self._live_readers()
+            if readers:
+                ready = mp_connection.wait(
+                    readers, timeout=self._health_check_interval
+                )
+                for reader in ready:
+                    owner = self._reader_owners.get(reader)
+                    message = self._receive(reader)
+                    if message is not None:
+                        self._handle(message, owner)
+            else:  # pragma: no cover - every process dead
+                time.sleep(self._health_check_interval)
+        return event
+
+    def transition_pids(self) -> dict[WorkerId, int]:
+        """Warming-worker pids of the in-flight transition (chaos hooks)."""
+        if self._transition is None:
+            return {}
+        return {
+            worker_id: state.process.pid
+            for worker_id, state in self._transition.workers.items()
+            if state.process is not None and state.process.pid is not None
+        }
+
+    def _reject_reconfigure(
+        self, new_config: MPRConfig, trigger: str, reason: str
+    ) -> None:
+        wall = time.time()
+        event = ReconfigEvent(
+            started_at=wall,
+            old_config=self._config,
+            new_config=new_config,
+            trigger=trigger,
+            outcome="rejected",
+            reason=reason,
+            finished_at=wall,
+        )
+        self.reconfig_history.append(event)
+        if self._telemetry.enabled:
+            self._telemetry.count("reconfig.rejected")
+        raise ReconfigRejected(reason)
+
+    def _feed_transition(self, task: Task) -> None:
+        """Dual-feed one update to the warming shape's cells.
+
+        The warming batcher buffers like the serving one; full batches
+        dispatch immediately, partial ones are flushed at cutover.
+        Because each worker inbox is FCFS, every catch-up batch is
+        applied before any post-cutover batch reaches the same worker —
+        the new cells are exactly the ledger state at cutover.
+        """
+        transition = self._transition
+        _route, ready = transition.batcher.add(task)
+        transition.event.catchup_ops += 1
+        if ready:
+            self._send_transition_batches(transition.workers, ready)
+
+    def _send_transition_batches(
+        self,
+        workers: Mapping[WorkerId, _WorkerState],
+        batches: Sequence[WorkerBatch],
+    ) -> None:
+        for worker_id, ops in batches:
+            state = workers[worker_id]
+            seq = state.next_seq
+            state.next_seq += 1
+            state.unacked[seq] = ops
+            state.sent_at[seq] = time.monotonic()
+            state.inbox.put(("batch", seq, ops))
+
+    def _advance_transition(self, now: float) -> None:
+        """One supervision step of the transition state machine.
+
+        Called from the submit and drain paths whenever a transition or
+        a retiring fleet exists (one branch otherwise): detects warming
+        faults (→ rollback), performs the cutover once every probe is
+        acked, enforces the warm deadline, and progresses retirement.
+        """
+        transition = self._transition
+        if transition is not None:
+            if transition.fault is None:
+                for state in transition.workers.values():
+                    process = state.process
+                    if process is None or not process.is_alive():
+                        transition.fault = (
+                            f"worker {state.worker_id} died while warming"
+                        )
+                        break
+            if transition.fault is not None:
+                self._transition_failed(transition.fault)
+            elif all(
+                0 not in state.unacked
+                for state in transition.workers.values()
+            ):
+                # Every probe acked: spawn + graph attach + cell load
+                # proven end to end.  Catch-up batches may still be in
+                # flight — per-worker FCFS guarantees they apply before
+                # anything the new shape is sent after the swap.
+                self._cutover(now)
+            elif now >= transition.warm_deadline:
+                self._transition_failed(
+                    "warm phase timed out before every probe was acked"
+                )
+        self._check_retiring(now)
+
+    def _cutover(self, now: float) -> None:
+        """Swap the new shape in — atomic from the router's perspective.
+
+        Both batchers are flushed first so every buffered op is
+        dispatched under the shape that routed it; then the
+        router/batcher/worker-map references swap in one supervisor
+        step (no query can be routed to a retiring cell afterwards),
+        the generation counter bumps, and the old fleet moves to the
+        retiring list to finish its in-flight work.
+        """
+        transition = self._transition
+        event = transition.event
+        with self.metrics.timed("dispatch", events=0):
+            old_ready = self._batcher.flush()
+        self._send_batches(old_ready)
+        self._send_transition_batches(
+            transition.workers, transition.batcher.flush()
+        )
+        event.inflight_at_cutover = self._outstanding()
+        old_states = list(self._workers.values())
+        for state in old_states:
+            state.group = "retiring"
+            # Quarantined batches die with the shape: their queries
+            # resolve via the stale-generation degrade path, their
+            # updates are already in the ledger the new cells loaded.
+            state.quarantined.clear()
+        self._retiring.extend(old_states)
+        self._retire_deadline = now + transition.retire_timeout
+        self._retire_started = now
+        self._retire_event = event
+        for state in transition.workers.values():
+            state.group = "current"
+        self._workers = transition.workers
+        transition.router.adopt_telemetry(self._telemetry)
+        transition.batcher.adopt_telemetry(self._telemetry)
+        self._router = transition.router
+        self._batcher = transition.batcher
+        self._config = transition.new_config
+        self._layer_columns.clear()
+        self._fallback_slo = (
+            self._resilience.config.default_deadline
+            if self._resilience.config.default_deadline is not None
+            else transition.new_config.default_deadline
+        ) if self._resilience.enabled else None
+        self._generation += 1
+        if self._resilience.enabled:
+            # Worker ids are reused by the new shape: breaker state and
+            # admission debt earned by the old fleet must not bleed
+            # onto same-id successors.  Retiring acks skip both ledgers
+            # (gated by group), so clearing cannot go negative.
+            self._batcher.admission = self._resilience.admission
+            self._resilience.clear_breakers()
+            self._resilience.admission.outstanding.clear()
+        self._transition = None
+        self._reconfig_breaker.record_success()
+        event.outcome = "completed"
+        event.finished_at = time.time()
+        event.generation = self._generation
+        event.phases["warm"] = now - transition.started
+        self.metrics.reconfigurations += 1
+        if self._telemetry.enabled:
+            self._telemetry.count("reconfig.completed")
+            if event.catchup_ops:
+                self._telemetry.count(
+                    "reconfig.catchup_ops", event.catchup_ops
+                )
+            self._telemetry.record(
+                "reconfig.warm", now - transition.started,
+                start=transition.started,
+            )
+
+    def _transition_failed(
+        self, reason: str, *, feed_breaker: bool = True
+    ) -> None:
+        """Roll back: discard the half-built shape, keep the old one.
+
+        The serving shape was never touched — no router swap happened,
+        no old worker was stopped — so rollback is a pure discard of
+        the warming fleet.  Feeds the reconfiguration circuit breaker
+        (unless the rollback is administrative, e.g. pool close).
+        """
+        transition = self._transition
+        if transition is None:
+            return
+        self._transition = None
+        for state in transition.workers.values():
+            process = state.process
+            if process is not None and process.is_alive():
+                process.kill()
+        for state in transition.workers.values():
+            if state.process is not None:
+                state.process.join(timeout=1.0)
+            self._retire_reader(state)
+        event = transition.event
+        event.outcome = "rolled_back"
+        event.reason = reason
+        event.finished_at = time.time()
+        event.phases["warm"] = time.monotonic() - transition.started
+        self.metrics.reconfig_rollbacks += 1
+        if self._telemetry.enabled:
+            self._telemetry.count("reconfig.rollbacks")
+        if feed_breaker and self._reconfig_breaker.record_failure(
+            time.monotonic()
+        ):
+            if self._telemetry.enabled:
+                self._telemetry.count("reconfig.breaker_open")
+
+    def _check_retiring(self, now: float) -> None:
+        """Progress the retiring fleet toward zero.
+
+        A retiring worker that still owes pre-cutover answers is kept
+        (and respawned breaker-free if it dies, stall-killed if it goes
+        silent) until its unacked log drains; a drained worker gets one
+        graceful stop, then SIGKILL past the retire deadline.  When the
+        last one exits, the retire phase duration is recorded on the
+        owning event.
+        """
+        if not self._retiring:
+            return
+        stall_timeout = (
+            self._resilience.config.stall_timeout
+            if self._resilience.enabled
+            else None
+        )
+        finished: list[_WorkerState] = []
+        for state in self._retiring:
+            process = state.process
+            alive = process is not None and process.is_alive()
+            if state.unacked:
+                if not alive:
+                    self._respawn_retiring(state)
+                elif (
+                    stall_timeout is not None
+                    and state.sent_at
+                    and now - min(state.sent_at.values()) > stall_timeout
+                ):
+                    process.kill()
+                    process.join(timeout=1.0)
+                    self.metrics.stall_kills += 1
+                    if self._telemetry.enabled:
+                        self._telemetry.count("resilience.stall_kills")
+                    self._respawn_retiring(state)
+                continue
+            if alive:
+                if not state.stop_sent:
+                    try:
+                        state.inbox.put(_STOP)
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+                    state.stop_sent = True
+                elif now >= self._retire_deadline:
+                    process.kill()
+                    process.join(timeout=1.0)
+            else:
+                if process is not None:
+                    process.join(timeout=1.0)
+                self._retire_reader(state)
+                finished.append(state)
+        if finished:
+            for state in finished:
+                self._retiring.remove(state)
+            if not self._retiring:
+                event = self._retire_event
+                if event is not None:
+                    event.phases["retire"] = now - self._retire_started
+                    self._retire_event = None
+                if self._telemetry.enabled:
+                    self._telemetry.record(
+                        "reconfig.retire", now - self._retire_started,
+                        start=self._retire_started,
+                    )
+
+    def _respawn_retiring(self, state: _WorkerState) -> None:
+        """Rebuild a dead retiring worker that still owes answers.
+
+        Breaker-free by design: after the cutover the breaker and
+        admission keys belong to the new shape's same-id workers, so a
+        retiring respawn must not touch them.  The replica-cell +
+        unacked-replay correctness argument is identical to
+        :meth:`_respawn`.
+        """
+        if state.process is not None:
+            state.process.join(timeout=1.0)
+        self._collect_ready()  # a death can race its last ack
+        self._retire_reader(state)
+        if not state.unacked:
+            return  # the racing acks just drained it: nothing to replay
+        state.respawns += 1
+        self.metrics.respawns += 1
+        self.metrics.batches_replayed += len(state.unacked)
+        if self._telemetry.enabled:
+            self._telemetry.count("pool.respawns")
+        self._spawn(state)
+        state.down = False
+        replay_stamp = time.monotonic()
+        for seq in sorted(state.unacked):
+            state.sent_at[seq] = replay_stamp
+            state.inbox.put(("batch", seq, state.unacked[seq]))
+            self.metrics.messages_sent += 1
+
     def _spawn(self, state: _WorkerState) -> None:
         state.inbox = self._context.Queue()
         reader, writer = self._context.Pipe(duplex=False)
         state.reader = reader
+        self._reader_owners[reader] = state
         state.process = self._context.Process(
             target=_worker_main,
             args=(

@@ -297,6 +297,15 @@ class ResiliencePolicy:
         """Breakers created so far (healthy workers may have none)."""
         return self._breakers
 
+    def clear_breakers(self) -> None:
+        """Forget all per-worker breakers.
+
+        Called at a reconfiguration cutover: worker ids are reused by
+        the new shape, so breaker state earned by retiring workers must
+        not bleed onto their same-id successors.
+        """
+        self._breakers.clear()
+
     def deadline_for(
         self, task_deadline: float | None, config_deadline: float | None
     ) -> float | None:

@@ -42,6 +42,7 @@ then do connections see ``bye``.
 from __future__ import annotations
 
 import asyncio
+import functools
 import itertools
 import time
 from dataclasses import dataclass
@@ -230,6 +231,21 @@ class MPRServer:
     async def serve_forever(self) -> None:
         assert self._server is not None
         await self._server.serve_forever()
+
+    async def reconfigure(self, new_config: Any, **kwargs: Any) -> Any:
+        """Change the pool's ``(x, y, z)`` live while serving.
+
+        Awaitable wrapper over :meth:`MPRSystem.reconfigure
+        <repro.mpr.api.MPRSystem.reconfigure>`: the request is enqueued
+        FCFS with the RPC stream on the completion pump, and the
+        blocking wait for the terminal event runs in a worker thread so
+        the event loop keeps accepting connections throughout.  Returns
+        the :class:`~repro.mpr.reconfig.ReconfigEvent`.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(self.system.reconfigure, new_config, **kwargs)
+        )
 
     async def stop(self) -> None:
         """Graceful: answer or fail every accepted op, then close."""
@@ -609,10 +625,16 @@ class MPRServer:
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:
         """JSON-ready server counters + scheduler occupancy."""
-        return {
+        stats = {
             "counters": dict(self.counters),
             "tenants": dict(self.tenant_completed),
             "queued": len(self._wfq),
             "dispatched": self._dispatched,
             "open_connections": len(self._connections),
         }
+        history = self.system.reconfig_history
+        if history:
+            stats["reconfigurations"] = [
+                event.to_dict() for event in history
+            ]
+        return stats

@@ -13,6 +13,7 @@ from .harness import (
     validate_simulator,
     write_report,
 )
+from .reconfig_soak import SoakReport, run_reconfig_soak
 
 __all__ = [
     "DEFAULT_LIVE_GRID",
@@ -22,6 +23,8 @@ __all__ = [
     "ThroughputVerdict",
     "ToleranceSpec",
     "ValidationReport",
+    "SoakReport",
+    "run_reconfig_soak",
     "run_validation",
     "validate_live",
     "validate_simulator",

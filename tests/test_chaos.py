@@ -22,6 +22,7 @@ def test_scenario_registry_covers_the_failure_modes() -> None:
     assert {
         "none", "kill-worker", "kill-column", "crash-loop",
         "stall", "slow", "poison", "dropped-ack",
+        "reconfig-kill-new-worker", "reconfig-under-load",
     } <= set(SCENARIOS)
     with pytest.raises(KeyError):
         run_scenario("no-such-scenario")
@@ -67,3 +68,23 @@ def test_crash_loop_opens_breakers_and_never_hangs() -> None:
     assert report.ok, report.violations
     assert report.metrics["breaker_opens"] >= 1
     assert report.plain + report.degraded == report.queries
+
+
+def test_reconfig_kill_new_worker_rolls_back_oracle_exact() -> None:
+    """SIGKILL a warming worker mid-transition: the pool must roll
+    back to the old shape with zero dropped or wrong answers."""
+    report = run_scenario("reconfig-kill-new-worker", drain_timeout=30.0)
+    assert report.ok, report.violations
+    assert report.plain == report.queries
+    assert report.counters.get("reconfig.rollbacks", 0) == 1
+    assert report.counters.get("reconfig.completed", 0) == 0
+
+
+def test_reconfig_under_load_completes_without_hangs() -> None:
+    """A shape change inside a flash crowd: the cutover happens with
+    queries in flight and every answer stays oracle-exact."""
+    report = run_scenario("reconfig-under-load", drain_timeout=30.0)
+    assert report.ok, report.violations
+    assert report.plain == report.queries
+    assert report.counters.get("reconfig.completed", 0) == 1
+    assert report.counters.get("reconfig.rollbacks", 0) == 0

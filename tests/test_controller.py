@@ -59,6 +59,30 @@ class TestRateEstimator:
         with pytest.raises(ValueError):
             RateEstimator(alpha=0.0)
 
+    def test_observe_counts_matches_per_event_feed(self) -> None:
+        one_by_one = RateEstimator(window=1.0, alpha=0.5)
+        batched = RateEstimator(window=1.0, alpha=0.5)
+        for i in range(40):
+            one_by_one.observe_query(i * 0.025)
+        batched.observe_counts(0.0, queries=40)
+        for estimator in (one_by_one, batched):
+            estimator.observe_counts(2.5, updates=7)
+        assert batched.lambda_q == pytest.approx(one_by_one.lambda_q)
+        assert batched.lambda_u == pytest.approx(one_by_one.lambda_u)
+
+    def test_counts_not_ready_before_window_fills(self) -> None:
+        """A burst of counts inside the first window must not fake
+        readiness — the rate only exists once a window has closed."""
+        estimator = RateEstimator(window=1.0, alpha=1.0)
+        estimator.observe_counts(0.2, queries=10_000, updates=500)
+        estimator.observe_counts(0.9, queries=10_000)
+        assert not estimator.ready
+        assert estimator.lambda_q == 0.0 and estimator.lambda_u == 0.0
+        estimator.observe_counts(1.0, queries=1)  # folds the window
+        assert estimator.ready
+        assert estimator.lambda_q == pytest.approx(20_000.0)
+        assert estimator.lambda_u == pytest.approx(500.0)
+
 
 def feed(controller: AdaptiveController, lambda_q: float, lambda_u: float,
          start: float, duration: float, seed: int = 0) -> float:
@@ -199,3 +223,98 @@ class TestAdaptiveController:
                 machine=MachineSpec(total_cores=19),
                 improvement_threshold=-1.0,
             )
+        with pytest.raises(ValueError):
+            AdaptiveController(
+                profile=paper_profile("TOAIN", "BJ"),
+                machine=MachineSpec(total_cores=19),
+                cooldown=-1.0,
+            )
+
+    def test_cooldown_suppresses_back_to_back_switches(self) -> None:
+        controller = AdaptiveController(
+            profile=paper_profile("V-tree", "BJ"),
+            machine=MachineSpec(total_cores=19),
+            improvement_threshold=0.01,
+            cooldown=100.0,
+            estimator=RateEstimator(window=0.5, alpha=1.0),
+        )
+        end = feed(controller, 1_000.0, 20_000.0, 0.0, 2.0, seed=11)
+        controller.maybe_reconfigure(end)
+        first = controller.config
+        # Drift hard the other way: a clear improvement exists, and the
+        # first switch toward it is allowed (no prior switch to cool
+        # down from)...
+        end = feed(controller, 30_000.0, 100.0, end, 2.0, seed=12)
+        event = controller.maybe_reconfigure(end)
+        assert event is not None and controller.config != first
+        switched = controller.config
+        # ...then drift back: the same-size improvement is now inside
+        # the cooldown window and must be suppressed.
+        end = feed(controller, 1_000.0, 20_000.0, end, 2.0, seed=13)
+        workload = controller.estimator.workload()
+        if math.isfinite(controller.evaluate(switched, workload)):
+            assert controller.maybe_reconfigure(end) is None
+            assert controller.config == switched
+            # Past the cooldown the suppressed switch goes through.
+            assert controller.maybe_reconfigure(end + 200.0) is not None
+            assert controller.config == first
+
+    def test_overload_escape_bypasses_cooldown(self) -> None:
+        controller = AdaptiveController(
+            profile=paper_profile("TOAIN", "BJ"),
+            machine=MachineSpec(total_cores=19),
+            improvement_threshold=0.01,
+            cooldown=1e9,
+            estimator=RateEstimator(window=0.5, alpha=1.0),
+        )
+        end = feed(controller, 500.0, 500.0, 0.0, 1.5, seed=14)
+        controller.maybe_reconfigure(end)
+        # Force one switch to arm _last_switch, then overload the
+        # current shape: infinite improvement ignores the cooldown.
+        end = feed(controller, 15_000.0, 50_000.0, end, 3.0, seed=15)
+        workload = controller.estimator.workload()
+        first = controller.config
+        if math.isinf(controller.evaluate(first, workload)):
+            event = controller.maybe_reconfigure(end)
+            assert event is not None
+
+    def test_cost_tie_keeps_incumbent_deterministically(self) -> None:
+        """When the optimizer's best shape is no cheaper than the one
+        serving, the controller must hold still — repeated decisions on
+        identical rates never flap."""
+        controller = AdaptiveController(
+            profile=paper_profile("V-tree", "BJ"),
+            machine=MachineSpec(total_cores=19),
+            improvement_threshold=0.0,  # hysteresis off: ties must hold
+            estimator=RateEstimator(window=0.5, alpha=1.0),
+        )
+        end = feed(controller, 5_000.0, 5_000.0, 0.0, 2.0, seed=16)
+        controller.maybe_reconfigure(end)
+        incumbent = controller.config
+        for step in range(1, 6):
+            end = feed(controller, 5_000.0, 5_000.0, end, 1.0, seed=16)
+            controller.maybe_reconfigure(end + step)
+            assert controller.config == incumbent
+        assert len(controller.history) <= 1
+
+    def test_sync_config_pins_the_live_shape(self) -> None:
+        from repro.mpr import MPRConfig
+
+        controller = AdaptiveController(
+            profile=paper_profile("V-tree", "BJ"),
+            machine=MachineSpec(total_cores=19),
+            improvement_threshold=1e9,
+            estimator=RateEstimator(window=0.5, alpha=1.0),
+        )
+        end = feed(controller, 1_000.0, 20_000.0, 0.0, 2.0, seed=17)
+        controller.maybe_reconfigure(end)
+        # A rollback (or operator action) leaves the pool on a shape
+        # the controller did not pick; sync keeps decisions honest:
+        # the next decision is judged against the synced shape —
+        # (1, 1, 1) is overloaded at these rates, so even the absurd
+        # threshold is bypassed and old_config names the live shape.
+        controller.sync_config(MPRConfig(1, 1, 1))
+        assert controller.config == MPRConfig(1, 1, 1)
+        event = controller.maybe_reconfigure(end + 1.0)
+        assert event is not None
+        assert event.old_config == MPRConfig(1, 1, 1)

@@ -1,0 +1,350 @@
+"""Live zero-downtime reconfiguration of the process pool.
+
+Fast tests cover the decision layer (:mod:`repro.mpr.reconfig`) against
+a fake system; the ``slow``-marked tests drive real pools through shape
+changes — including the acceptance criterion: a telemetry-triggered
+transition under load with zero dropped or incorrect answers, and a
+mid-transition SIGKILL that rolls back without a serving gap.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.graph import grid_network
+from repro.knn import DijkstraKNN
+from repro.knn.calibration import paper_profile
+from repro.mpr import (
+    RECONFIG_COUNTERS,
+    MachineSpec,
+    MPRConfig,
+    MPRSystem,
+    RateEstimator,
+    ReconfigEvent,
+    ReconfigManager,
+    ReconfigPolicy,
+    ReconfigRejected,
+    ResilienceConfig,
+    run_serial_reference,
+)
+from repro.mpr.process_executor import ProcessPoolService
+from repro.objects.tasks import InsertTask, QueryTask
+from repro.obs import Telemetry
+
+PROFILE = paper_profile("V-tree", "BJ")
+MACHINE = MachineSpec(total_cores=5)
+
+
+def make_pool(telemetry=None, resilience=None, config=MPRConfig(2, 2, 1)):
+    network = grid_network(8, 8, seed=1)
+    base = DijkstraKNN(network)
+    objects = {i: (i * 7 + 3) % network.num_nodes for i in range(20)}
+    pool = ProcessPoolService(
+        base, config, objects, batch_size=4,
+        telemetry=telemetry if telemetry is not None else Telemetry(),
+        resilience=resilience,
+    )
+    return network, base, objects, pool
+
+
+def make_tasks(network, count=24, k=4):
+    return [
+        QueryTask(i * 0.001, i, (i * 37 + 5) % network.num_nodes, k)
+        for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Decision layer (fast)
+# ----------------------------------------------------------------------
+def test_reconfig_event_serializes_shapes_as_lists() -> None:
+    event = ReconfigEvent(
+        started_at=1.0,
+        old_config=MPRConfig(2, 2, 1),
+        new_config=MPRConfig(1, 4, 1),
+        trigger="auto",
+    )
+    event.outcome = "completed"
+    event.generation = 1
+    event.phases["warm"] = 0.05
+    payload = event.to_dict()
+    assert payload["old_config"] == [2, 2, 1]
+    assert payload["new_config"] == [1, 4, 1]
+    assert payload["trigger"] == "auto"
+    assert payload["outcome"] == "completed"
+    assert payload["phases"] == {"warm": 0.05}
+
+
+def test_reconfig_counters_registry() -> None:
+    assert set(RECONFIG_COUNTERS) == {
+        "reconfig.attempts", "reconfig.completed", "reconfig.rollbacks",
+        "reconfig.rejected", "reconfig.breaker_open",
+        "reconfig.catchup_ops",
+    }
+
+
+class _FakeSystem:
+    """Duck-typed system for exercising the manager without processes."""
+
+    def __init__(self, config=MPRConfig(2, 2, 1), reject=False):
+        self.telemetry = Telemetry()
+        self.config = config
+        self.reject = reject
+        self.calls: list[tuple[MPRConfig, str]] = []
+
+    def reconfigure(self, new_config, *, trigger, warm_timeout,
+                    retire_timeout):
+        if self.reject:
+            raise ReconfigRejected("breaker open")
+        self.calls.append((new_config, trigger))
+        old = self.config
+        self.config = new_config
+        return ReconfigEvent(
+            started_at=0.0, old_config=old, new_config=new_config,
+            trigger=trigger, outcome="completed",
+        )
+
+
+def _manager(system, **policy_overrides):
+    policy = ReconfigPolicy(
+        improvement_threshold=0.05, cooldown=0.0, recalibrate=False,
+        **policy_overrides,
+    )
+    return ReconfigManager(
+        system, PROFILE, MACHINE, policy=policy,
+        estimator=RateEstimator(window=1.0, alpha=1.0),
+    )
+
+
+def test_manager_triggers_on_rate_drift() -> None:
+    system = _FakeSystem()
+    manager = _manager(system)
+    assert manager.poll(now=0.0) is None  # baseline, nothing folded
+    system.telemetry.count("router.queries", 30_000)
+    system.telemetry.count("router.updates", 100)
+    manager.poll(now=0.5)  # capture the delta mid-window: no decision
+    assert system.calls == []
+    event = manager.poll(now=1.0)  # window folds -> decide -> switch
+    assert event is not None and event.trigger == "auto"
+    assert system.calls and system.calls[0][0] != MPRConfig(2, 2, 1)
+    assert system.config == system.calls[0][0]
+
+
+def test_manager_tags_pressure_trigger() -> None:
+    system = _FakeSystem()
+    manager = _manager(system)
+    manager.poll(now=0.0)
+    system.telemetry.count("router.queries", 30_000)
+    system.telemetry.count("resilience.shed", 5)
+    event = manager.poll(now=1.0)
+    assert event is not None
+    assert event.trigger == "auto+pressure"
+
+
+def test_manager_swallows_rejection() -> None:
+    system = _FakeSystem(reject=True)
+    manager = _manager(system)
+    manager.poll(now=0.0)
+    system.telemetry.count("router.queries", 30_000)
+    assert manager.poll(now=1.0) is None  # rejected -> kept shape
+
+
+def test_manager_keeps_shape_on_steady_rates() -> None:
+    system = _FakeSystem(config=MPRConfig(1, 4, 1))
+    manager = _manager(system)
+    manager.poll(now=0.0)
+    for step in range(1, 4):
+        system.telemetry.count("router.queries", 30_000)
+        system.telemetry.count("router.updates", 100)
+        manager.poll(now=float(step))
+    # (1, 4, 1) is already the query-heavy optimum here: no calls.
+    assert system.calls == []
+
+
+# ----------------------------------------------------------------------
+# Live pool (slow)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_manual_reconfigure_under_load_is_oracle_exact() -> None:
+    network, base, objects, pool = make_pool()
+    tasks = make_tasks(network)
+    with pool:
+        for task in tasks[: len(tasks) // 2]:
+            pool.submit(task)
+        event = pool.reconfigure(MPRConfig(3, 1, 1), trigger="test")
+        assert event.outcome == "completed"
+        assert event.inflight_at_cutover is not None
+        assert pool.config == MPRConfig(3, 1, 1)
+        assert pool.generation == 1
+        for task in tasks[len(tasks) // 2:]:
+            pool.submit(task)
+        answers = pool.drain()
+    oracle = run_serial_reference(base, objects, tasks)
+    assert answers == oracle
+    history = pool.reconfig_history
+    assert [e.outcome for e in history] == ["completed"]
+    assert "warm" in history[0].phases
+
+
+@pytest.mark.slow
+def test_updates_survive_the_cutover() -> None:
+    """Catch-up feed: updates submitted mid-transition must be visible
+    to queries answered by the new shape."""
+    network, base, objects, pool = make_pool()
+    tasks = [InsertTask(0.0, 900 + i, (i * 11) % network.num_nodes)
+             for i in range(6)]
+    tasks += make_tasks(network, count=18)
+    with pool:
+        for task in tasks[:3]:
+            pool.submit(task)
+        event = pool.reconfigure(MPRConfig(1, 4, 1), trigger="test")
+        assert event.outcome == "completed"
+        for task in tasks[3:]:
+            pool.submit(task)
+        answers = pool.drain()
+    assert answers == run_serial_reference(base, objects, tasks)
+
+
+@pytest.mark.slow
+def test_kill_warming_worker_rolls_back_without_serving_gap() -> None:
+    telemetry = Telemetry()
+    network, base, objects, pool = make_pool(
+        telemetry=telemetry, resilience=ResilienceConfig(
+            default_deadline=30.0, stall_timeout=30.0,
+        ),
+    )
+    tasks = make_tasks(network, count=20)
+    with pool:
+        for task in tasks[:10]:
+            pool.submit(task)
+        event = pool.begin_reconfigure(
+            MPRConfig(1, 2, 1), trigger="test", warm_timeout=10.0
+        )
+        pids = pool.transition_pids()
+        assert pids
+        os.kill(pids[sorted(pids)[0]], signal.SIGKILL)
+        # The old shape keeps serving while the rollback lands.
+        for task in tasks[10:]:
+            pool.submit(task)
+        answers = pool.drain()
+        deadline = time.monotonic() + 10.0
+        while event.outcome == "pending":
+            assert time.monotonic() < deadline
+            pool.submit(QueryTask(0.0, 10_000, 0, 1))
+            answers.update(pool.drain())
+        answers.pop(10_000, None)
+    assert event.outcome == "rolled_back"
+    assert "died" in (event.reason or "")
+    assert pool.generation == 0
+    assert pool.config == MPRConfig(2, 2, 1)
+    oracle = run_serial_reference(base, objects, tasks)
+    assert {qid: answers[qid] for qid in oracle} == oracle
+    assert telemetry.counters.get("reconfig.rollbacks", 0) == 1
+
+
+@pytest.mark.slow
+def test_repeated_rollbacks_trip_the_reconfig_breaker() -> None:
+    network, base, objects, pool = make_pool(
+        resilience=ResilienceConfig(default_deadline=30.0),
+    )
+    with pool:
+        pool.start()
+        for _ in range(2):
+            event = pool.begin_reconfigure(
+                MPRConfig(1, 2, 1), trigger="test", warm_timeout=10.0
+            )
+            pids = pool.transition_pids()
+            os.kill(pids[sorted(pids)[0]], signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while event.outcome == "pending":
+                assert time.monotonic() < deadline
+                pool.submit(QueryTask(0.0, 20_000, 0, 1))
+                pool.drain()
+        with pytest.raises(ReconfigRejected):
+            pool.begin_reconfigure(MPRConfig(1, 2, 1), trigger="test")
+    outcomes = [e.outcome for e in pool.reconfig_history]
+    assert outcomes == ["rolled_back", "rolled_back", "rejected"]
+
+
+@pytest.mark.slow
+def test_same_shape_is_rejected_before_any_work() -> None:
+    network, base, objects, pool = make_pool()
+    with pool:
+        pool.start()
+        with pytest.raises(ReconfigRejected):
+            pool.begin_reconfigure(MPRConfig(2, 2, 1), trigger="test")
+    assert [e.outcome for e in pool.reconfig_history] == ["rejected"]
+    assert pool.generation == 0
+
+
+@pytest.mark.slow
+def test_telemetry_triggered_change_under_load_acceptance() -> None:
+    """Acceptance: the manager watches live counters and reshapes the
+    pool mid-stream; every answer stays oracle-exact, none dropped."""
+    from repro.validation import run_reconfig_soak
+
+    report = run_reconfig_soak(
+        phases=(("query-heavy", 200, 1), ("update-heavy", 10, 150)),
+        min_auto_changes=1,
+    )
+    assert report.ok, report.violations
+    assert report.dropped == 0 and report.mismatches == 0
+    assert report.auto_changes >= 1
+    assert all(t["outcome"] == "completed" for t in report.transitions)
+
+
+@pytest.mark.slow
+def test_mpr_system_reconfigures_through_the_pump() -> None:
+    network = grid_network(8, 8, seed=1)
+    base = DijkstraKNN(network)
+    objects = {i: (i * 7 + 3) % network.num_nodes for i in range(20)}
+    tasks = make_tasks(network, count=16)
+    with MPRSystem(
+        MPRConfig(2, 2, 1), base, objects, mode="process", batch_size=4,
+    ) as system:
+        futures = [system.submit_async(task) for task in tasks[:8]]
+        event = system.reconfigure(MPRConfig(3, 1, 1), trigger="test")
+        assert event.outcome == "completed"
+        futures += [system.submit_async(task) for task in tasks[8:]]
+        results = [future.result(timeout=30.0) for future in futures]
+    assert all(result.status.value == "ok" for result in results)
+    oracle = run_serial_reference(base, objects, tasks)
+    for task, result in zip(tasks, results):
+        assert list(result.answer) == list(oracle[task.query_id])
+    history = system.reconfig_history
+    assert [e.outcome for e in history] == ["completed"]
+    stats = system.stats()
+    assert stats["reconfigurations"][0]["new_config"] == [3, 1, 1]
+    assert "reconfigurations:" in system.report()
+
+
+@pytest.mark.slow
+def test_enable_auto_reconfigure_manual_poll() -> None:
+    network = grid_network(8, 8, seed=1)
+    base = DijkstraKNN(network)
+    objects = {i: (i * 7 + 3) % network.num_nodes for i in range(20)}
+    with MPRSystem(
+        MPRConfig(2, 2, 1), base, objects, mode="process", batch_size=4,
+    ) as system:
+        system.start()
+        manager = system.enable_auto_reconfigure(
+            PROFILE, MACHINE,
+            policy=ReconfigPolicy(
+                improvement_threshold=0.05, cooldown=0.0,
+                recalibrate=False,
+            ),
+            estimator=RateEstimator(window=0.01, alpha=1.0),
+        )
+        manager.poll(now=0.0)
+        for task in make_tasks(network, count=300, k=2):
+            system.submit(task)
+        manager.poll(now=0.005)
+        event = manager.poll(now=0.01)
+        system.drain()
+    assert event is not None and event.outcome == "completed"
+    assert event.trigger == "auto"
+    assert system.config != MPRConfig(2, 2, 1)

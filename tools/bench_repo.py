@@ -22,6 +22,13 @@ with resilience disabled vs enabled (no faults injected) and records
 bound is overhead within 5% (best-of-N, so occasional negative values
 are noise).
 
+A ``reconfig`` entry runs the live-reconfiguration soak (automatic
+shape changes under a non-stationary stream) and records the warm-phase
+transition latency percentiles plus how many queries were genuinely in
+flight at each cutover:
+``{"transition_p50_ms", "transition_p95_ms", "inflight_at_cutover_mean",
+"transitions"}``.
+
 A ``graph_scale`` entry summarizes the graph-tier scaling curve
 (memmap attach flatness, CH-vs-kernel long-range speedup).  It is
 folded in from the checked-in ``benchmarks/results/graph_scale.json``
@@ -123,6 +130,28 @@ def bench_pool_resilience_overhead() -> dict[str, float]:
         "disabled_qps": round(tasks / base_best, 1),
         "enabled_qps": round(tasks / enabled_best, 1),
         "overhead_pct": round((enabled_best / base_best - 1) * 100, 2),
+    }
+
+
+def bench_reconfig() -> dict[str, object]:
+    """Live-reconfiguration cost under the standing soak workload.
+
+    Reuses the validation soak (``repro.validation.run_reconfig_soak``)
+    so the numbers come from the same gate CI enforces: a real process
+    pool, automatic telemetry-triggered transitions, oracle-checked
+    answers.  The row records only the cost-shaped facts.
+    """
+    from repro.validation import run_reconfig_soak
+
+    report = run_reconfig_soak()
+    assert report.ok, f"reconfig soak violated: {report.violations}"
+    return {
+        "transition_p50_ms": round(report.transition_p50_ms or 0.0, 2),
+        "transition_p95_ms": round(report.transition_p95_ms or 0.0, 2),
+        "inflight_at_cutover_mean": round(
+            report.inflight_at_cutover_mean or 0.0, 1
+        ),
+        "transitions": report.auto_changes,
     }
 
 
@@ -242,6 +271,16 @@ def main() -> None:
         f"disabled {overhead['disabled_qps']:>9.1f} qps   "
         f"enabled {overhead['enabled_qps']:>9.1f} qps   "
         f"overhead {overhead['overhead_pct']:+.2f}%"
+    )
+
+    reconfig = bench_reconfig()
+    report["reconfig"] = reconfig
+    print(
+        f"{'reconfig':<24} "
+        f"warm p50 {reconfig['transition_p50_ms']:>7.2f} ms   "
+        f"p95 {reconfig['transition_p95_ms']:>7.2f} ms   "
+        f"inflight@cutover {reconfig['inflight_at_cutover_mean']:.1f} "
+        f"({reconfig['transitions']} transitions)"
     )
 
     scale = bench_graph_scale_summary()

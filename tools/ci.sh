@@ -8,6 +8,8 @@
 #   CI_SCALE=1 bash tools/ci.sh # also run the ~1M-node cache/attach smoke
 #                               # (incl. CH build+persist+attach at 262k/1M)
 #   CI_SERVE=1 bash tools/ci.sh # also run the serving-tier load smoke
+#   CI_RECONFIG=1 bash tools/ci.sh # also run the live-reconfiguration
+#                               # soak (>=2 automatic shape changes)
 #
 # Ruff is optional — environments without the binary skip the lint step
 # instead of failing, so the gate works in the minimal container too.
@@ -36,6 +38,11 @@ fi
 
 if [ "${CI_SERVE:-0}" = "1" ]; then
     python tools/serve_loadtest.py --smoke --no-artifacts
+fi
+
+if [ "${CI_RECONFIG:-0}" = "1" ]; then
+    python -m pytest -q -m slow -k "reconfig"
+    python tools/reconfig_soak.py
 fi
 
 if command -v ruff >/dev/null 2>&1; then

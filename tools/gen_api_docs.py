@@ -35,6 +35,7 @@ PACKAGES = [
     "repro.mpr.resilience",
     "repro.mpr.results",
     "repro.mpr.chaos",
+    "repro.mpr.reconfig",
     "repro.serve",
     "repro.sim",
     "repro.workload",
@@ -345,6 +346,72 @@ terminated, plain answers equal the serial oracle, degraded answers are
 internally consistent, traces are complete, and the deadline-miss rate
 is bounded.  `tools/chaos_run.py` (or `repro.cli chaos`) runs the sweep
 from the command line; CI runs it as the `chaos` job.
+""",
+    ),
+    (
+        "Live reconfiguration",
+        """\
+`repro.mpr.reconfig` changes a running pool's `(x, y, z)` shape with
+zero downtime.  `ProcessPoolService.reconfigure(new_config)` (or
+`MPRSystem.reconfigure`, which serializes the transition through the
+completion pump so async futures keep resolving) runs a supervised
+state machine:
+
+1. **Warm** — the new shape's workers spawn and attach to the shared
+   graph/cache segments *before any old worker stops*.  Each warming
+   cell is preloaded with an exact snapshot of the current object set
+   (the pool keeps a submit-time object ledger, so the snapshot is
+   consistent with everything already dispatched), then proves itself
+   by acknowledging a probe batch.  Meanwhile every update keeps
+   flowing to *both* shapes — the old router applies it live, the
+   warming router's batcher queues it as catch-up (counted in
+   `ReconfigEvent.catchup_ops`) — so the new cells are current the
+   moment they take over.
+2. **Cutover** — atomic, inside the supervisor: once every probe is
+   acked, the pool flushes both batchers, swaps router/batcher/worker
+   maps, bumps the generation counter, and re-points resilience state
+   (breakers cleared, admission ledger reset) at the new shape.
+   `ReconfigEvent.inflight_at_cutover` records how many queries were
+   genuinely in flight across the swap; their answers still drain from
+   the old workers and are merged normally.
+3. **Retire** — old workers finish their outstanding batches, receive a
+   stop sentinel, and are reaped; a retiring worker that dies or stalls
+   with batches still unacked is respawned once to replay them (answers
+   are never dropped).
+
+**Failure safety.**  A warming worker that dies, errors, or misses the
+`warm_timeout` triggers **rollback**: the transition's workers are
+killed, the old shape keeps serving uninterrupted (it never stopped),
+and the event records `outcome="rolled_back"` with the reason.  Every
+phase is timeout-bounded.  Repeated rollbacks trip a dedicated
+reconfiguration circuit breaker — further attempts raise
+`ReconfigRejected` until its backoff expires.  The chaos scenarios
+`reconfig-kill-new-worker` (SIGKILL a warming worker → oracle-exact
+rollback) and `reconfig-under-load` (transition inside a flash crowd)
+pin these invariants.
+
+**Automatic triggering.**  `ReconfigManager` closes the loop from
+telemetry to shape: `poll()` (or `start(interval)` for a daemon thread)
+reads the router's query/update counters as deltas, feeds them to a
+`RateEstimator`, asks the `AdaptiveController` (the Eq. 5/7 response
+time model, with hysteresis via `improvement_threshold` and a `cooldown`
+between switches) for a better shape, and calls `system.reconfigure`
+when one clears the bar.  `ReconfigPolicy` bundles the knobs; pressure
+counters (shed/degraded/breaker-open deltas) escalate the trigger to
+`"auto+pressure"`.  `MPRSystem.enable_auto_reconfigure(profile,
+machine)` wires this up in one call.
+
+Observability: `RECONFIG_COUNTERS` (`reconfig.attempts`, `.completed`,
+`.rollbacks`, `.rejected`, `.breaker_open`, `.catchup_ops`), phase
+timings in `ReconfigEvent.phases`, and the full transition history via
+`pool.reconfig_history` / `MPRSystem.reconfig_history`, surfaced by
+`stats()`, `report()`, and `repro.cli stats`.  The standing gate is
+`repro.validation.run_reconfig_soak` / `tools/reconfig_soak.py`
+(`CI_RECONFIG=1 bash tools/ci.sh`): a non-stationary workload must
+drive ≥2 automatic shape changes with zero dropped queries,
+oracle-exact answers, and complete traces; `tools/bench_repo.py`
+records the transition-latency percentiles as the `reconfig` row of
+`BENCH_knn.json`.
 """,
     ),
     (

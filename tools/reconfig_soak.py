@@ -1,0 +1,64 @@
+"""Run the live-reconfiguration soak gate and enforce its invariants.
+
+A standalone gate for CI and local runs: drives a short non-stationary
+workload (query-heavy → update-heavy → query-heavy) through a real
+process pool while a :class:`repro.mpr.reconfig.ReconfigManager`
+triggers ``(x, y, z)`` transitions automatically, and exits non-zero
+unless at least two automatic shape changes completed with zero dropped
+queries, oracle-exact answers, and complete traces.
+
+    PYTHONPATH=src python tools/reconfig_soak.py
+    PYTHONPATH=src python tools/reconfig_soak.py --repeat 3 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.validation import run_reconfig_soak
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="automatic live-reconfiguration soak for the pool"
+    )
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run the soak this many times")
+    parser.add_argument("--min-auto-changes", type=int, default=2)
+    parser.add_argument("--json", help="write the last report here")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    report = None
+    for attempt in range(args.repeat):
+        report = run_reconfig_soak(min_auto_changes=args.min_auto_changes)
+        status = "ok" if report.ok else "FAIL"
+        print(
+            f"soak[{attempt}]: {status} — "
+            f"{report.auto_changes} auto changes, "
+            f"{report.queries} queries, {report.dropped} dropped, "
+            f"{report.mismatches} mismatches, "
+            f"warm p50={report.transition_p50_ms or 0.0:.1f} ms "
+            f"p95={report.transition_p95_ms or 0.0:.1f} ms, "
+            f"inflight@cutover mean="
+            f"{report.inflight_at_cutover_mean or 0.0:.1f}"
+        )
+        for violation in report.violations:
+            print(f"  violation: {violation}")
+        if not report.ok:
+            failures += 1
+    if args.json and report is not None:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
